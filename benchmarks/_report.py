@@ -1,0 +1,23 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each benchmark regenerates a paper artifact (figure, table or theorem
+series) and emits the rows both to stdout (visible with ``pytest -s``) and
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+exact measured numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Write a result table and return it as a string."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    sys.stdout.write(f"\n=== {name} ===\n{text}")
+    return text

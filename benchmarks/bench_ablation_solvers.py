@@ -1,0 +1,86 @@
+"""ABL — solver ablation: exact DP vs enumeration vs heuristics.
+
+DESIGN.md calls out the choice of the layered min-plus DP as the exact
+engine; this bench quantifies it: quality (exact methods agree where both
+apply; the heuristics reach the optimum on ``B8``) and speed
+(pytest-benchmark comparison across the solvers).  Note the scale split:
+plain enumeration caps out below ``B8``'s 32 nodes (it is benchmarked on
+``B4``), which is precisely why the layered DP exists.
+"""
+
+import pytest
+
+from repro.cuts import (
+    bb_min_bisection,
+    cut_profile,
+    fm_bisection,
+    kernighan_lin_bisection,
+    layered_cut_profile,
+    spectral_bisection,
+)
+from repro.topology import butterfly
+
+from _report import emit
+
+
+@pytest.fixture(scope="module")
+def b8():
+    return butterfly(8)
+
+
+@pytest.fixture(scope="module")
+def b4():
+    return butterfly(4)
+
+
+def _quality_rows(b4, b8):
+    exact4 = layered_cut_profile(b4, with_witnesses=False).bisection_width()
+    exact8 = layered_cut_profile(b8, with_witnesses=False).bisection_width()
+    rows = ["B4 (12 nodes): exact solvers must agree"]
+    rows.append(f"  layered DP:   {exact4}")
+    rows.append(f"  enumeration:  {cut_profile(b4).bisection_width()}")
+    rows.append("")
+    rows.append(f"B8 (32 nodes): enumeration infeasible (2^31 masks); DP exact")
+    rows.append(f"  layered DP:       {exact8}")
+    rows.append(f"  branch and bound: {bb_min_bisection(b8).capacity}")
+    rows.append(f"  Kernighan-Lin:    {kernighan_lin_bisection(b8, restarts=4).capacity}")
+    rows.append(f"  FM:               {fm_bisection(b8, restarts=4).capacity}")
+    rows.append(f"  spectral+KL:      {spectral_bisection(b8).capacity}")
+    return rows, exact4, exact8
+
+
+def test_ablation_quality(benchmark, b4, b8):
+    rows, exact4, exact8 = _quality_rows(b4, b8)
+    emit("ablation_solvers", rows)
+    assert cut_profile(b4).bisection_width() == exact4
+    assert exact8 == 8
+    benchmark(lambda: layered_cut_profile(b4, with_witnesses=False).bisection_width())
+
+
+def test_solver_layered_dp_b8(benchmark, b8):
+    benchmark(lambda: layered_cut_profile(b8, with_witnesses=False).bisection_width())
+
+
+def test_solver_layered_dp_b4(benchmark, b4):
+    benchmark(lambda: layered_cut_profile(b4, with_witnesses=False).bisection_width())
+
+
+def test_solver_enumeration_b4(benchmark, b4):
+    benchmark(lambda: cut_profile(b4).bisection_width())
+
+
+def test_solver_branch_and_bound(benchmark, b8):
+    cut = benchmark.pedantic(lambda: bb_min_bisection(b8), rounds=3, iterations=1)
+    assert cut.capacity == 8
+
+
+def test_solver_kl(benchmark, b8):
+    benchmark(lambda: kernighan_lin_bisection(b8, restarts=2).capacity)
+
+
+def test_solver_fm(benchmark, b8):
+    benchmark(lambda: fm_bisection(b8, restarts=2).capacity)
+
+
+def test_solver_spectral(benchmark, b8):
+    benchmark(lambda: spectral_bisection(b8).capacity)

@@ -1,0 +1,35 @@
+"""DIAM — the Section 1.1 structural claims.
+
+Diameters ``2 log n`` (``Bn``) and ``floor(3 log n / 2)`` (``Wn``), node
+counts, and regularity, measured exactly over a size sweep.
+"""
+
+from repro.topology import (
+    butterfly,
+    degree_census,
+    diameter,
+    expected_diameter,
+    wrapped_butterfly,
+)
+
+from _report import emit
+
+
+def _rows():
+    rows = [f"{'net':>6} {'nodes':>7} {'edges':>7} {'diam':>5} {'paper':>6} {'degrees'}"]
+    for n in (4, 8, 16, 32):
+        for wrap in (False, True):
+            bf = wrapped_butterfly(n) if wrap else butterfly(n)
+            rows.append(
+                f"{bf.name:>6} {bf.num_nodes:>7} {bf.num_edges:>7} "
+                f"{diameter(bf):>5} {expected_diameter(bf):>6} {degree_census(bf)}"
+            )
+    return rows
+
+
+def test_diameter_table(benchmark):
+    rows = _rows()
+    emit("diameter", rows)
+    bf = wrapped_butterfly(32)
+    val = benchmark(lambda: diameter(bf))
+    assert val == expected_diameter(bf)

@@ -1,0 +1,63 @@
+"""EMB — the embedding toolbox: measured parameters of every Section 1.4 /
+Lemma 2.x embedding, with construction+verification timing kernels.
+"""
+
+from repro.embeddings import (
+    benes_into_butterfly,
+    butterfly_into_butterfly,
+    butterfly_into_mos,
+    complete_bipartite_into_butterfly,
+    complete_into_wrapped,
+    doubled_complete_bisection_bound,
+    doubled_complete_into_butterfly,
+    wrapped_into_ccc,
+)
+from repro.topology import butterfly
+
+from _report import emit
+
+
+def _rows():
+    rows = [f"{'embedding':<28} {'load':>5} {'cong':>6} {'dil':>4}  paper"]
+    emb, _ = butterfly_into_mos(butterfly(64), 8, 8)
+    s = emb.summary()
+    rows.append(f"{'B64 -> MOS8x8 (L2.11)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  cong 2n/jk = 2")
+    emb, _, _ = butterfly_into_butterfly(8, 2, 1)
+    s = emb.summary()
+    rows.append(f"{'B32 -> B8 (L2.10)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  cong 2^j = 4")
+    emb, _ = complete_bipartite_into_butterfly(16)
+    s = emb.summary()
+    rows.append(f"{'K16,16 -> B16 (L3.1)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  cong n/2 = 8")
+    emb, _ = complete_into_wrapped(8)
+    s = emb.summary()
+    rows.append(f"{'K24 -> W8 (T4.3)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  cong O(N log n)")
+    emb, _ = doubled_complete_into_butterfly(8)
+    s = emb.summary()
+    rows.append(f"{'2K32 -> B8 (Sec 1.4)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  => BW >= {doubled_complete_bisection_bound(emb)}"
+                f" (n/2 = 4)")
+    emb, _ = wrapped_into_ccc(16)
+    s = emb.summary()
+    rows.append(f"{'W16 -> CCC16 (L3.3)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  cong 2")
+    emb, _, _ = benes_into_butterfly(16)
+    s = emb.summary()
+    rows.append(f"{'Benes3 -> B16 (L2.5)':<28} {s['load']:>5} {s['congestion']:>6} "
+                f"{s['dilation']:>4}  load 1, cong 1, dil 3")
+    return rows
+
+
+def test_embedding_table(benchmark):
+    rows = _rows()
+    emit("embeddings", rows)
+    emb, _, _ = benchmark(lambda: benes_into_butterfly(32))
+    assert emb.summary() == {"load": 1, "congestion": 1, "dilation": 3}
+
+
+def test_doubled_complete_kernel(benchmark):
+    emb, _ = benchmark(lambda: doubled_complete_into_butterfly(8))
+    assert doubled_complete_bisection_bound(emb) == 4

@@ -1,0 +1,38 @@
+"""FIG1 — regenerate Figure 1: the 32-node butterfly ``B8``.
+
+The figure is structural: 32 nodes arranged in 4 levels of 8 columns, the
+columns labeled 000..111, with the interleaved cross-edge "butterfly"
+pattern between consecutive levels.  The bench rebuilds the network, prints
+the ASCII rendering, and verifies the census the figure encodes.
+"""
+
+import numpy as np
+
+from repro.topology import (
+    butterfly,
+    degree_census,
+    diameter,
+    level_four_cycles,
+)
+from repro.topology.render import ascii_butterfly
+
+from _report import emit
+
+
+def _census_rows():
+    b8 = butterfly(8)
+    rows = [ascii_butterfly(b8), ""]
+    rows.append(f"nodes: {b8.num_nodes} (paper: N = n(log n + 1) = 32)")
+    rows.append(f"edges: {b8.num_edges} (2 n log n = 48)")
+    rows.append(f"levels x columns: {b8.num_levels} x {b8.n}")
+    rows.append(f"degree census: {degree_census(b8)} (2 at I/O levels, 4 inside)")
+    rows.append(f"diameter: {diameter(b8)} (paper: 2 log n = 6)")
+    fc = sum(len(level_four_cycles(b8, i)) for i in range(b8.lg))
+    rows.append(f"level-edge 4-cycles: {fc} (n/2 per level pair = 12)")
+    return rows, b8
+
+
+def test_fig1_structure(benchmark):
+    rows, _ = _census_rows()
+    emit("fig1_structure", rows)
+    benchmark(lambda: butterfly(8))

@@ -1,0 +1,49 @@
+"""L219 — Lemma 2.19: ``BW(MOS_{j,j}, M2)/j^2 -> sqrt(2) - 1``.
+
+Regenerates the convergence series with the exact grid minimization
+(Lemma 2.17), cross-checked against brute force for small ``j``, and
+reports the optimal shapes.
+"""
+
+import math
+
+from repro.cuts import (
+    layered_u_bisection_width,
+    mos_m2_bisection_width,
+    optimal_mos_cut_spec,
+)
+from repro.topology import mesh_of_stars
+
+from _report import emit
+
+LIMIT = math.sqrt(2) - 1
+
+
+def _rows():
+    rows = [f"{'j':>6} {'BW(MOS,M2)':>12} {'ratio':>8} {'x=a/j':>7} {'y=b/j':>7}"]
+    for j in (2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256, 512, 1024):
+        w = mos_m2_bisection_width(j)
+        spec = optimal_mos_cut_spec(j) if j <= 64 else None
+        x = f"{spec.a / j:.3f}" if spec else "-"
+        y = f"{spec.b / j:.3f}" if spec else "-"
+        rows.append(f"{j:>6} {w:>12} {w / j**2:>8.4f} {x:>7} {y:>7}")
+    rows.append(f"limit sqrt(2) - 1 = {LIMIT:.4f} (every ratio strictly above)")
+    rows.append("")
+    for j in (2, 3):
+        brute = layered_u_bisection_width(mesh_of_stars(j, j), mesh_of_stars(j, j).m2())
+        rows.append(f"brute-force cross-check j = {j}: {brute} "
+                    f"== formula {mos_m2_bisection_width(j)}")
+    return rows
+
+
+def test_lemma_219_series(benchmark):
+    rows = _rows()
+    emit("lemma219_mos", rows)
+    val = benchmark(lambda: mos_m2_bisection_width(1024))
+    assert val / 1024**2 > LIMIT
+
+
+def test_mos_brute_force_kernel(benchmark):
+    mos = mesh_of_stars(3, 3)
+    val = benchmark(lambda: layered_u_bisection_width(mos, mos.m2()))
+    assert val == 4

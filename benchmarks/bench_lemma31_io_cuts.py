@@ -1,0 +1,47 @@
+"""L31 — Lemma 3.1: cuts bisecting the butterfly's inputs cost at least n.
+
+Regenerates the lemma three ways on each size: the exact minimum
+input-bisecting / output-bisecting / IO-bisecting cut (layered DP), and the
+``K_{n,n}`` embedding bound computed from the *measured* congestion of the
+explicit monotonic-path embedding.
+"""
+
+import numpy as np
+
+from repro.cuts import layered_u_bisection_width
+from repro.embeddings import complete_bipartite_into_butterfly, io_cut_lower_bound
+from repro.topology import butterfly
+
+from _report import emit
+
+
+def _rows():
+    rows = [f"{'n':>4} {'inputs':>8} {'outputs':>8} {'in+out':>8} "
+            f"{'K_nn bound':>11} {'paper':>6}"]
+    for n in (2, 4, 8):
+        bf = butterfly(n)
+        a = layered_u_bisection_width(bf, bf.inputs())
+        b = layered_u_bisection_width(bf, bf.outputs())
+        c = layered_u_bisection_width(
+            bf, np.concatenate([bf.inputs(), bf.outputs()])
+        )
+        bound = io_cut_lower_bound(n)
+        rows.append(f"{n:>4} {a:>8} {b:>8} {c:>8} {bound:>11} {n:>6}")
+    rows.append("")
+    emb, _ = complete_bipartite_into_butterfly(8)
+    rows.append(f"K_{{8,8}} -> B8 embedding: {emb.summary()} "
+                "(paper: load 1, congestion n/2, dilation log n)")
+    return rows
+
+
+def test_lemma_31_io_cuts(benchmark):
+    rows = _rows()
+    emit("lemma31_io_cuts", rows)
+    bf = butterfly(8)
+    val = benchmark(lambda: layered_u_bisection_width(bf, bf.inputs()))
+    assert val == 8
+
+
+def test_knn_embedding_kernel(benchmark):
+    emb, _ = benchmark(lambda: complete_bipartite_into_butterfly(16))
+    assert emb.congestion == 8

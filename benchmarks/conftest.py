@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Puts the benchmark directory on ``sys.path`` so targets share the
+``_report`` helper, and registers nothing else — the benchmarks are plain
+pytest-benchmark tests, one per paper figure/table (see DESIGN.md's
+experiment index).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

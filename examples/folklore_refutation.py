@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The headline result, hands on: bisections of ``Bn`` cheaper than the
+folklore column cut.
+
+Prior to the paper it was "folklore" that ``BW(Bn) = n`` — the column cut
+(split columns on their first bit) costs exactly ``n`` and looks obviously
+optimal.  Theorem 2.20 shows the truth is ``2(sqrt 2 - 1) n + o(n) ≈
+0.83 n``.  This example *builds* the cheaper bisections: the mesh-of-stars
+pullback with amenable rebalancing, verified node by node, then shows the
+analytic plan series marching to the 0.8284 limit.
+
+Run:  python examples/folklore_refutation.py
+"""
+
+import math
+
+from repro.cuts import (
+    best_plan,
+    build_planned_bisection,
+    column_prefix_cut,
+)
+from repro.topology import butterfly
+
+LIMIT = 2 * (math.sqrt(2) - 1)
+
+
+def main() -> None:
+    print("=== materialized, verified bisections ===")
+    print(f"{'n':>8} {'column cut':>11} {'pullback':>9} {'ratio':>7}  plan")
+    for lg in range(10, 14):
+        n = 1 << lg
+        bf = butterfly(n)
+        folk = column_prefix_cut(bf)
+        plan = best_plan(n)
+        cut = build_planned_bisection(plan, bf)  # asserts balance + capacity
+        marker = "  <-- beats folklore" if cut.capacity < folk.capacity else ""
+        print(
+            f"{n:>8} {folk.capacity:>11} {cut.capacity:>9} "
+            f"{cut.capacity / n:>7.4f}  j={plan.j}, a={plan.a}, b={plan.b}{marker}"
+        )
+
+    print()
+    print("=== the same construction, analytically, toward the limit ===")
+    print(f"{'log n':>7} {'capacity / n':>13}")
+    for lg in (20, 50, 100, 200, 400, 800, 1600, 3200):
+        plan = best_plan(1 << lg)
+        print(f"{lg:>7} {plan.capacity_over_n:>13.4f}")
+    print(f"{'limit':>7} {LIMIT:>13.4f}   (Theorem 2.20: 2(sqrt 2 - 1))")
+
+    print()
+    print("Every ratio sits strictly above the limit — the theorem's lower")
+    print("bound — and strictly below 1 from n = 2^10 on: folklore refuted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so legacy editable installs work in offline environments.
+
+The environment this project targets has no network access and an older
+setuptools without PEP 660 wheel support; ``pip install -e . --no-build-isolation``
+falls back to this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Finite-size scaling analysis: extracting the paper's constants from
+measured series (the experimental half of reproducing asymptotic claims).
+"""
+
+from .scaling import ScalingFit, fit_inverse_model, check_monotone_envelope
+from .series import (
+    butterfly_construction_series,
+    mos_ratio_series,
+    estimate_theorem_220_constant,
+    estimate_lemma_219_constant,
+)
+
+__all__ = [
+    "ScalingFit",
+    "fit_inverse_model",
+    "check_monotone_envelope",
+    "butterfly_construction_series",
+    "mos_ratio_series",
+    "estimate_theorem_220_constant",
+    "estimate_lemma_219_constant",
+]

@@ -1,0 +1,61 @@
+"""The paper's convergence series, as reusable data generators.
+
+These are the programmatic versions of the benchmark sweeps: the
+Theorem 2.20 construction series (``BW``-upper-bound ratio per ``log n``)
+and the Lemma 2.19 mesh-of-stars series (ratio per ``j``), plus asymptote
+estimators that fit the ``c + a/x`` finite-size model and return the
+extrapolated constant — reproducing ``2(√2-1)`` and ``√2-1`` from data
+alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cuts.butterfly_bisection import best_plan
+from ..cuts.mos_cuts import mos_m2_bisection_width
+from .scaling import ScalingFit, fit_inverse_model
+
+__all__ = [
+    "butterfly_construction_series",
+    "mos_ratio_series",
+    "estimate_theorem_220_constant",
+    "estimate_lemma_219_constant",
+]
+
+
+def butterfly_construction_series(log_ns) -> tuple[np.ndarray, np.ndarray]:
+    """``(log n, capacity/n)`` for the best pullback plan at each size."""
+    xs, ys = [], []
+    for lg in log_ns:
+        plan = best_plan(1 << int(lg))
+        xs.append(float(lg))
+        ys.append(plan.capacity_over_n)
+    return np.asarray(xs), np.asarray(ys)
+
+
+def mos_ratio_series(js) -> tuple[np.ndarray, np.ndarray]:
+    """``(j, BW(MOS_{j,j}, M2)/j²)`` exact grid values."""
+    xs, ys = [], []
+    for j in js:
+        xs.append(float(j))
+        ys.append(mos_m2_bisection_width(int(j)) / float(j) ** 2)
+    return np.asarray(xs), np.asarray(ys)
+
+
+def estimate_theorem_220_constant(
+    log_ns=(200, 400, 800, 1600, 3200),
+) -> ScalingFit:
+    """Extrapolate the Theorem 2.20 constant from the construction series.
+
+    The fitted ``limit`` lands near ``2(√2-1) = 0.8284`` (the theorem's
+    constant) when the default deep-``log n`` window is used.
+    """
+    xs, ys = butterfly_construction_series(log_ns)
+    return fit_inverse_model(xs, ys)
+
+
+def estimate_lemma_219_constant(js=(64, 128, 256, 512, 1024)) -> ScalingFit:
+    """Extrapolate the Lemma 2.19 constant from the exact grid series."""
+    xs, ys = mos_ratio_series(js)
+    return fit_inverse_model(xs, ys)

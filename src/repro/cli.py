@@ -1,0 +1,139 @@
+"""Command-line interface: ``repro-butterfly`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``info N [--wraparound]``
+    Structure census of the butterfly: nodes, degrees, diameter.
+``bisection {bn,wn,ccc} N``
+    Certified bisection width with provenance.
+``expansion {bn,wn} N K [--node]``
+    Certified edge (default) or node expansion at set size ``K``.
+``folklore N``
+    The Theorem 2.20 construction: plan and, when feasible, a built and
+    verified balanced bisection of ``Bn`` with capacity below ``n``.
+``claims [IDS...]``
+    Check registered paper claims (all by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .topology import (
+        Butterfly, degree_census, diameter, expected_diameter,
+    )
+
+    bf = Butterfly(args.n, wraparound=args.wraparound)
+    print(f"{bf.name}: {bf.num_nodes} nodes, {bf.num_edges} edges, "
+          f"{bf.num_levels} levels of {bf.n}")
+    print(f"degrees: {degree_census(bf)}")
+    d = diameter(bf) if bf.num_nodes <= 1 << 14 else None
+    print(f"diameter: {d if d is not None else '(skipped, large)'} "
+          f"(paper: {expected_diameter(bf)})")
+    return 0
+
+
+def _cmd_bisection(args: argparse.Namespace) -> int:
+    from .core import (
+        butterfly_bisection_width, wrapped_bisection_width, ccc_bisection_width,
+    )
+
+    fn = {
+        "bn": butterfly_bisection_width,
+        "wn": wrapped_bisection_width,
+        "ccc": ccc_bisection_width,
+    }[args.family]
+    print(fn(args.n))
+    return 0
+
+
+def _cmd_expansion(args: argparse.Namespace) -> int:
+    from .core import edge_expansion, node_expansion
+    from .topology import Butterfly
+
+    bf = Butterfly(args.n, wraparound=args.family == "wn")
+    fn = node_expansion if args.node else edge_expansion
+    print(fn(bf, args.k))
+    return 0
+
+
+def _cmd_folklore(args: argparse.Namespace) -> int:
+    from .cuts import butterfly_bisection_below_n
+
+    plan, cut = butterfly_bisection_below_n(args.n, materialize=not args.plan_only)
+    print(f"plan: n={plan.n} j={plan.j} a={plan.a} b={plan.b} "
+          f"capacity={plan.capacity} ({plan.capacity_over_n:.4f} n)")
+    print(f"asymptotic limit 2(sqrt2-1) = {2 * (math.sqrt(2) - 1):.4f}")
+    if cut is not None:
+        print(f"built and verified: |S| = {cut.s_size} = N/2, "
+              f"capacity = {cut.capacity} < n = {plan.n}"
+              if cut.capacity < plan.n else
+              f"built and verified: capacity = {cut.capacity}")
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from .core import REGISTRY
+
+    ids = args.ids or list(REGISTRY)
+    failed = 0
+    for cid in ids:
+        if cid not in REGISTRY:
+            print(f"unknown claim id: {cid}", file=sys.stderr)
+            failed += 1
+            continue
+        res = REGISTRY[cid].check()
+        print(f"{'PASS' if res.passed else 'FAIL'} {cid}: {REGISTRY[cid].reference}")
+        if not res.passed:
+            print(f"     details: {res.details}")
+            failed += 1
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-butterfly",
+        description="Bisection width and expansion of butterfly networks "
+                    "(Bornstein et al.), executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="structure census")
+    p.add_argument("n", type=int)
+    p.add_argument("--wraparound", action="store_true")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("bisection", help="certified bisection width")
+    p.add_argument("family", choices=["bn", "wn", "ccc"])
+    p.add_argument("n", type=int)
+    p.set_defaults(fn=_cmd_bisection)
+
+    p = sub.add_parser("expansion", help="certified expansion")
+    p.add_argument("family", choices=["bn", "wn"])
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--node", action="store_true")
+    p.set_defaults(fn=_cmd_expansion)
+
+    p = sub.add_parser("folklore", help="the sub-n bisection of Bn (Thm 2.20)")
+    p.add_argument("n", type=int)
+    p.add_argument("--plan-only", action="store_true")
+    p.set_defaults(fn=_cmd_folklore)
+
+    p = sub.add_parser("claims", help="check paper claims")
+    p.add_argument("ids", nargs="*")
+    p.set_defaults(fn=_cmd_claims)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""The paper-level public API: certified bounds and the claim registry."""
+
+from .results import BoundCertificate
+from .bisection import (
+    bisection_width,
+    butterfly_bisection_width,
+    wrapped_bisection_width,
+    ccc_bisection_width,
+    theorem_220_interval,
+)
+from .expansion_api import edge_expansion, node_expansion
+from .theorems import Claim, ClaimResult, REGISTRY, check, all_claim_ids
+from .vlsi import (
+    thompson_area_lower_bound,
+    at2_lower_bound,
+    routing_time_lower_bound,
+    bn_area_estimate,
+    bn_volume_order,
+)
+
+__all__ = [
+    "BoundCertificate",
+    "bisection_width",
+    "butterfly_bisection_width",
+    "wrapped_bisection_width",
+    "ccc_bisection_width",
+    "theorem_220_interval",
+    "edge_expansion",
+    "node_expansion",
+    "Claim",
+    "ClaimResult",
+    "REGISTRY",
+    "check",
+    "all_claim_ids",
+    "thompson_area_lower_bound",
+    "at2_lower_bound",
+    "routing_time_lower_bound",
+    "bn_area_estimate",
+    "bn_volume_order",
+]

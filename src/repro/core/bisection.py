@@ -1,0 +1,180 @@
+"""Certified bisection widths: the paper's headline quantities as an API.
+
+``butterfly_bisection_width(n)`` returns what is *provably known* about
+``BW(Bn)`` at each size: the exact value (layered DP) through ``n = 8``,
+and beyond that the interval between the ``2K_N``-embedding lower bound
+``n/2`` (Section 1.4; the embedding is materialized and its congestion
+measured up to ``n = 16``) together with the strict information-theoretic
+floor ``2(sqrt 2 - 1) n`` of Theorem 2.20, and the best verified upper
+bound — the smaller of the folklore column cut (``n``) and the
+mesh-of-stars pullback construction, materialized and checked whenever the
+graph fits in memory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..topology.base import Network
+from ..topology.butterfly import Butterfly, butterfly, wrapped_butterfly
+from ..topology.ccc import cube_connected_cycles
+from ..topology.labels import ilog2
+from ..cuts.layered_dp import layered_cut_profile
+from ..cuts.enumerate_exact import cut_profile
+from ..cuts.branch_and_bound import bb_min_bisection
+from ..cuts.constructions import column_prefix_cut, ccc_dimension_cut
+from ..cuts.mos_cuts import mos_m2_bisection_width
+from ..cuts.butterfly_bisection import best_plan, build_planned_bisection
+from ..cuts.kernighan_lin import kernighan_lin_bisection
+from ..cuts.spectral import spectral_bisection
+from .results import BoundCertificate
+
+__all__ = [
+    "bisection_width",
+    "butterfly_bisection_width",
+    "wrapped_bisection_width",
+    "ccc_bisection_width",
+    "theorem_220_interval",
+]
+
+_DP_WIDTH_LIMIT = 12
+_MATERIALIZE_LIMIT = 1 << 24  # max nodes for building explicit cuts
+
+
+def bisection_width(net: Network) -> BoundCertificate:
+    """Certified ``BW`` of an arbitrary network.
+
+    Exact (layered DP or enumeration) when within reach; otherwise the best
+    heuristic bisection as the upper bound with a trivial degree-based
+    lower bound.
+    """
+    name = f"BW({net.name})"
+    layers = net.layers() if hasattr(net, "layers") else None
+    if layers is not None and max(len(l) for l in layers) <= _DP_WIDTH_LIMIT:
+        prof = layered_cut_profile(net, with_witnesses=True, max_width=_DP_WIDTH_LIMIT)
+        cut = prof.min_bisection()
+        return BoundCertificate(
+            name, cut.capacity, cut.capacity,
+            "layered min-plus DP (exact)", "layered min-plus DP (exact)", cut,
+        )
+    if net.num_nodes <= 24:
+        prof = cut_profile(net)
+        w = prof.bisection_width()
+        return BoundCertificate(name, w, w, "enumeration (exact)", "enumeration (exact)")
+    if net.num_nodes <= 36:
+        cut = bb_min_bisection(net)
+        return BoundCertificate(
+            name, cut.capacity, cut.capacity,
+            "branch and bound (exact)", "branch and bound (exact)", cut,
+        )
+    best = spectral_bisection(net)
+    kl = kernighan_lin_bisection(net, restarts=2)
+    if kl.capacity < best.capacity:
+        best = kl
+    # Any bisection must disconnect ceil(N/2) nodes from the rest; with
+    # a connected network at least one edge crosses.
+    lower = 1 if net.num_edges else 0
+    return BoundCertificate(
+        name, lower, best.capacity,
+        "trivial (connected)", "best of spectral/Kernighan-Lin heuristics", best,
+    )
+
+
+def theorem_220_interval(n: int) -> tuple[float, float]:
+    """Theorem 2.20's asymptotic envelope for ``BW(Bn)``:
+    ``(2(sqrt 2 - 1) n, 2(sqrt 2 - 1) n + o(n))``.
+
+    Returned as ``(strict lower floor, folklore upper n)`` — the two
+    numbers any measured value must respect at every finite size.
+    """
+    c = 2.0 * (math.sqrt(2.0) - 1.0)
+    return c * n, float(n)
+
+
+def butterfly_bisection_width(n: int, materialize: bool = True) -> BoundCertificate:
+    """Certified ``BW(Bn)``.
+
+    Exact through ``n = 8``; beyond that the interval
+    ``[max(n/2, floor of Theorem 2.20), min(column cut, pullback cut)]``
+    with all upper-bound witnesses explicitly built and verified while the
+    instance fits in memory.
+    """
+    bf = butterfly(n)
+    name = f"BW(B{n})"
+    if n <= 8:
+        prof = layered_cut_profile(bf, with_witnesses=True)
+        cut = prof.min_bisection()
+        return BoundCertificate(
+            name, cut.capacity, cut.capacity,
+            "layered min-plus DP (exact)", "layered min-plus DP (exact)", cut,
+        )
+    strict_floor, _ = theorem_220_interval(n)
+    lower = max(n // 2, math.floor(strict_floor) + 1)
+    lower_ev = (
+        "max(n/2 from the 2K_N embedding [Sec 1.4], strict floor "
+        "2(sqrt2-1)n of Theorem 2.20)"
+    )
+    if n <= 1 << 13:
+        # Executable Lemma 2.13: BW(Bn) >= (2/n) BW(MOS_{n,n}, M2), with the
+        # right side computed exactly by grid minimization (Lemma 2.17).
+        mos_bound = math.ceil(2 * mos_m2_bisection_width(n) / n)
+        if mos_bound > lower:
+            lower = mos_bound
+            lower_ev = (
+                "Lemma 2.13 with exact BW(MOS_{n,n}, M2) by grid "
+                "minimization (Lemma 2.17)"
+            )
+    plan = best_plan(n)
+    upper = min(n, plan.capacity)
+    witness = None
+    if materialize and bf.num_nodes <= _MATERIALIZE_LIMIT:
+        witness = (
+            build_planned_bisection(plan, bf) if plan.capacity < n else column_prefix_cut(bf)
+        )
+        upper_ev = "verified explicit cut (mesh-of-stars pullback / column cut)"
+    else:
+        upper_ev = "pullback plan arithmetic (not materialized)"
+    return BoundCertificate(name, lower, upper, lower_ev, upper_ev, witness)
+
+
+def wrapped_bisection_width(n: int) -> BoundCertificate:
+    """Certified ``BW(Wn) = n`` (Lemma 3.2).
+
+    Exact by DP through ``n = 8``; beyond, the column cut provides the
+    verified upper bound ``n`` and Lemma 3.2 (whose proof machinery —
+    Lemma 3.1 — is checked exactly at DP sizes) the matching lower bound.
+    """
+    bf = wrapped_butterfly(n)
+    name = f"BW(W{n})"
+    if n <= 8:
+        prof = layered_cut_profile(bf, with_witnesses=True)
+        cut = prof.min_bisection()
+        return BoundCertificate(
+            name, cut.capacity, cut.capacity,
+            "layered min-plus DP (exact)", "layered min-plus DP (exact)", cut,
+        )
+    cut = column_prefix_cut(bf)
+    return BoundCertificate(
+        name, n, cut.capacity,
+        "Lemma 3.2 (exact by DP for log n <= 3)",
+        "verified column cut", cut,
+    )
+
+
+def ccc_bisection_width(n: int) -> BoundCertificate:
+    """Certified ``BW(CCCn) = n/2`` (Lemma 3.3 / Manabe et al.)."""
+    net = cube_connected_cycles(n)
+    name = f"BW(CCC{n})"
+    if ilog2(n) <= 3:
+        prof = layered_cut_profile(net, with_witnesses=True)
+        cut = prof.min_bisection()
+        return BoundCertificate(
+            name, cut.capacity, cut.capacity,
+            "layered min-plus DP (exact)", "layered min-plus DP (exact)", cut,
+        )
+    cut = ccc_dimension_cut(net)
+    return BoundCertificate(
+        name, n // 2, cut.capacity,
+        "Wn embedding, congestion 2 (Lemma 3.3; exact by DP for log n <= 3)",
+        "verified dimension cut", cut,
+    )

@@ -1,0 +1,69 @@
+"""Certified bounds: the result type of the paper-level API.
+
+Graph quantities in this paper (bisection width, expansion) are NP-hard in
+general, so beyond exactly solvable sizes an honest answer is an interval:
+the best *proved* lower bound and the best *constructed* upper bound, each
+carrying its provenance.  A ``BoundCertificate`` is exactly that; when the
+two meet, the value is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BoundCertificate"]
+
+
+@dataclass(frozen=True)
+class BoundCertificate:
+    """An interval-certified value for a graph quantity.
+
+    Attributes
+    ----------
+    quantity:
+        Human-readable name, e.g. ``"BW(B8)"``.
+    lower, upper:
+        The certified interval (``lower <= true value <= upper``).
+    lower_evidence, upper_evidence:
+        Where each bound comes from (exact solver, explicit witness,
+        measured embedding, theorem reference).
+    witness:
+        An optional witness object for the upper bound (e.g. the explicit
+        :class:`~repro.cuts.cut.Cut`).
+    """
+
+    quantity: str
+    lower: float
+    upper: float
+    lower_evidence: str
+    upper_evidence: str
+    witness: Any = None
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(
+                f"{self.quantity}: lower bound {self.lower} exceeds upper {self.upper}"
+            )
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the interval has collapsed to a point."""
+        return self.lower == self.upper
+
+    @property
+    def value(self) -> float:
+        """The exact value; raises unless :attr:`is_exact`."""
+        if not self.is_exact:
+            raise ValueError(
+                f"{self.quantity} is only known to lie in [{self.lower}, {self.upper}]"
+            )
+        return self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_exact:
+            return f"{self.quantity} = {self.upper} ({self.upper_evidence})"
+        return (
+            f"{self.quantity} in [{self.lower}, {self.upper}] "
+            f"(lower: {self.lower_evidence}; upper: {self.upper_evidence})"
+        )

@@ -1,0 +1,731 @@
+"""The claim registry: every checkable statement of the paper in one place.
+
+Each :class:`Claim` couples a paper reference with a ``checker`` that
+builds the relevant objects and tests the claimed property on concrete
+instances, returning a :class:`ClaimResult` with the measured numbers.
+The test suite asserts every registered claim passes at its default
+parameters; the benchmarks sweep the interesting ones over sizes.
+
+This module is intentionally the *index* of the reproduction: reading it
+top to bottom recovers the paper's logical skeleton, and every entry
+points into the module that implements the mathematics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Claim", "ClaimResult", "REGISTRY", "check", "all_claim_ids"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of one claim check."""
+
+    claim_id: str
+    passed: bool
+    details: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A checkable paper claim."""
+
+    claim_id: str
+    reference: str
+    statement: str
+    checker: Callable[..., ClaimResult]
+
+    def check(self, **params) -> ClaimResult:
+        return self.checker(self.claim_id, **params)
+
+
+REGISTRY: dict[str, Claim] = {}
+
+
+def _register(claim_id: str, reference: str, statement: str):
+    def deco(fn):
+        REGISTRY[claim_id] = Claim(claim_id, reference, statement, fn)
+        return fn
+
+    return deco
+
+
+def check(claim_id: str, **params) -> ClaimResult:
+    """Check one registered claim."""
+    return REGISTRY[claim_id].check(**params)
+
+
+def all_claim_ids() -> list[str]:
+    """All registered claim ids, in registration (paper) order."""
+    return list(REGISTRY)
+
+
+# --------------------------------------------------------------------- #
+# Section 1.1: structure
+# --------------------------------------------------------------------- #
+@_register(
+    "structure",
+    "Section 1.1 / Figure 1",
+    "Bn has n(log n + 1) nodes in log n + 1 levels; Wn has n log n nodes, "
+    "4-regular; diameters are 2 log n and floor(3 log n / 2)",
+)
+def _check_structure(cid: str, n: int = 8) -> ClaimResult:
+    from ..topology import (
+        butterfly, wrapped_butterfly, degree_census, butterfly_degree_census,
+        diameter, expected_diameter,
+    )
+
+    bn, wn = butterfly(n), wrapped_butterfly(n)
+    details = {
+        "bn_nodes": bn.num_nodes,
+        "wn_nodes": wn.num_nodes,
+        "bn_degrees": degree_census(bn),
+        "wn_degrees": degree_census(wn),
+        "bn_diameter": diameter(bn),
+        "wn_diameter": diameter(wn),
+    }
+    lg = bn.lg
+    ok = (
+        bn.num_nodes == n * (lg + 1)
+        and wn.num_nodes == n * lg
+        and degree_census(bn) == butterfly_degree_census(bn)
+        and degree_census(wn) == butterfly_degree_census(wn)
+        and details["bn_diameter"] == expected_diameter(bn) == 2 * lg
+        and details["wn_diameter"] == expected_diameter(wn) == (3 * lg) // 2
+    )
+    return ClaimResult(cid, ok, details)
+
+
+@_register(
+    "lemma-2.1",
+    "Lemma 2.1",
+    "There is an automorphism of Bn mapping each level L_i onto L_{log n - i}",
+)
+def _check_l21(cid: str, n: int = 16) -> ClaimResult:
+    from ..topology import butterfly, is_automorphism, level_reversal_permutation
+
+    bf = butterfly(n)
+    perm = level_reversal_permutation(bf)
+    levels_ok = all(
+        set(perm[bf.level(i)] // bf.n) == {bf.lg - i} for i in range(bf.lg + 1)
+    )
+    ok = is_automorphism(bf, perm) and levels_ok
+    return ClaimResult(cid, ok, {"n": n})
+
+
+@_register(
+    "lemma-2.2",
+    "Lemma 2.2",
+    "Level-preserving automorphisms act transitively on adjacent edge pairs "
+    "with prescribed levels",
+)
+def _check_l22(cid: str, n: int = 8, samples: int = 40, seed: int = 0) -> ClaimResult:
+    from ..topology import butterfly, is_automorphism
+    from ..topology.automorphism import edge_pair_automorphism
+
+    bf = butterfly(n)
+    rng = np.random.default_rng(seed)
+    e = bf.edges
+    lv = e[:, 0] // bf.n
+    ok = True
+    for _ in range(samples):
+        i = int(rng.integers(bf.lg))
+        cand = e[lv == i]
+        a = cand[int(rng.integers(len(cand)))]
+        b = cand[int(rng.integers(len(cand)))]
+        perm = edge_pair_automorphism(bf, int(a[0]), int(a[1]), int(b[0]), int(b[1]))
+        ok &= is_automorphism(bf, perm)
+        ok &= perm[a[0]] == b[0] and perm[a[1]] == b[1]
+    return ClaimResult(cid, bool(ok), {"n": n, "samples": samples})
+
+
+@_register(
+    "lemma-2.3",
+    "Lemma 2.3",
+    "Exactly one monotonic path links each input to each output of Bn",
+)
+def _check_l23(cid: str, n: int = 16) -> ClaimResult:
+    from ..topology import butterfly
+    from ..routing import count_monotonic_paths, monotonic_path
+
+    bf = butterfly(n)
+    ok = True
+    for s in range(n):
+        for d in range(n):
+            ok &= count_monotonic_paths(bf, s, d) == 1
+            p = monotonic_path(bf, s, d)
+            ok &= len(p) == bf.lg + 1
+    return ClaimResult(cid, bool(ok), {"n": n})
+
+
+@_register(
+    "lemma-2.4",
+    "Lemma 2.4",
+    "Bn[i, j] has n/2^{j-i} components, each isomorphic to B_{2^{j-i}}",
+)
+def _check_l24(cid: str, n: int = 16) -> ClaimResult:
+    from ..topology import butterfly, level_range_components, component_isomorphism
+
+    bf = butterfly(n)
+    ok = True
+    details = {}
+    for lo in range(bf.lg):
+        for hi in range(lo + 1, bf.lg + 1):
+            comps = level_range_components(bf, lo, hi)
+            ok &= len(comps) == n // (1 << (hi - lo))
+            small, mapping = component_isomorphism(bf, comps[0])
+            sub = bf.subgraph(comps[0].nodes)
+            ok &= sub.num_edges == small.num_edges
+            # Adjacency is preserved under the mapping (edge-for-edge).
+            for u, v in bf.edges:
+                if int(u) in mapping and int(v) in mapping:
+                    ok &= small.has_edge(mapping[int(u)], mapping[int(v)])
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "lemma-2.5",
+    "Lemma 2.5",
+    "A (log n - 1)-dimensional Beneš network embeds in Bn with load 1, "
+    "congestion 1, dilation 3, I/O on level 0; Bn is rearrangeable between "
+    "the I and O port sets",
+)
+def _check_l25(cid: str, n: int = 16, perms: int = 3, seed: int = 0) -> ClaimResult:
+    from ..embeddings import benes_into_butterfly
+    from ..routing import route_permutation
+
+    emb, guest, host = benes_into_butterfly(n)
+    emb.verify()
+    s = emb.summary()
+    ok = s == {"load": 1, "congestion": 1, "dilation": 3}
+    # Rearrangeability pushed through the embedding: host paths edge-disjoint.
+    edge_to_path = {}
+    for (gu, gv), hp in zip(guest.edges, emb.paths):
+        edge_to_path[(int(gu), int(gv))] = hp
+        edge_to_path[(int(gv), int(gu))] = hp[::-1]
+    rng = np.random.default_rng(seed)
+    for _ in range(perms):
+        perm = rng.permutation(guest.num_ports)
+        used = set()
+        for gp in route_permutation(guest, perm):
+            hp = [emb.node_map[gp[0]]]
+            for a, b in zip(gp[:-1], gp[1:]):
+                hp.extend(edge_to_path[(int(a), int(b))][1:])
+            for x, y in zip(hp[:-1], hp[1:]):
+                key = (int(min(x, y)), int(max(x, y)))
+                ok &= key not in used
+                used.add(key)
+    return ClaimResult(cid, bool(ok), s)
+
+
+@_register(
+    "lemma-2.8",
+    "Lemma 2.8",
+    "U = L_1 ∪ ... ∪ L_{log n} is compact in Bn",
+)
+def _check_l28(cid: str, n: int = 8, trials: int = 200, seed: int = 0) -> ClaimResult:
+    from ..topology import butterfly
+    from ..cuts import Cut, collapse_above_inputs
+
+    bf = butterfly(n)
+    rng = np.random.default_rng(seed)
+    worst = 0
+    for _ in range(trials):
+        cut = Cut(bf, rng.random(bf.num_nodes) < rng.random())
+        delta = collapse_above_inputs(cut).capacity - cut.capacity
+        worst = max(worst, delta)
+    return ClaimResult(cid, worst <= 0, {"n": n, "worst_delta": worst})
+
+
+@_register(
+    "lemma-2.9",
+    "Lemma 2.9",
+    "Each component of Bn[i, log n] is compact in Bn",
+)
+def _check_l29(cid: str, n: int = 8, trials: int = 100, seed: int = 0) -> ClaimResult:
+    from ..topology import butterfly, level_range_components
+    from ..cuts import Cut, component_collapse
+
+    bf = butterfly(n)
+    rng = np.random.default_rng(seed)
+    worst = 0
+    for i in range(1, bf.lg + 1):
+        for comp in level_range_components(bf, i, bf.lg):
+            for _ in range(trials // bf.lg):
+                cut = Cut(bf, rng.random(bf.num_nodes) < rng.random())
+                delta = component_collapse(cut, comp).capacity - cut.capacity
+                worst = max(worst, delta)
+    return ClaimResult(cid, worst <= 0, {"n": n, "worst_delta": worst})
+
+
+@_register(
+    "lemma-2.10",
+    "Lemma 2.10",
+    "B_{n 2^j} embeds in Bn with dilation 1, congestion exactly 2^j and the "
+    "stated level loads",
+)
+def _check_l210(cid: str, n: int = 8, j: int = 2, i: int = 1) -> ClaimResult:
+    from ..embeddings import butterfly_into_butterfly
+
+    emb, big, host = butterfly_into_butterfly(n, j, i)
+    emb.verify()
+    cong = set(emb.edge_congestions().values())
+    loads = emb.load_per_host_node
+    lv = np.arange(host.num_nodes) // host.n
+    ok = (
+        emb.dilation == 1
+        and cong == {1 << j}
+        and set(loads[lv == i].tolist()) == {(j + 1) << j}
+        and set(loads[lv != i].tolist()) == {1 << j}
+    )
+    return ClaimResult(cid, bool(ok), {"congestions": sorted(cong)})
+
+
+@_register(
+    "lemma-2.11",
+    "Lemma 2.11",
+    "Bn embeds in MOS_{j,k} with dilation 1, edge congestion exactly 2n/jk "
+    "and uniform level loads",
+)
+def _check_l211(cid: str, n: int = 64, j: int = 4, k: int = 8) -> ClaimResult:
+    from ..embeddings import butterfly_into_mos
+    from ..topology import butterfly
+
+    bf = butterfly(n)
+    emb, mos = butterfly_into_mos(bf, j, k)
+    emb.verify()
+    cong = set(emb.edge_congestions().values())
+    loads = emb.load_per_host_node
+    lgj = j.bit_length() - 1
+    lgk = k.bit_length() - 1
+    lgn = bf.lg
+    ok = (
+        emb.dilation <= 1
+        and cong == {2 * n // (j * k)}
+        and set(loads[mos.m1()].tolist()) == {(n // j) * lgk}
+        and set(loads[mos.m3()].tolist()) == {(n // k) * lgj}
+        and set(loads[mos.m2()].tolist()) == {(n // (j * k)) * (lgn - lgj - lgk + 1)}
+    )
+    return ClaimResult(cid, bool(ok), {"congestions": sorted(cong)})
+
+
+@_register(
+    "lemma-2.12",
+    "Lemma 2.12",
+    "Some level of Bn has BW(Bn, L_i) <= BW(Bn), and "
+    "BW(B_{n^2}, L_log n)/n^2 <= BW(Bn)/n",
+)
+def _check_l212(cid: str, n: int = 4) -> ClaimResult:
+    from ..topology import butterfly
+    from ..cuts import layered_cut_profile, layered_u_bisection_width
+
+    bf = butterfly(n)
+    bw = layered_cut_profile(bf, with_witnesses=False).bisection_width()
+    part1 = min(
+        layered_u_bisection_width(bf, bf.level(i)) for i in range(bf.lg + 1)
+    ) <= bw
+    big = butterfly(n * n)
+    part2 = True
+    if n * n <= 8:
+        lvl_bw = layered_u_bisection_width(big, big.level(big.lg // 2))
+        part2 = lvl_bw / (n * n) <= bw / n + 1e-12
+    return ClaimResult(cid, bool(part1 and part2), {"bw": bw})
+
+
+@_register(
+    "lemma-2.13",
+    "Lemma 2.13",
+    "2 BW(MOS_{n,n}, M2) / n^2 <= BW(Bn) / n",
+)
+def _check_l213(cid: str, sizes: tuple = (2, 4, 8)) -> ClaimResult:
+    from ..topology import butterfly
+    from ..cuts import layered_cut_profile, mos_m2_bisection_width
+
+    details = {}
+    ok = True
+    for n in sizes:
+        bw = layered_cut_profile(butterfly(n), with_witnesses=False).bisection_width()
+        mos = mos_m2_bisection_width(n)
+        details[n] = (2 * mos / n**2, bw / n)
+        ok &= 2 * mos / n**2 <= bw / n + 1e-12
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "lemma-2.15",
+    "Lemma 2.15",
+    "A mixed middle component is amenable: any k of its nodes can sit in S "
+    "under a level-threshold cut without capacity increase",
+)
+def _check_l215(cid: str, n: int = 16) -> ClaimResult:
+    from ..topology import butterfly, level_range_components
+    from ..cuts import Cut, check_amenable_for_cut
+
+    bf = butterfly(n)
+    comp = level_range_components(bf, 1, bf.lg - 1)[0]
+    side = np.zeros(bf.num_nodes, dtype=bool)
+    side[bf.level(0)] = True
+    side[comp.nodes] = True
+    cut = Cut(bf, side)
+    ok = check_amenable_for_cut(cut, comp)
+    return ClaimResult(cid, bool(ok), {"n": n, "component_size": comp.num_nodes})
+
+
+@_register(
+    "lemma-2.17",
+    "Lemma 2.17",
+    "min capacity over M2-bisecting cuts with |A∩M1| = xj, |A∩M3| = yj "
+    "equals f(x, y) j^2",
+)
+def _check_l217(cid: str, j: int = 4) -> ClaimResult:
+    from ..cuts import mos_m2_capacity, f_xy
+
+    ok = True
+    for a in range(j + 1):
+        for b in range(j + 1):
+            x, y = a / j, b / j
+            if x + y < 1:
+                continue
+            # The lemma's domain has x+y >= 1 (else swap sides); on it the
+            # combinatorial minimum matches f exactly for even j^2/2.
+            cap = min(
+                mos_m2_capacity(j, a, b, j * j // 2),
+                mos_m2_capacity(j, a, b, (j * j + 1) // 2),
+            )
+            ok &= math.isclose(cap, f_xy(x, y) * j * j, abs_tol=1e-9)
+    return ClaimResult(cid, bool(ok), {"j": j})
+
+
+@_register(
+    "lemma-2.18",
+    "Lemma 2.18",
+    "f(x,y) = x + y - min(1, 2xy) attains its minimum sqrt(2) - 1 at "
+    "x = y = sqrt(1/2)",
+)
+def _check_l218(cid: str, grid: int = 400) -> ClaimResult:
+    from ..cuts import f_xy, f_minimum
+
+    xs = np.linspace(0, 1, grid + 1)
+    best = min(
+        f_xy(x, y) for x in xs for y in xs if x + y >= 1
+    )
+    x0, y0, fmin = f_minimum()
+    ok = (
+        math.isclose(fmin, math.sqrt(2) - 1)
+        and math.isclose(f_xy(x0, y0), fmin, abs_tol=1e-12)
+        and best >= fmin - 1e-9
+    )
+    return ClaimResult(cid, bool(ok), {"grid_min": best, "fmin": fmin})
+
+
+@_register(
+    "lemma-2.19",
+    "Lemma 2.19",
+    "sqrt(2) - 1 < BW(MOS_{j,j}, M2)/j^2 <= sqrt(2) - 1 + o(1)",
+)
+def _check_l219(cid: str, js: tuple = (2, 4, 8, 16, 32, 64, 128, 256)) -> ClaimResult:
+    from ..cuts import mos_m2_bisection_width
+
+    lim = math.sqrt(2) - 1
+    ratios = {j: mos_m2_bisection_width(j) / j**2 for j in js}
+    ok = all(r > lim for r in ratios.values())
+    ok &= ratios[max(js)] - lim < 0.01
+    return ClaimResult(cid, bool(ok), {"ratios": ratios, "limit": lim})
+
+
+@_register(
+    "theorem-2.20",
+    "Theorem 2.20",
+    "2(sqrt 2 - 1) n < BW(Bn) <= 2(sqrt 2 - 1) n + o(n); in particular the "
+    "folklore BW(Bn) = n fails for large n",
+)
+def _check_t220(cid: str) -> ClaimResult:
+    from ..topology import butterfly
+    from ..cuts import layered_cut_profile, best_plan, build_planned_bisection
+
+    floor_c = 2 * (math.sqrt(2) - 1)
+    details = {}
+    ok = True
+    for n in (4, 8):
+        bw = layered_cut_profile(butterfly(n), with_witnesses=False).bisection_width()
+        details[f"BW(B{n})"] = bw
+        ok &= floor_c * n < bw <= n
+    plan = best_plan(1 << 12)
+    cut = build_planned_bisection(plan)
+    details["B4096_construction"] = cut.capacity
+    ok &= floor_c * 4096 < cut.capacity < 4096  # strictly below folklore
+    big = best_plan(1 << 60)
+    details["capacity_over_n_at_2^60"] = big.capacity_over_n
+    ok &= floor_c < big.capacity_over_n < 0.93
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "lemma-3.1",
+    "Lemma 3.1",
+    "Any cut of Bn bisecting its inputs, outputs, or inputs+outputs has "
+    "capacity >= n",
+)
+def _check_l31(cid: str, sizes: tuple = (4, 8)) -> ClaimResult:
+    from ..topology import butterfly
+    from ..cuts import layered_u_bisection_width
+
+    ok = True
+    details = {}
+    for n in sizes:
+        bf = butterfly(n)
+        vals = (
+            layered_u_bisection_width(bf, bf.inputs()),
+            layered_u_bisection_width(bf, bf.outputs()),
+            layered_u_bisection_width(
+                bf, np.concatenate([bf.inputs(), bf.outputs()])
+            ),
+        )
+        details[n] = vals
+        ok &= all(v >= n for v in vals)
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "lemma-3.2",
+    "Lemma 3.2",
+    "BW(Wn) = n",
+)
+def _check_l32(cid: str) -> ClaimResult:
+    from ..topology import wrapped_butterfly
+    from ..cuts import layered_cut_profile, column_prefix_cut
+
+    details = {}
+    ok = True
+    for n in (4, 8):
+        bw = layered_cut_profile(
+            wrapped_butterfly(n), with_witnesses=False
+        ).bisection_width()
+        details[f"BW(W{n})"] = bw
+        ok &= bw == n
+    for n in (16, 64):
+        ok &= column_prefix_cut(wrapped_butterfly(n)).capacity == n
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "lemma-3.3",
+    "Lemma 3.3",
+    "BW(CCCn) = n/2",
+)
+def _check_l33(cid: str) -> ClaimResult:
+    from ..topology import cube_connected_cycles
+    from ..cuts import layered_cut_profile, ccc_dimension_cut
+    from ..embeddings import wrapped_into_ccc, bisection_lower_bound
+
+    details = {}
+    ok = True
+    for n in (4, 8):
+        bw = layered_cut_profile(
+            cube_connected_cycles(n), with_witnesses=False
+        ).bisection_width()
+        details[f"BW(CCC{n})"] = bw
+        ok &= bw == n // 2
+    emb, host = wrapped_into_ccc(16)
+    emb.verify()
+    ok &= emb.congestion == 2
+    ok &= bisection_lower_bound(emb, 16) == 8  # BW(W16)=16 via Lemma 3.2
+    ok &= ccc_dimension_cut(cube_connected_cycles(16)).capacity == 8
+    return ClaimResult(cid, bool(ok), details)
+
+
+# --------------------------------------------------------------------- #
+# Section 4: expansion
+# --------------------------------------------------------------------- #
+@_register(
+    "section-4.3-lower",
+    "Section 4.3 (lower-bound table)",
+    "EE(Wn,k) >= (4-o(1))k/log k, NE(Wn,k) >= (1-o(1))k/log k, "
+    "EE(Bn,k) >= (2-o(1))k/log k, NE(Bn,k) >= (1/2-o(1))k/log k, "
+    "in their stated small-k regimes",
+)
+def _check_table_lower(cid: str, n: int = 8) -> ClaimResult:
+    from ..topology import butterfly, wrapped_butterfly
+    from ..expansion import (
+        edge_expansion_profile, node_expansion_exact,
+        ee_wn_lower, ne_wn_lower, ee_bn_lower, ne_bn_lower,
+    )
+
+    wn, bn = wrapped_butterfly(n), butterfly(n)
+    ok = True
+    details = {}
+    ee_w = edge_expansion_profile(wn)
+    ee_b = edge_expansion_profile(bn)
+    for k in range(1, 8):
+        ok &= ee_wn_lower(k, n) <= ee_w[k] + 1e-9
+        ok &= ee_bn_lower(k, n) <= ee_b[k] + 1e-9
+    for k in range(1, 5):
+        ne_w, _ = node_expansion_exact(wn, k)
+        ne_b, _ = node_expansion_exact(bn, k)
+        ok &= ne_wn_lower(k, n) <= ne_w + 1e-9
+        ok &= ne_bn_lower(k, n) <= ne_b + 1e-9
+        details[f"NE(W{n},{k})"] = ne_w
+        details[f"NE(B{n},{k})"] = ne_b
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "section-4.3-upper",
+    "Section 4.3 (upper-bound table)",
+    "Witness sets achieve EE(Wn) <= (4+o(1))k/log k, NE(Wn) <= (3+o(1))k/log k, "
+    "EE(Bn) <= (2+o(1))k/log k, NE(Bn) <= (1+o(1))k/log k",
+)
+def _check_table_upper(cid: str, n: int = 64, d: int = 3) -> ClaimResult:
+    from ..topology import butterfly, wrapped_butterfly
+    from ..expansion import (
+        wn_edge_witness, wn_node_witness, bn_edge_witness, bn_node_witness,
+    )
+
+    wn, bn = wrapped_butterfly(n), butterfly(n)
+    details = {}
+    _, details["EE(Wn) witness"] = wn_edge_witness(wn, d)
+    _, details["NE(Wn) witness"] = wn_node_witness(wn, d)
+    _, details["EE(Bn) witness"] = bn_edge_witness(bn, d)
+    _, details["NE(Bn) witness"] = bn_node_witness(bn, d)
+    k = (d + 1) << d
+    ok = (
+        details["EE(Wn) witness"] == 4 << d
+        and details["EE(Bn) witness"] == 2 << d
+        and details["NE(Wn) witness"] == 3 << (d + 1)
+        and details["NE(Bn) witness"] == 2 << d
+    )
+    details["k_single"] = k
+    details["k_twin"] = 2 * k
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "credit-schemes",
+    "Lemmas 4.2, 4.5, 4.8, 4.11",
+    "The credit-distribution accounting: conservation, per-target caps, and "
+    "certified lower bounds never exceed the true values",
+)
+def _check_credit(cid: str, n: int = 64, trials: int = 10, seed: int = 0) -> ClaimResult:
+    from ..topology import butterfly, wrapped_butterfly
+    from ..expansion import edge_credit_report, node_credit_report
+
+    rng = np.random.default_rng(seed)
+    ok = True
+    for bf, kmax in ((wrapped_butterfly(n), 20), (butterfly(n), 7)):
+        for _ in range(trials):
+            k = int(rng.integers(2, kmax))
+            members = rng.choice(bf.num_nodes, size=k, replace=False)
+            for rep in (edge_credit_report(bf, members), node_credit_report(bf, members)):
+                try:
+                    rep.check()
+                except AssertionError:
+                    ok = False
+    return ClaimResult(cid, bool(ok), {"n": n, "trials": trials})
+
+
+# --------------------------------------------------------------------- #
+# Sections 1.2 and 1.5: the surrounding relationships
+# --------------------------------------------------------------------- #
+@_register(
+    "routing-bound",
+    "Section 1.2",
+    "Random-destination routing takes at least N/(4 BW(G)) steps in the "
+    "one-message-per-edge-per-step model",
+)
+def _check_routing_bound(cid: str, n: int = 16, seed: int = 3) -> ClaimResult:
+    from ..routing import random_destinations_experiment
+    from ..topology import butterfly, wrapped_butterfly
+
+    ok = True
+    details = {}
+    for bf, bw in ((butterfly(n), n), (wrapped_butterfly(n), n)):
+        rep = random_destinations_experiment(bf, bw, seed=seed)
+        details[bf.name] = (rep.result.steps, rep.bound)
+        ok &= rep.result.steps >= rep.bound
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register(
+    "menger-io",
+    "Sections 1.2/3 (cross-validation)",
+    "Max edge-disjoint path counts match the minimum separating cuts: 2n "
+    "between the full I/O levels, n between the two input halves",
+)
+def _check_menger(cid: str, n: int = 8) -> ClaimResult:
+    from ..routing import max_edge_disjoint_paths
+    from ..topology import butterfly
+
+    bf = butterfly(n)
+    io_flow = max_edge_disjoint_paths(bf, bf.inputs(), bf.outputs())
+    inputs = bf.inputs()
+    msb = 1 << (bf.lg - 1)
+    left = inputs[(bf.column_of(inputs) & msb) == 0]
+    right = inputs[(bf.column_of(inputs) & msb) != 0]
+    half_flow = max_edge_disjoint_paths(bf, left, right)
+    ok = io_flow == 2 * n and half_flow == n
+    return ClaimResult(cid, bool(ok), {"io_flow": io_flow, "half_flow": half_flow})
+
+
+@_register(
+    "related-networks",
+    "Section 1.5",
+    "Bn embeds in the hypercube with constant load/congestion/dilation; "
+    "CCCn emulates Wn with constant slowdown",
+)
+def _check_related(cid: str, n: int = 8) -> ClaimResult:
+    from ..embeddings import butterfly_into_hypercube, wrapped_into_ccc
+    from ..routing.emulation import emulate_round
+
+    emb, bf, q = butterfly_into_hypercube(n)
+    emb.verify()
+    ok = emb.load == 1 and emb.dilation <= 2 and emb.congestion <= 4
+    emb2, host = wrapped_into_ccc(n)
+    rep = emulate_round(emb2)
+    ok &= rep.slowdown <= 4 * rep.bound
+    return ClaimResult(
+        cid, bool(ok),
+        {"hypercube": emb.summary(), "ccc_slowdown": rep.slowdown},
+    )
+
+
+@_register(
+    "section-1.6-snir",
+    "Section 1.6 ([27])",
+    "Snir: for Ω_n (ports counted) every k-set satisfies C log₂ C >= 4k, "
+    "for all k — unlike the Wn bound, which degrades at k = Θ(n)",
+)
+def _check_snir(cid: str, n: int = 8) -> ClaimResult:
+    from ..expansion import omega_expansion_profile, omega_network, snir_inequality_holds
+
+    bf = omega_network(n)
+    prof = omega_expansion_profile(bf)
+    ok = all(
+        snir_inequality_holds(int(prof[k]), k) for k in range(1, bf.num_nodes + 1)
+    )
+    return ClaimResult(cid, bool(ok), {"profile": prof.tolist()})
+
+
+@_register(
+    "section-1.6-hong-kung",
+    "Section 1.6 ([11])",
+    "Hong–Kung: any set S of k nodes of FFT_n dominated from the inputs by "
+    "D satisfies k <= 2 |D| log |D| (checked with exact minimum dominators)",
+)
+def _check_hong_kung(cid: str, n: int = 8, trials: int = 25, seed: int = 0) -> ClaimResult:
+    from ..expansion import check_hong_kung
+    from ..topology import butterfly
+
+    bf = butterfly(n)
+    rng = np.random.default_rng(seed)
+    ok = True
+    for _ in range(trials):
+        k = int(rng.integers(1, bf.num_nodes))
+        members = rng.choice(bf.num_nodes, size=k, replace=False)
+        holds, _ = check_hong_kung(bf, members)
+        ok &= holds
+    return ClaimResult(cid, bool(ok), {"n": n, "trials": trials})

@@ -1,0 +1,56 @@
+"""VLSI layout corollaries of bisection width (Section 1.2, [28], [3], [16]).
+
+Thompson's theory ties the bisection width to physical layout: the layout
+area of a network satisfies ``A >= BW(G)^2``, and for a problem requiring
+``I`` messages across any bisection, ``A T^2 = Ω(I^2)``.  The paper also
+records the known layout numbers for butterflies: area ``(1 ± o(1)) n^2``
+for ``Bn``, ``Θ(n^2)`` for ``Wn``, and three-dimensional layout volume
+``Θ(n^{3/2})`` for both.
+
+These corollaries are small closed forms, but they are the reason the
+``0.82n``-vs-``n`` distinction matters: Theorem 2.20 lowers the certified
+area floor of ``Bn`` by a factor of ``(2(sqrt 2 - 1))^2 ≈ 0.686`` relative
+to folklore.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "thompson_area_lower_bound",
+    "at2_lower_bound",
+    "routing_time_lower_bound",
+    "bn_area_estimate",
+    "bn_volume_order",
+]
+
+
+def thompson_area_lower_bound(bisection_width: float) -> float:
+    """Thompson's bound ``A >= BW(G)^2`` [28]."""
+    return float(bisection_width) ** 2
+
+
+def at2_lower_bound(information: float) -> float:
+    """The ``A T^2 = Ω(I^2)`` bound: returns ``I^2`` (the Ω constant is 1
+    under Thompson's normalization)."""
+    return float(information) ** 2
+
+
+def routing_time_lower_bound(information: float, bisection_width: float) -> float:
+    """``T >= I / BW(G)`` for a problem forcing ``I`` messages across any
+    bisection (Section 1.2)."""
+    if bisection_width <= 0:
+        return math.inf
+    return information / bisection_width
+
+
+def bn_area_estimate(n: int) -> float:
+    """The known layout area of ``Bn``: ``(1 ± o(1)) n^2`` [3]."""
+    return float(n) ** 2
+
+
+def bn_volume_order(n: int) -> float:
+    """The known 3-D layout volume order of ``Bn`` and ``Wn``:
+    ``Θ(n^{3/2})`` [16] — returned without its unknown constant."""
+    return float(n) ** 1.5

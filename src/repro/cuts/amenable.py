@@ -1,0 +1,89 @@
+"""Amenable node sets (Lemmas 2.14-2.15), as executable rearrangements.
+
+A set ``U`` is *amenable* with respect to a cut ``g`` when, for every
+``0 <= k <= |U|``, some rearrangement of ``U`` alone places exactly ``k`` of
+its nodes on the ``S`` side without increasing the capacity.  Lemma 2.15
+identifies the amenable sets that drive the bisection construction: a
+connected component ``U`` of ``Bn[1, log n - 1]`` (more generally, a middle
+fiber) whose input-side neighbors all lie in ``S`` and whose output-side
+neighbors all lie in ``S̄`` (a *mixed* component).  The capacity-neutral
+rearrangements are the *level-threshold* cuts, the paper's property (∗):
+full levels toward the ``S``-side neighbor in ``S``, full levels toward the
+``S̄``-side neighbor in ``S̄``, one partial level in between.
+
+:func:`rearranged` produces the (∗)-form cut with exactly ``k`` nodes of
+the component in ``S``; property tests sweep ``k`` and confirm the capacity
+never moves.  :mod:`repro.cuts.butterfly_bisection` uses the same
+rearrangement as its fine balance knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly
+from ..topology.subbutterfly import SubButterflyComponent
+from .cut import Cut
+
+__all__ = ["mixed_orientation", "rearranged", "check_amenable_for_cut"]
+
+
+def mixed_orientation(cut: Cut, comp: SubButterflyComponent) -> int:
+    """Classify a middle component's boundary under a cut.
+
+    Returns ``+1`` when its input-side neighbors are all in ``S`` and
+    output-side neighbors all in ``S̄`` (the Lemma 2.15 orientation), ``-1``
+    for the mirror image, and ``0`` otherwise (not a mixed component, so
+    Lemma 2.15 makes no amenability promise).
+    """
+    bf = cut.network
+    if not isinstance(bf, Butterfly) or bf.wraparound:
+        raise ValueError("amenability is used on Bn")
+    if comp.lo < 1 or comp.hi > bf.lg - 1:
+        raise ValueError("component must avoid the input and output levels")
+    inputs = comp.level_nodes(0)
+    outputs = comp.level_nodes(comp.dimension)
+    in_nb = np.unique(np.concatenate([bf.neighbors(int(v)) for v in inputs]))
+    in_nb = in_nb[bf.level_of(in_nb) == comp.lo - 1]
+    out_nb = np.unique(np.concatenate([bf.neighbors(int(v)) for v in outputs]))
+    out_nb = out_nb[bf.level_of(out_nb) == comp.hi + 1]
+    top = cut.side[in_nb]
+    bot = cut.side[out_nb]
+    if top.all() and not bot.any():
+        return +1
+    if not top.any() and bot.all():
+        return -1
+    return 0
+
+
+def rearranged(cut: Cut, comp: SubButterflyComponent, k: int) -> Cut:
+    """The (∗)-form cut with exactly ``k`` component nodes in ``S``.
+
+    Requires the component to be mixed under ``cut``; nodes outside the
+    component are untouched.  Lemma 2.15 predicts the capacity is unchanged
+    relative to any other (∗)-form — in particular never above the
+    all-on-one-side forms.
+    """
+    if not 0 <= k <= comp.num_nodes:
+        raise ValueError(f"k={k} out of range for a {comp.num_nodes}-node component")
+    orient = mixed_orientation(cut, comp)
+    if orient == 0:
+        raise ValueError("component is not mixed under this cut; Lemma 2.15 "
+                         "does not apply")
+    nodes = comp.nodes  # level-major: inputs first
+    side = cut.side.copy()
+    side[nodes] = False
+    chosen = nodes[:k] if orient > 0 else nodes[len(nodes) - k:]
+    side[chosen] = True
+    return Cut(cut.network, side)
+
+
+def check_amenable_for_cut(
+    cut: Cut, comp: SubButterflyComponent, ks: np.ndarray | None = None
+) -> bool:
+    """Verify Lemma 2.15 for one cut: every requested ``k`` is achievable
+    without exceeding the original capacity."""
+    if ks is None:
+        ks = np.arange(comp.num_nodes + 1)
+    cap = cut.capacity
+    return all(rearranged(cut, comp, int(k)).capacity <= cap for k in ks)

@@ -1,0 +1,80 @@
+"""Compact node sets (Lemmas 2.6-2.9), as executable transformations.
+
+A set ``U`` is *compact* in ``G`` when for any cut ``g = (A, Ā)`` there is a
+cut ``g'`` with all of ``U`` on one side, agreeing with ``g`` outside ``U``,
+and ``C(g') <= C(g)``.  Lemma 2.8 proves that ``U = L_1 ∪ ... ∪ L_{log n}``
+(everything but the inputs) is compact in ``Bn``; Lemma 2.9 extends this to
+every connected component of ``Bn[i, log n]``.  Compactness is what lets the
+paper assume, in Lemma 2.13, that whole sub-butterfly fibers sit on one side
+of an optimal cut.
+
+This module implements the *collapse* transformation and the definitional
+check.  The collapse is exactly the paper's move (``A' = A ∪ U`` after
+orienting so the input level's minority side is ``Ā``); the capacity
+inequality is a theorem, so the checker is used by property-based tests to
+falsify-or-confirm it on thousands of random cuts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import Network
+from ..topology.butterfly import Butterfly
+from ..topology.subbutterfly import SubButterflyComponent
+from .cut import Cut
+
+__all__ = [
+    "collapse_onto_side",
+    "best_collapse",
+    "check_compact_for_cut",
+    "collapse_above_inputs",
+    "component_collapse",
+]
+
+
+def collapse_onto_side(cut: Cut, u_set: np.ndarray, to_s: bool) -> Cut:
+    """The cut with all of ``U`` moved to one side, others unchanged."""
+    return cut.with_moved(np.asarray(u_set, dtype=np.int64), to_s)
+
+
+def best_collapse(cut: Cut, u_set: np.ndarray) -> Cut:
+    """The better of the two one-sided placements of ``U``."""
+    s = collapse_onto_side(cut, u_set, True)
+    t = collapse_onto_side(cut, u_set, False)
+    return s if s.capacity <= t.capacity else t
+
+
+def check_compact_for_cut(cut: Cut, u_set: np.ndarray) -> bool:
+    """Definitional compactness test for one cut: can ``U`` be unified on a
+    side without raising the capacity?"""
+    return best_collapse(cut, u_set).capacity <= cut.capacity
+
+
+def collapse_above_inputs(cut: Cut) -> Cut:
+    """Lemma 2.8's transformation on a butterfly cut.
+
+    Orients the cut so that ``|Ā ∩ L_0| <= |A ∩ L_0|`` and returns the cut
+    ``(A ∪ U, rest)`` with ``U`` = all non-input levels.  The lemma asserts
+    the result never has larger capacity; tests verify this on random cuts.
+    """
+    bf = cut.network
+    if not isinstance(bf, Butterfly) or bf.wraparound:
+        raise ValueError("Lemma 2.8 is a statement about Bn")
+    u_set = np.arange(bf.n, bf.num_nodes, dtype=np.int64)  # levels 1..log n
+    inputs = bf.inputs()
+    in_a = int(cut.side[inputs].sum())
+    # side=True plays the role of A; ensure the minority of L0 is in Ā.
+    oriented = cut if (bf.n - in_a) <= in_a else cut.complement()
+    return collapse_onto_side(oriented, u_set, True)
+
+
+def component_collapse(cut: Cut, comp: SubButterflyComponent) -> Cut:
+    """Lemma 2.9's move: unify one component of ``Bn[i, log n]`` on the
+    cheaper side (components of output-anchored level ranges are compact)."""
+    bf = cut.network
+    if not isinstance(bf, Butterfly) or bf.wraparound:
+        raise ValueError("Lemma 2.9 is a statement about Bn")
+    if comp.hi != bf.lg:
+        raise ValueError("Lemma 2.9 concerns components of Bn[i, log n]")
+    return best_collapse(cut, comp.nodes)

@@ -1,0 +1,77 @@
+"""The paper's explicit cut constructions (upper-bound witnesses).
+
+Section 1.4: "It is not difficult to show that ``BW(Bn) <= n`` and
+``BW(Wn) <= n``: partition the columns into those whose numbers start with a
+0 and those whose numbers start with a 1.  Similarly, ``BW(CCCn) <= n/2``."
+These are the *folklore* cuts; Theorem 2.20's point is that for ``Bn`` the
+column cut is not optimal.  Lemma 3.3's matching upper bound for the CCC
+cuts one cube dimension.
+
+Every constructor returns a verified :class:`~repro.cuts.cut.Cut`; the
+capacity claims are assertions, not comments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly
+from ..topology.ccc import CubeConnectedCycles
+from .cut import Cut
+
+__all__ = [
+    "column_prefix_cut",
+    "ccc_dimension_cut",
+    "level_split_cut",
+]
+
+
+def column_prefix_cut(bf: Butterfly) -> Cut:
+    """The folklore bisection: ``S`` = all nodes in columns starting with 0.
+
+    Capacity is exactly ``n`` for both ``Bn`` and ``Wn`` (only the cross
+    edges of the first dimension are cut).
+    """
+    msb = 1 << (bf.lg - 1)
+    cols = np.arange(bf.n, dtype=np.int64)
+    side_cols = (cols & msb) == 0
+    side = np.tile(side_cols, bf.num_levels)
+    cut = Cut(bf, side)
+    assert cut.capacity == bf.n, f"column cut of {bf.name} has capacity {cut.capacity}"
+    assert cut.is_bisection()
+    return cut
+
+
+def ccc_dimension_cut(ccc: CubeConnectedCycles) -> Cut:
+    """The ``BW(CCCn) <= n/2`` witness: cut the first cube dimension.
+
+    ``S`` = all nodes of cycles whose label starts with 0; only the ``n/2``
+    cube edges of bit position 1 cross.
+    """
+    msb = 1 << (ccc.lg - 1)
+    cols = np.arange(ccc.n, dtype=np.int64)
+    side_cols = (cols & msb) == 0
+    side = np.tile(side_cols, ccc.lg)
+    cut = Cut(ccc, side)
+    assert cut.capacity == ccc.n // 2, f"dimension cut has capacity {cut.capacity}"
+    assert cut.is_bisection()
+    return cut
+
+
+def level_split_cut(bf: Butterfly, t: int) -> Cut:
+    """The horizontal cut: ``S`` = levels ``0 .. t-1`` of ``Bn``.
+
+    Capacity ``2n`` for any interior split of ``Bn`` (every level pair is
+    joined by ``2n`` edges) — the reason no horizontal cut is ever a good
+    bisection, included for contrast in the experiments.
+    """
+    if bf.wraparound:
+        raise ValueError("level splits are cuts of Bn (Wn wraps around)")
+    if not 1 <= t <= bf.lg:
+        raise ValueError(f"split level {t} out of range [1, {bf.lg}]")
+    side = np.zeros(bf.num_nodes, dtype=bool)
+    for i in range(t):
+        side[bf.level(i)] = True
+    cut = Cut(bf, side)
+    assert cut.capacity == 2 * bf.n
+    return cut

@@ -1,0 +1,153 @@
+"""Cuts, bisections and U-bisections (Sections 1.2 and 2.1).
+
+A *cut* ``(S, S̄)`` is a partition of the nodes; its *capacity* is the number
+of edges with one endpoint on each side.  A *bisection* is a cut with
+``|S| <= ceil(N/2)`` and ``|S̄| <= ceil(N/2)``, and the *bisection width* is
+the minimum capacity over bisections.  Following Section 2.1, a cut
+*bisects a node set U* when ``|A ∩ U|`` and ``|Ā ∩ U|`` differ by at most
+one; the *U-bisection width* ``BW(G, U)`` minimizes capacity over cuts that
+bisect ``U``.
+
+``Cut`` is a thin, immutable view over a boolean side array; all capacity
+work happens vectorized in :meth:`repro.topology.base.Network.cut_capacity`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable
+
+import numpy as np
+
+from ..topology.base import Network
+
+__all__ = ["Cut"]
+
+
+class Cut:
+    """A two-sided node partition of a network.
+
+    Parameters
+    ----------
+    network:
+        The host network.
+    side:
+        Boolean array; ``True`` marks membership in ``S``.
+    """
+
+    def __init__(self, network: Network, side: np.ndarray) -> None:
+        side = np.asarray(side).astype(bool)
+        if side.shape != (network.num_nodes,):
+            raise ValueError(
+                f"side array of shape {side.shape} does not match "
+                f"{network.name} with {network.num_nodes} nodes"
+            )
+        self.network = network
+        self._side = side.copy()
+        self._side.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_node_set(cls, network: Network, members: Iterable[int]) -> "Cut":
+        """Build a cut whose ``S`` side is the given set of node indices."""
+        side = np.zeros(network.num_nodes, dtype=bool)
+        idx = np.fromiter(members, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= network.num_nodes):
+            raise ValueError("node index out of range")
+        side[idx] = True
+        return cls(network, side)
+
+    @classmethod
+    def from_labels(cls, network: Network, labels: Iterable) -> "Cut":
+        """Build a cut whose ``S`` side is the given set of node labels."""
+        return cls.from_node_set(network, (network.index_of(l) for l in labels))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def side(self) -> np.ndarray:
+        """Read-only boolean membership array for ``S``."""
+        return self._side
+
+    @cached_property
+    def s_nodes(self) -> np.ndarray:
+        """Indices of the nodes in ``S``."""
+        return np.flatnonzero(self._side)
+
+    @cached_property
+    def s_size(self) -> int:
+        """``|S|``."""
+        return int(self._side.sum())
+
+    @property
+    def complement_size(self) -> int:
+        """``|S̄|``."""
+        return self.network.num_nodes - self.s_size
+
+    def complement(self) -> "Cut":
+        """The cut ``(S̄, S)``; same capacity, swapped sides."""
+        return Cut(self.network, ~self._side)
+
+    # ------------------------------------------------------------------ #
+    # The quantities of Section 1.2
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def capacity(self) -> int:
+        """``C(S, S̄)``: number of edges crossing the cut."""
+        return self.network.cut_capacity(self._side)
+
+    def cut_edges(self) -> np.ndarray:
+        """The crossing edges as an ``(C, 2)`` index array."""
+        return self.network.cut_edges(self._side)
+
+    def is_bisection(self) -> bool:
+        """Whether the cut is a bisection of the whole node set."""
+        half = (self.network.num_nodes + 1) // 2
+        return self.s_size <= half and self.complement_size <= half
+
+    def count_in(self, node_set: Iterable[int] | np.ndarray) -> int:
+        """``|S ∩ U|`` for a node set ``U`` given by indices."""
+        idx = np.asarray(list(node_set) if not isinstance(node_set, np.ndarray) else node_set,
+                         dtype=np.int64)
+        return int(self._side[idx].sum())
+
+    def bisects(self, node_set: Iterable[int] | np.ndarray) -> bool:
+        """Whether the cut bisects ``U``: ``||S∩U| - |S̄∩U|| <= 1`` (Sec. 2.1)."""
+        idx = np.asarray(list(node_set) if not isinstance(node_set, np.ndarray) else node_set,
+                         dtype=np.int64)
+        inside = int(self._side[idx].sum())
+        return abs(2 * inside - len(idx)) <= 1
+
+    # ------------------------------------------------------------------ #
+    # Local modifications (used by rebalancing and local search)
+    # ------------------------------------------------------------------ #
+    def with_moved(self, nodes: Iterable[int], to_s: bool) -> "Cut":
+        """Return a new cut with ``nodes`` placed on side ``S`` (``to_s``)
+        or ``S̄``."""
+        side = self._side.copy()
+        idx = np.fromiter(nodes, dtype=np.int64)
+        side[idx] = to_s
+        return Cut(self.network, side)
+
+    def move_gains(self) -> np.ndarray:
+        """Capacity change from moving each node to the other side.
+
+        ``gains[v] = (cut edges at v) - (uncut edges at v)``; moving ``v``
+        changes the capacity by ``-gains[v]``.  Vectorized over all nodes.
+        """
+        e = self.network.edges
+        s = self._side
+        crossing = s[e[:, 0]] != s[e[:, 1]]
+        gains = np.zeros(self.network.num_nodes, dtype=np.int64)
+        np.add.at(gains, e[:, 0], np.where(crossing, 1, -1))
+        np.add.at(gains, e[:, 1], np.where(crossing, 1, -1))
+        return gains
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Cut of {self.network.name}: |S|={self.s_size}, "
+            f"|S̄|={self.complement_size}, capacity={self.capacity}>"
+        )

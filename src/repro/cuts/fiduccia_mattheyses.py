@@ -1,0 +1,156 @@
+"""Fiduccia–Mattheyses single-node-move refinement.
+
+A from-scratch FM pass: nodes move one at a time (not in swapped pairs as
+in Kernighan–Lin), each move constrained to keep the partition within the
+bisection balance tolerance.  Gains are kept in bucket lists indexed by gain
+value so the best admissible move is O(1) to find and O(degree) to update —
+the structure that made FM linear-time per pass.
+
+Used as the cheap refinement stage in the solver ablation (DESIGN.md, ABL)
+and by the certified-bound API for upper bounds on mid-size instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import Network
+from .cut import Cut
+
+__all__ = ["fm_refine", "fm_bisection"]
+
+
+class _GainBuckets:
+    """Bucket array over gains in [-max_deg, +max_deg] with a moving max."""
+
+    def __init__(self, gains: np.ndarray, active: np.ndarray, max_deg: int) -> None:
+        self.offset = max_deg
+        self.buckets: list[set[int]] = [set() for _ in range(2 * max_deg + 1)]
+        self.where = np.full(len(gains), -1, dtype=np.int64)
+        self.max_ptr = 0
+        for v in np.flatnonzero(active):
+            self.insert(int(v), int(gains[v]))
+
+    def insert(self, v: int, gain: int) -> None:
+        b = gain + self.offset
+        self.buckets[b].add(v)
+        self.where[v] = b
+        self.max_ptr = max(self.max_ptr, b)
+
+    def remove(self, v: int) -> None:
+        b = int(self.where[v])
+        if b >= 0:
+            self.buckets[b].discard(v)
+            self.where[v] = -1
+
+    def update(self, v: int, gain: int) -> None:
+        if self.where[v] >= 0:
+            self.remove(v)
+            self.insert(v, gain)
+
+    def pop_best(self, admissible) -> int | None:
+        """Pop the best node satisfying the ``admissible`` predicate."""
+        ptr = self.max_ptr
+        while ptr >= 0:
+            bucket = self.buckets[ptr]
+            found = None
+            for v in bucket:
+                if admissible(v):
+                    found = v
+                    break
+            if found is not None:
+                self.remove(found)
+                self.max_ptr = ptr
+                return found
+            ptr -= 1
+        return None
+
+
+def fm_refine(cut: Cut, max_passes: int = 10, balance_slack: int = 0) -> Cut:
+    """Refine a cut with FM passes.
+
+    ``balance_slack`` is the number of nodes each side may deviate from the
+    input's side sizes during a pass (0 preserves exact balance: moves are
+    admissible only while returning toward the input sizes).
+    """
+    net = cut.network
+    n = net.num_nodes
+    adj = [net.neighbors(v) for v in range(n)]
+    max_deg = int(net.degrees.max()) if n else 0
+    side = cut.side.copy()
+    target = int(side.sum())
+
+    for _ in range(max_passes):
+        gains = Cut(net, side).move_gains()
+        active = np.ones(n, dtype=bool)
+        buckets = _GainBuckets(gains, active, max_deg)
+        cur_size = int(side.sum())
+        trail: list[int] = []
+        cum: list[int] = []
+        total = 0
+        work_side = side.copy()
+
+        def admissible(v: int) -> bool:
+            s = cur_size - 1 if work_side[v] else cur_size + 1
+            return abs(s - target) <= max(1, balance_slack)
+
+        while True:
+            v = buckets.pop_best(admissible)
+            if v is None:
+                break
+            total += int(gains[v])
+            trail.append(v)
+            cum.append(total)
+            moved_from_s = bool(work_side[v])
+            work_side[v] = not work_side[v]
+            cur_size += -1 if moved_from_s else 1
+            # Update neighbor gains: an edge to v changes crossing status.
+            for u in adj[v]:
+                if buckets.where[u] < 0:
+                    continue
+                if work_side[u] == work_side[v]:
+                    gains[u] -= 2
+                else:
+                    gains[u] += 2
+                buckets.update(int(u), int(gains[u]))
+
+        if not cum:
+            break
+        # Commit the best positive-gain prefix that restores the original
+        # side sizes (prefixes that end unbalanced are not bisections).
+        best_idx = -1
+        best_gain = 0
+        size = int(side.sum())
+        prefix_sizes = []
+        tmp = side.copy()
+        for v in trail:
+            size += -1 if tmp[v] else 1
+            tmp[v] = not tmp[v]
+            prefix_sizes.append(size)
+        for i in range(len(trail)):
+            if cum[i] > best_gain and prefix_sizes[i] == target:
+                best_gain = cum[i]
+                best_idx = i
+        if best_idx < 0:
+            break
+        for v in trail[: best_idx + 1]:
+            side[v] = not side[v]
+
+    refined = Cut(net, side)
+    assert refined.s_size == cut.s_size
+    return refined if refined.capacity <= cut.capacity else cut
+
+
+def fm_bisection(net: Network, restarts: int = 4, seed: int = 0) -> Cut:
+    """Heuristic bisection: random balanced starts + FM refinement."""
+    rng = np.random.default_rng(seed)
+    n = net.num_nodes
+    best: Cut | None = None
+    for _ in range(max(1, restarts)):
+        side = np.zeros(n, dtype=bool)
+        side[rng.permutation(n)[: n // 2]] = True
+        cut = fm_refine(Cut(net, side), balance_slack=2)
+        if best is None or cut.capacity < best.capacity:
+            best = cut
+    assert best is not None
+    return best

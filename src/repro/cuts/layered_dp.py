@@ -1,0 +1,322 @@
+"""Exact minimum cuts on layered networks via min-plus dynamic programming.
+
+Butterflies, wrapped butterflies, cube-connected cycles, meshes of stars and
+Beneš networks are all *layered*: their nodes partition into layers such
+that every edge joins two consecutive layers (cyclically for ``Wn`` and
+``CCCn``) or lives inside one layer (the cube edges of ``CCCn``).  On such a
+network the minimum-capacity cut with a prescribed number of counted nodes
+on the ``S`` side decomposes over layers: fixing the side assignment (a
+bitmask) of each layer, the capacity is a sum of per-layer and
+per-consecutive-pair terms.  Sweeping the layers with a min-plus recurrence
+over (mask, running count) states yields the exact *cut profile* — and from
+it the exact bisection width, ``U``-bisection widths, and edge-expansion
+values ``EE(G, k)`` for every ``k`` simultaneously.
+
+The state space is ``2^w`` masks per layer (``w`` = layer width), so the
+method is exact up to ``w = 12`` or so; that covers ``B8`` (the Figure 1
+network, 32 nodes — far beyond plain enumeration), ``W8`` and ``CCC8``.
+Per the HPC guides, the recurrence is evaluated as vectorized min-plus
+reductions over precomputed ``uint16`` inter-layer cost tables; Python
+touches only the (layer, count) loop.
+
+For cyclic layerings the first layer's mask is pinned and the sweep closes
+the cycle, iterating over all pins; the profile is the minimum over pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.base import Network
+from .cut import Cut
+
+__all__ = [
+    "LayeredProfile",
+    "layered_cut_profile",
+    "layered_bisection_width",
+    "layered_min_bisection",
+    "layered_u_bisection_width",
+]
+
+_INF = np.int64(1) << 40
+
+
+def _layer_positions(net: Network, layers: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Map node index -> (layer id, bit position within layer)."""
+    layer_id = -np.ones(net.num_nodes, dtype=np.int64)
+    position = -np.ones(net.num_nodes, dtype=np.int64)
+    for l, nodes in enumerate(layers):
+        layer_id[nodes] = l
+        position[nodes] = np.arange(len(nodes))
+    if (layer_id < 0).any():
+        raise ValueError("layers do not cover every node")
+    return layer_id, position
+
+
+def _classify_edges(
+    net: Network, layers: list[np.ndarray], cyclic: bool,
+    layer_id: np.ndarray, position: np.ndarray,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Split edges into intra-layer lists and consecutive-pair lists.
+
+    Returns ``(intra, inter)`` where ``intra[l]`` holds ``(p, q)`` position
+    pairs inside layer ``l`` and ``inter[l]`` holds ``(p, q)`` pairs between
+    layer ``l`` and layer ``l+1`` (mod ``L`` when cyclic).
+    """
+    L = len(layers)
+    intra: list[list[tuple[int, int]]] = [[] for _ in range(L)]
+    inter: list[list[tuple[int, int]]] = [[] for _ in range(L if cyclic else L - 1)]
+    for u, v in net.edges:
+        lu, lv = int(layer_id[u]), int(layer_id[v])
+        pu, pv = int(position[u]), int(position[v])
+        if lu == lv:
+            intra[lu].append((pu, pv))
+        elif (lu + 1) % L == lv and (cyclic or lu + 1 == lv):
+            inter[lu].append((pu, pv))
+        elif (lv + 1) % L == lu and (cyclic or lv + 1 == lu):
+            inter[lv].append((pv, pu))
+        else:
+            raise ValueError(
+                f"edge ({u}, {v}) spans non-consecutive layers {lu}, {lv}; "
+                "network is not layered under the given layering"
+            )
+    intra_arr = [np.asarray(lst, dtype=np.int64).reshape(-1, 2) for lst in intra]
+    inter_arr = [np.asarray(lst, dtype=np.int64).reshape(-1, 2) for lst in inter]
+    return intra_arr, inter_arr
+
+
+def _intra_cost(pairs: np.ndarray, width: int) -> np.ndarray:
+    """``cost[m]`` = intra-layer edges cut by mask ``m``."""
+    masks = np.arange(1 << width, dtype=np.uint32)
+    cost = np.zeros(1 << width, dtype=np.int64)
+    for p, q in pairs:
+        cost += ((masks >> np.uint32(p)) ^ (masks >> np.uint32(q))) & 1
+    return cost
+
+
+def _inter_cost(pairs: np.ndarray, w1: int, w2: int) -> np.ndarray:
+    """``T[m1, m2]`` = edges between the two layers cut by the mask pair."""
+    m1 = np.arange(1 << w1, dtype=np.uint32)
+    m2 = np.arange(1 << w2, dtype=np.uint32)
+    T = np.zeros((1 << w1, 1 << w2), dtype=np.int64)
+    for p, q in pairs:
+        b1 = ((m1 >> np.uint32(p)) & 1).astype(np.int64)
+        b2 = ((m2 >> np.uint32(q)) & 1).astype(np.int64)
+        T += b1[:, None] ^ b2[None, :]
+    return T
+
+
+def _counted_popcounts(
+    counted: np.ndarray, layers: list[np.ndarray],
+    layer_id: np.ndarray, position: np.ndarray,
+) -> list[np.ndarray]:
+    """``cnt[l][m]`` = counted nodes of layer ``l`` on the ``S`` side of ``m``."""
+    out = []
+    counted_mask = np.zeros(len(layer_id), dtype=bool)
+    counted_mask[counted] = True
+    for l, nodes in enumerate(layers):
+        width = len(nodes)
+        sel = np.uint64(0)
+        for node in nodes:
+            if counted_mask[node]:
+                sel |= np.uint64(1) << np.uint64(position[node])
+        masks = np.arange(1 << width, dtype=np.uint64)
+        out.append(np.bitwise_count(masks & sel).astype(np.int64))
+    return out
+
+
+@dataclass(frozen=True)
+class LayeredProfile:
+    """Exact minimum-capacity profile computed by the layered DP.
+
+    ``values[c]`` is the minimum cut capacity over side assignments with
+    exactly ``c`` counted nodes in ``S``; :meth:`witness` reconstructs an
+    optimal cut for any ``c``.
+    """
+
+    network: Network
+    layers: list[np.ndarray]
+    cyclic: bool
+    counted: np.ndarray
+    values: np.ndarray
+    _witness_masks: list[np.ndarray]  # per count: optimal mask per layer, or empty
+
+    def bisection_width(self) -> int:
+        """Minimum capacity over cuts bisecting the counted set."""
+        m = len(self.counted)
+        return int(min(self.values[m // 2], self.values[(m + 1) // 2]))
+
+    def witness(self, c: int) -> Cut:
+        """An optimal cut with exactly ``c`` counted nodes in ``S``."""
+        masks = self._witness_masks[c]
+        if masks.size == 0:
+            raise ValueError(f"no cut realizes count {c}")
+        side = np.zeros(self.network.num_nodes, dtype=bool)
+        for l, nodes in enumerate(self.layers):
+            m = int(masks[l])
+            for pos, node in enumerate(nodes):
+                if (m >> pos) & 1:
+                    side[node] = True
+        cut = Cut(self.network, side)
+        assert cut.capacity == self.values[c], "witness does not match profile"
+        return cut
+
+    def min_bisection(self) -> Cut:
+        """An optimal bisection of the counted set."""
+        m = len(self.counted)
+        lo, hi = m // 2, (m + 1) // 2
+        c = lo if self.values[lo] <= self.values[hi] else hi
+        return self.witness(c)
+
+
+def _sweep(
+    Ts: list[np.ndarray],
+    intras: list[np.ndarray],
+    cnts: list[np.ndarray],
+    C: int,
+    pin_first: int | None,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Run the min-plus sweep; return final state table and per-layer parents.
+
+    ``f[m, c]``: minimum cost of assigning layers ``0..l`` with layer ``l``
+    mask ``m`` and ``c`` counted nodes in ``S`` so far.  ``parents[l][m, c]``
+    stores the argmin mask of layer ``l-1``.
+    """
+    L = len(intras)
+    w0 = len(intras[0])
+    f = np.full((w0, C + 1), _INF, dtype=np.int64)
+    if pin_first is None:
+        idx = np.arange(w0)
+        f[idx, cnts[0]] = intras[0]
+    else:
+        f[pin_first, cnts[0][pin_first]] = intras[0][pin_first]
+    parents: list[np.ndarray] = [np.full((w0, C + 1), -1, dtype=np.int64)]
+    for l in range(1, L):
+        T = Ts[l - 1]
+        wl = len(intras[l])
+        g = np.full((wl, C + 1), _INF, dtype=np.int64)
+        par = np.full((wl, C + 1), -1, dtype=np.int64)
+        cnt_l = cnts[l]
+        for c in range(C + 1):
+            col = f[:, c]
+            if not (col < _INF).any():
+                continue
+            stacked = col[:, None] + T  # (w_{l-1} masks, w_l masks)
+            arg = np.argmin(stacked, axis=0)
+            base = stacked[arg, np.arange(wl)]
+            tgt = c + cnt_l
+            ok = (tgt <= C) & (base < _INF)
+            tm = tgt[ok]
+            vm = base[ok] + intras[l][ok]
+            rows = np.flatnonzero(ok)
+            better = vm < g[rows, tm]
+            g[rows[better], tm[better]] = vm[better]
+            par[rows[better], tm[better]] = arg[ok][better]
+        f = g
+        parents.append(par)
+    return f, parents
+
+
+def layered_cut_profile(
+    net: Network,
+    layers: list[np.ndarray] | None = None,
+    cyclic: bool | None = None,
+    counted: np.ndarray | None = None,
+    max_width: int = 12,
+    with_witnesses: bool = True,
+) -> LayeredProfile:
+    """Exact cut profile of a layered network.
+
+    Parameters
+    ----------
+    net:
+        The network.  When ``layers``/``cyclic`` are omitted the network must
+        provide ``layers()`` and ``cyclic`` itself (butterflies, CCC, MOS and
+        Beneš networks all do).
+    counted:
+        Node indices of the counted set; defaults to all nodes.
+    max_width:
+        Safety bound on the layer width ``w`` (state space is ``2^w``).
+    with_witnesses:
+        Also reconstruct one optimal cut per achievable count.
+    """
+    if layers is None:
+        layers = net.layers()  # type: ignore[attr-defined]
+    if cyclic is None:
+        cyclic = bool(net.cyclic)  # type: ignore[attr-defined]
+    widths = [len(l) for l in layers]
+    if max(widths) > max_width:
+        raise ValueError(
+            f"layer width {max(widths)} exceeds max_width={max_width}; "
+            f"the DP state space 2^{max(widths)} is too large"
+        )
+    if counted is None:
+        counted = np.arange(net.num_nodes, dtype=np.int64)
+    counted = np.asarray(counted, dtype=np.int64)
+    C = len(counted)
+    L = len(layers)
+
+    layer_id, position = _layer_positions(net, layers)
+    intra_pairs, inter_pairs = _classify_edges(net, layers, cyclic, layer_id, position)
+    intras = [_intra_cost(p, w) for p, w in zip(intra_pairs, widths)]
+    Ts = [
+        _inter_cost(inter_pairs[l], widths[l], widths[(l + 1) % L])
+        for l in range(len(inter_pairs))
+    ]
+    cnts = _counted_popcounts(counted, layers, layer_id, position)
+
+    best = np.full(C + 1, _INF, dtype=np.int64)
+    witness_masks: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(C + 1)]
+
+    def _extract(f: np.ndarray, parents: list[np.ndarray], closure: np.ndarray | None,
+                 pin: int | None) -> None:
+        """Fold a finished sweep into the profile (and witnesses)."""
+        total = f if closure is None else f + closure[:, None]
+        for c in range(C + 1):
+            col = total[:, c]
+            m = int(np.argmin(col))
+            if col[m] >= best[c]:
+                continue
+            best[c] = col[m]
+            if with_witnesses:
+                masks = np.zeros(L, dtype=np.int64)
+                cc, mm = c, m
+                for l in range(L - 1, 0, -1):
+                    masks[l] = mm
+                    prev = int(parents[l][mm, cc])
+                    cc -= int(cnts[l][mm])
+                    mm = prev
+                masks[0] = mm
+                witness_masks[c] = masks
+
+    if not cyclic:
+        f, parents = _sweep(Ts, intras, cnts, C, pin_first=None)
+        _extract(f, parents, None, None)
+    else:
+        for pin in range(1 << widths[0]):
+            f, parents = _sweep(Ts, intras, cnts, C, pin_first=pin)
+            closure = Ts[-1][:, pin] if L > 1 else None
+            _extract(f, parents, closure, pin)
+
+    values = best.copy()
+    return LayeredProfile(net, layers, cyclic, counted, values, witness_masks)
+
+
+def layered_bisection_width(net: Network, **kwargs) -> int:
+    """Exact ``BW(G)`` of a layered network."""
+    return layered_cut_profile(net, with_witnesses=False, **kwargs).bisection_width()
+
+
+def layered_min_bisection(net: Network, **kwargs) -> Cut:
+    """An exact minimum bisection of a layered network."""
+    return layered_cut_profile(net, **kwargs).min_bisection()
+
+
+def layered_u_bisection_width(net: Network, u_set: np.ndarray, **kwargs) -> int:
+    """Exact ``BW(G, U)``: minimum capacity over cuts bisecting ``U``."""
+    prof = layered_cut_profile(
+        net, counted=np.asarray(u_set, dtype=np.int64), with_witnesses=False, **kwargs
+    )
+    return prof.bisection_width()

@@ -1,0 +1,46 @@
+"""Embeddings and embedding-based lower bounds (Section 1.4 machinery).
+
+Every embedding the paper invokes is constructed with explicit paths and
+verified: ``Bn`` into the mesh of stars (Lemma 2.11), big butterflies into
+small ones (Lemma 2.10), ``K_{n,n}`` along monotonic paths (Lemma 3.1),
+``K_N`` into ``Wn`` (Theorem 4.3), ``2K_N`` into ``Bn`` (the ``n/2``
+folklore lower bound), ``Wn`` into ``CCCn`` (Lemma 3.3), and the Beneš
+network into ``Bn`` (Lemma 2.5).
+"""
+
+from .embedding import Embedding
+from .butterfly_into_mos import butterfly_into_mos, mos_fiber_map
+from .butterfly_into_butterfly import butterfly_into_butterfly, level_squeeze_map
+from .complete_bipartite import complete_bipartite_into_butterfly, io_cut_lower_bound
+from .complete_into_wrapped import complete_into_wrapped
+from .doubled_complete import doubled_complete_into_butterfly
+from .wrapped_into_ccc import wrapped_into_ccc
+from .benes_into_butterfly import benes_into_butterfly, io_partition
+from .butterfly_into_hypercube import butterfly_into_hypercube, gray_code
+from .lower_bounds import (
+    bisection_lower_bound,
+    edge_expansion_lower_bound,
+    node_expansion_lower_bound,
+    doubled_complete_bisection_bound,
+)
+
+__all__ = [
+    "Embedding",
+    "butterfly_into_mos",
+    "mos_fiber_map",
+    "butterfly_into_butterfly",
+    "level_squeeze_map",
+    "complete_bipartite_into_butterfly",
+    "io_cut_lower_bound",
+    "complete_into_wrapped",
+    "doubled_complete_into_butterfly",
+    "wrapped_into_ccc",
+    "benes_into_butterfly",
+    "io_partition",
+    "butterfly_into_hypercube",
+    "gray_code",
+    "bisection_lower_bound",
+    "edge_expansion_lower_bound",
+    "node_expansion_lower_bound",
+    "doubled_complete_bisection_bound",
+]

@@ -1,0 +1,92 @@
+"""Lemma 2.5: a Beneš network embedded in ``Bn`` with load 1, congestion 1
+and dilation 3, with its inputs and outputs on level 0.
+
+The construction (verified edge by edge by the tests):
+
+* the *forward* half of the ``(log n - 1)``-dimensional Beneš network —
+  levels ``0 .. m`` with ``m = log n - 1`` — maps level-by-level onto the
+  even-column component of ``Bn[0, log n - 1]`` (Beneš column ``w`` to
+  butterfly column ``2w``);
+* the *backward* half — levels ``m+1 .. 2m`` — maps reversed onto the
+  odd-column component (Beneš ``<u, l>`` to butterfly ``<2u + 1, 2m - l>``),
+  so the Beneš outputs land back on level 0;
+* each *junction* edge out of the shared middle level dilates to a length-3
+  path through level ``log n``:
+  ``<2w, m> -> <2w(+1), m+1> -> <2w+1, m> -> <2u+1, m-1>``, the straight
+  junction using the straight-then-cross descent and the cross junction the
+  cross-then-straight one, so the four paths at each middle node are
+  pairwise edge-disjoint and overall congestion stays 1.
+
+This yields Lemma 2.5's partition of ``L_0`` into ``I`` (even columns) and
+``O`` (odd columns), each of size ``n/2``: giving each ``I`` node two input
+ports and each ``O`` node two output ports makes ``Bn`` *rearrangeable*
+(any port permutation routes along edge-disjoint paths — demonstrated by
+pushing the looping-algorithm routes of
+:mod:`repro.routing.benes_routing` through this embedding).  Lemma 2.8's
+compactness of the non-input levels rests on exactly this structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.benes import Benes, benes
+from ..topology.butterfly import Butterfly, butterfly
+from .embedding import Embedding
+
+__all__ = ["benes_into_butterfly", "io_partition"]
+
+
+def io_partition(bf: Butterfly) -> tuple[np.ndarray, np.ndarray]:
+    """Lemma 2.5's partition of ``L_0`` into ``I`` and ``O`` (each ``n/2``).
+
+    ``I`` = inputs in even columns, ``O`` = inputs in odd columns, matching
+    the embedding below.
+    """
+    inputs = bf.inputs()
+    cols = bf.column_of(inputs)
+    return inputs[cols % 2 == 0], inputs[cols % 2 == 1]
+
+
+def benes_into_butterfly(n: int) -> tuple[Embedding, Benes, Butterfly]:
+    """Construct and verify the Lemma 2.5 embedding.
+
+    Returns ``(embedding, guest Beneš of dimension log n - 1, host Bn)``.
+    """
+    host = butterfly(n)
+    m = host.lg - 1
+    guest = benes(m)
+    gn = guest.n  # 2^m = n/2
+
+    node_map = np.empty(guest.num_nodes, dtype=np.int64)
+    for l in range(m + 1):            # forward half, even columns
+        for w in range(gn):
+            node_map[guest.node(w, l)] = host.node(2 * w, l)
+    for l in range(m + 1, 2 * m + 1):  # backward half, odd columns, reversed
+        for u in range(gn):
+            node_map[guest.node(u, l)] = host.node(2 * u + 1, 2 * m - l)
+
+    paths = []
+    for gu, gv in guest.edges:
+        lu, lv = int(gu) // gn, int(gv) // gn
+        lo_node, hi_node = (gu, gv) if lu < lv else (gv, gu)
+        lo = min(lu, lv)
+        hu, hv = int(node_map[lo_node]), int(node_map[hi_node])
+        if lo != m:
+            # Within one half: host images are adjacent (dilation 1).
+            paths.append(np.array([hu, hv], dtype=np.int64))
+            continue
+        # Junction edge <w, m> -> <u, m+1>, u = w or w ^ 1 (Beneš LSB).
+        w = int(lo_node) % gn
+        u = int(hi_node) % gn
+        a = host.node(2 * w, m)
+        d = host.node(2 * u + 1, m - 1)
+        if u == w:
+            b = host.node(2 * w, m + 1)       # straight descent...
+            c = host.node(2 * w + 1, m)       # ...cross ascent
+        else:
+            b = host.node(2 * w + 1, m + 1)   # cross descent...
+            c = host.node(2 * w + 1, m)       # ...straight ascent
+        paths.append(np.array([a, b, c, d], dtype=np.int64))
+    emb = Embedding(guest, host, node_map, paths)
+    return emb, guest, host

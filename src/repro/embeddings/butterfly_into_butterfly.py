@@ -1,0 +1,65 @@
+"""Lemma 2.10: embedding the big butterfly ``B_{n 2^j}`` into ``Bn``.
+
+For ``0 <= i <= log n`` and ``j >= 0``, the lemma gives an embedding of
+``B_k`` (``k = n 2^j``) into ``Bn`` with
+
+1. dilation 1,
+2. congestion exactly ``2^j`` on every host edge,
+3. levels ``0 .. i-1`` mapped level-by-level with uniform node load ``2^j``,
+4. levels ``i+j+1 .. log k`` mapped onto levels ``i+1 .. log n`` with
+   uniform load ``2^j``,
+5. levels ``i .. i+j`` all collapsed onto host level ``i`` (load
+   ``(j+1) 2^j`` there).
+
+Column ``w`` of ``B_k`` maps to the host column keeping its first ``i`` and
+last ``log n - i`` bits (the middle ``j`` bits are squeezed out).  This is
+the amplification device of Lemma 2.12(2): a cut of ``Bn`` bisecting level
+``i`` pulls back to a cut of ``B_{n^2}`` bisecting its middle level with
+capacity scaled by exactly the congestion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly, butterfly
+from ..topology.labels import ilog2
+from .embedding import Embedding
+
+__all__ = ["butterfly_into_butterfly", "level_squeeze_map"]
+
+
+def level_squeeze_map(big: Butterfly, host: Butterfly, i: int) -> np.ndarray:
+    """Host node of every ``B_k`` node under the Lemma 2.10 map."""
+    if big.wraparound or host.wraparound:
+        raise ValueError("Lemma 2.10 concerns butterflies without wraparound")
+    lg_k, lg_n = big.lg, host.lg
+    j = lg_k - lg_n
+    if j < 0 or not 0 <= i <= lg_n:
+        raise ValueError("need dim(big) >= dim(host) and 0 <= i <= log n")
+    idx = np.arange(big.num_nodes, dtype=np.int64)
+    levels = idx // big.n
+    cols = idx % big.n
+    # Keep the first i and the last log n - i bits of the guest column.
+    first = cols >> (lg_k - i) if i else np.zeros_like(cols)
+    last = cols & ((1 << (lg_n - i)) - 1) if lg_n - i else np.zeros_like(cols)
+    host_col = (first << (lg_n - i)) | last
+    host_level = np.where(levels < i, levels, np.where(levels <= i + j, i, levels - j))
+    return host_level * host.n + host_col
+
+
+def butterfly_into_butterfly(n: int, j: int, i: int) -> tuple[Embedding, Butterfly, Butterfly]:
+    """Construct the Lemma 2.10 embedding of ``B_{n 2^j}`` into ``Bn``.
+
+    Returns ``(embedding, big, host)``; dilation 1 means every guest edge
+    maps to a single host edge or collapses inside a fiber.
+    """
+    host = butterfly(n)
+    big = butterfly(n << j)
+    nm = level_squeeze_map(big, host, i)
+    paths = []
+    for u, v in big.edges:
+        hu, hv = int(nm[u]), int(nm[v])
+        paths.append(np.array([hu] if hu == hv else [hu, hv], dtype=np.int64))
+    emb = Embedding(big, host, nm, paths)
+    return emb, big, host

@@ -1,0 +1,84 @@
+"""Lemma 2.11: embedding ``Bn`` into the mesh of stars ``MOS_{j,k}``.
+
+The embedding is the quotient by sub-butterfly components: the first
+``log k`` levels collapse onto ``M1``, the last ``log j`` levels onto
+``M3``, and each component of ``Bn[log k, log n - log j]`` onto its own
+``M2`` node.  The lemma's properties, all verified by tests:
+
+1. dilation 1 (we also allow length-0 paths inside a fiber);
+2. congestion of every MOS edge exactly ``2n/jk``;
+3. ``M1`` load uniform ``(n/j) log k``;
+4. ``M3`` load uniform ``(n/k) log j``;
+5. ``M2`` load uniform ``(n/jk)(log(n/jk) + 1)``.
+
+For the bisection construction we use the square case ``k = j`` (see
+:func:`repro.cuts.butterfly_bisection.mos_quotient_map`, which computes the
+same fiber map arithmetically); this module produces the full
+:class:`~repro.embeddings.embedding.Embedding` object with explicit paths
+for general ``j, k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly
+from ..topology.labels import ilog2, is_power_of_two
+from ..topology.mesh_of_stars import MeshOfStars, mesh_of_stars
+from .embedding import Embedding
+
+__all__ = ["butterfly_into_mos", "mos_fiber_map"]
+
+
+def mos_fiber_map(bf: Butterfly, j: int, k: int) -> np.ndarray:
+    """Host (MOS) node of every ``Bn`` node under the Lemma 2.11 quotient.
+
+    Node ``<w, l>`` maps to
+
+    * ``M1[s]`` with ``s`` = last ``log j`` bits of ``w`` when ``l < log k``
+      (``M1`` fibers are the components of ``Bn[0, log n - log j]``, which
+      fix exactly those bits, restricted to their first ``log k`` levels);
+    * ``M3[p]`` with ``p`` = first ``log k`` bits of ``w`` when
+      ``l > log n - log j``;
+    * ``M2[(s, p)]`` otherwise (the component of ``Bn[log k, log n - log j]``
+      fixing both bit groups).
+
+    Index conventions match :class:`~repro.topology.mesh_of_stars.MeshOfStars`
+    with ``|M1| = j`` and ``|M3| = k``.
+    """
+    if bf.wraparound:
+        raise ValueError("Lemma 2.11 embeds Bn")
+    if not (is_power_of_two(j) and is_power_of_two(k)):
+        raise ValueError("j and k must be powers of two")
+    lg, n = bf.lg, bf.n
+    lgj, lgk = ilog2(j), ilog2(k)
+    if j * k > n or lgk > lg - lgj:
+        raise ValueError(f"need jk <= n (jk dividing n), got j={j}, k={k}, n={n}")
+    idx = np.arange(bf.num_nodes, dtype=np.int64)
+    levels = idx // n
+    cols = idx % n
+    # Components of Bn[0, log n - log j] fix the last log j bits: M1, j fibers.
+    suffix = cols & (j - 1)
+    # Components of Bn[log k, log n] fix the first log k bits: M3, k fibers.
+    prefix = cols >> (lg - lgk)
+    # Middle components fix both: M2 fiber (suffix, prefix), j*k fibers.
+    return np.where(
+        levels < lgk,
+        suffix,
+        np.where(levels > lg - lgj, j + j * k + prefix, j + suffix * k + prefix),
+    )
+
+
+def butterfly_into_mos(bf: Butterfly, j: int, k: int) -> tuple[Embedding, MeshOfStars]:
+    """Construct the Lemma 2.11 embedding with explicit paths.
+
+    Returns the verified embedding and the host mesh of stars.
+    """
+    fiber = mos_fiber_map(bf, j, k)
+    mos = mesh_of_stars(j, k)
+    paths = []
+    for u, v in bf.edges:
+        fu, fv = int(fiber[u]), int(fiber[v])
+        paths.append(np.array([fu] if fu == fv else [fu, fv], dtype=np.int64))
+    emb = Embedding(bf, mos, fiber, paths)
+    return emb, mos

@@ -1,0 +1,62 @@
+"""Theorem 4.3's embedding of ``K_N`` into ``Wn`` (the "not-too-elegant" one).
+
+Each node of ``K_N`` maps to a distinct node of ``Wn`` (load 1).  The path
+for an edge from ``u`` to ``v`` (``u`` of smaller label) has three phases:
+
+1. travel *up* ``u``'s column (decreasing levels) to level 0;
+2. travel monotonically for exactly ``log n`` levels (increasing, around
+   the wrap) while greedily fixing the column bits to ``v``'s column —
+   ending on level 0 again;
+3. travel *down* (decreasing levels, through the wrap edge) to ``v``.
+
+The paper shows the congestion is ``O(N log n)``; we *measure* it from the
+explicit path set and feed the measured value into the Section 1.4 lower
+bounds ``EE(Wn, k) >= k N / 2c`` for ``n^ε < k <= N/2``.  As the paper
+notes, the paths are not necessarily simple and nothing about them is
+symmetric — only the counting matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly, wrapped_butterfly
+from ..topology.complete import complete_graph
+from ..routing.paths import monotonic_path_wrapped
+from .embedding import Embedding
+
+__all__ = ["complete_into_wrapped"]
+
+
+def _three_phase_path(host: Butterfly, u: int, v: int) -> np.ndarray:
+    lg, n = host.lg, host.n
+    wu, iu = u % n, u // n
+    wv, iv = v % n, v // n
+    # Phase 1: strictly decreasing levels i, i-1, ..., 0 (no wrap needed).
+    up = np.array([host.node(wu, iu - t) for t in range(iu + 1)], dtype=np.int64)
+    # Phase 2: log n increasing steps around the wrap, greedy bit fixing.
+    mid = monotonic_path_wrapped(host, wu, 0, wv)
+    # Phase 3: strictly decreasing from level 0 through the wrap edge to v.
+    if iv:
+        down = np.array(
+            [host.node(wv, (-t) % lg) for t in range(lg - iv + 1)], dtype=np.int64
+        )
+    else:
+        down = np.array([host.node(wv, 0)], dtype=np.int64)
+    parts = [up, mid[1:], down[1:]]
+    return np.concatenate([p for p in parts if len(p)])
+
+
+def complete_into_wrapped(n: int) -> tuple[Embedding, Butterfly]:
+    """Construct and verify the Theorem 4.3 embedding of ``K_N`` into ``Wn``.
+
+    The identity map is used for node placement (any one-to-one map works).
+    Returns the verified embedding and the host.
+    """
+    host = wrapped_butterfly(n)
+    guest = complete_graph(host.num_nodes)
+    node_map = np.arange(host.num_nodes, dtype=np.int64)
+    paths = [
+        _three_phase_path(host, int(u), int(v)) for u, v in guest.edges
+    ]
+    return Embedding(guest, host, node_map, paths), host

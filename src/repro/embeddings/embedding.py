@@ -1,0 +1,152 @@
+"""Graph embeddings with measured load, congestion and dilation (Section 1.4).
+
+An embedding of a guest network ``G`` into a host ``H`` maps nodes of ``G``
+to nodes of ``H`` and edges of ``G`` to paths in ``H``.  Its *load* is the
+maximum number of guest nodes on one host node, its *congestion* the maximum
+number of paths through one host edge, and its *dilation* the length of the
+longest path.  The paper's lower bounds all flow through embeddings
+(Section 1.4, Lemma 3.1, Lemma 3.3, Theorem 4.3), so this class measures
+those three quantities *from the explicit path set* — nothing is taken on
+faith — and :meth:`verify` checks that every path is a real host walk with
+the right endpoints.
+
+Paths are stored as host-node index sequences aligned with
+``guest.edges``; a length-0 path (single node) is allowed when both
+endpoints of a guest edge map to the same host node (quotient embeddings
+such as Lemma 2.11's have these).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..topology.base import Network
+
+__all__ = ["Embedding"]
+
+
+class Embedding:
+    """An explicit embedding of ``guest`` into ``host``.
+
+    Parameters
+    ----------
+    guest, host:
+        The two networks.
+    node_map:
+        Integer array of length ``guest.num_nodes``: host index of each
+        guest node.
+    paths:
+        One host-node index sequence per guest edge, in ``guest.edges``
+        order.  ``paths[e]`` must start at the host image of one endpoint of
+        guest edge ``e`` and end at the image of the other.
+    """
+
+    def __init__(
+        self,
+        guest: Network,
+        host: Network,
+        node_map: np.ndarray,
+        paths: list[np.ndarray],
+    ) -> None:
+        self.guest = guest
+        self.host = host
+        self.node_map = np.asarray(node_map, dtype=np.int64)
+        if self.node_map.shape != (guest.num_nodes,):
+            raise ValueError("node_map has wrong shape")
+        if len(paths) != guest.num_edges:
+            raise ValueError(
+                f"expected one path per guest edge ({guest.num_edges}), got {len(paths)}"
+            )
+        self.paths = [np.asarray(p, dtype=np.int64) for p in paths]
+
+    # ------------------------------------------------------------------ #
+    # The three parameters of Section 1.4
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def load(self) -> int:
+        """Maximum number of guest nodes mapped to any one host node."""
+        return int(np.bincount(self.node_map, minlength=self.host.num_nodes).max())
+
+    @cached_property
+    def load_per_host_node(self) -> np.ndarray:
+        """Guest-node count per host node."""
+        return np.bincount(self.node_map, minlength=self.host.num_nodes)
+
+    @cached_property
+    def dilation(self) -> int:
+        """Length (in edges) of the longest path."""
+        return max((len(p) - 1 for p in self.paths), default=0)
+
+    @cached_property
+    def _step_pairs(self) -> np.ndarray:
+        """All path steps as canonical host (u, v) pairs, concatenated."""
+        chunks = []
+        for p in self.paths:
+            if len(p) >= 2:
+                u, v = p[:-1], p[1:]
+                chunks.append(np.column_stack([np.minimum(u, v), np.maximum(u, v)]))
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(chunks, axis=0)
+
+    @cached_property
+    def congestion(self) -> int:
+        """Maximum number of path traversals assigned to any one host edge.
+
+        When the host has parallel edges, traversals of a node pair spread
+        across its copies, so the per-edge congestion is the ceiling of the
+        pair count over the multiplicity (only ``W4`` and ``CCC4`` class
+        hosts are affected).
+        """
+        cong = self.edge_congestions()
+        return max(cong.values(), default=0)
+
+    def edge_congestions(self) -> dict[tuple[int, int], int]:
+        """Traversal count per host edge (pair counts split over parallel
+        copies, rounded up)."""
+        steps = self._step_pairs
+        keys, counts = np.unique(steps, axis=0, return_counts=True)
+        mult = self.host.edge_multiset
+        out = {}
+        for (u, v), c in zip(keys, counts):
+            key = (int(u), int(v))
+            out[key] = -(-int(c) // mult.get(key, 1))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+    def verify(self) -> None:
+        """Check the embedding is well formed; raise ``AssertionError`` if not.
+
+        Every path must be a walk along host edges connecting the images of
+        its guest edge's endpoints, and every traversed pair must actually
+        be a host edge.
+        """
+        for (gu, gv), path in zip(self.guest.edges, self.paths):
+            hu, hv = self.node_map[gu], self.node_map[gv]
+            assert len(path) >= 1, "empty path"
+            ends = {int(path[0]), int(path[-1])}
+            assert ends == {int(hu), int(hv)} or (
+                hu == hv and ends == {int(hu)}
+            ), f"path endpoints {ends} do not match images ({hu}, {hv})"
+            for a, b in zip(path[:-1], path[1:]):
+                assert self.host.has_edge(int(a), int(b)), (
+                    f"path step ({a}, {b}) is not a host edge"
+                )
+
+    def summary(self) -> dict[str, int]:
+        """Load / congestion / dilation in one dictionary."""
+        return {
+            "load": self.load,
+            "congestion": self.congestion,
+            "dilation": self.dilation,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Embedding {self.guest.name} -> {self.host.name}: "
+            f"load={self.load}, congestion={self.congestion}, dilation={self.dilation}>"
+        )

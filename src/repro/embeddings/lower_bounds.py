@@ -1,0 +1,67 @@
+"""Embedding-based lower bounds (Section 1.4).
+
+Given an embedding of a guest ``G`` into a host ``H`` with load 1 and
+congestion ``c``:
+
+* any bisection of ``H`` pulls back to a bisection of ``G`` whose capacity
+  is at most ``c`` times larger, so ``BW(H) >= BW(G) / c``;
+* any ``k``-set of ``H`` pulls back to a ``k``-set of ``G``, so
+  ``EE(H, k) >= EE(G, k) / c``;
+* because hosts here have bounded degree ``d``, node expansion inherits
+  ``NE(H, k) >= EE(H, k) / d``.
+
+All bounds use the *measured* congestion of the explicit embedding (never
+the claimed constant), so every returned number is certified by
+construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..topology.complete import complete_bisection_width, complete_edge_expansion
+from .embedding import Embedding
+
+__all__ = [
+    "bisection_lower_bound",
+    "edge_expansion_lower_bound",
+    "node_expansion_lower_bound",
+    "doubled_complete_bisection_bound",
+]
+
+
+def bisection_lower_bound(emb: Embedding, guest_bisection_width: int) -> int:
+    """``BW(host) >= ceil(BW(guest) / congestion)`` (load-1 embeddings)."""
+    if emb.load != 1:
+        raise ValueError("the bisection pullback argument needs load 1")
+    c = emb.congestion
+    return math.ceil(guest_bisection_width / c)
+
+
+def edge_expansion_lower_bound(emb: Embedding, k: int, guest_ee: int | None = None) -> int:
+    """``EE(host, k) >= ceil(EE(guest, k) / congestion)``.
+
+    When ``guest_ee`` is omitted the guest is assumed complete (``K_N`` or
+    ``2K_N``) and the closed form ``k (N - k)`` (doubled if the guest has
+    parallel edges) is used.
+    """
+    if emb.load != 1:
+        raise ValueError("the expansion pullback argument needs load 1")
+    if guest_ee is None:
+        N = emb.guest.num_nodes
+        doubled = not emb.guest.is_simple
+        guest_ee = complete_edge_expansion(N, k, doubled=doubled)
+    return math.ceil(guest_ee / emb.congestion)
+
+
+def node_expansion_lower_bound(emb: Embedding, k: int, guest_ee: int | None = None) -> int:
+    """``NE(host, k) >= EE(host, k) / max_degree`` for bounded-degree hosts."""
+    d = int(emb.host.degrees.max())
+    return math.ceil(edge_expansion_lower_bound(emb, k, guest_ee) / d)
+
+
+def doubled_complete_bisection_bound(emb: Embedding) -> int:
+    """The Section 1.4 bound ``BW(Bn) >= BW(2K_N) / c`` from a ``2K_N``
+    embedding (``BW(2K_N) = 2 floor(N/2) ceil(N/2)``)."""
+    N = emb.guest.num_nodes
+    return bisection_lower_bound(emb, complete_bisection_width(N, doubled=True))

@@ -1,0 +1,83 @@
+"""Edge and node expansion: exact values, credit-scheme lower bounds, and
+the Section 4 witness constructions.
+"""
+
+from .functions import (
+    edge_expansion_profile,
+    edge_expansion,
+    node_expansion_exact,
+    node_expansion_profile,
+    node_expansion_search,
+    node_expansion_of_set,
+    edge_expansion_of_set,
+)
+from .credit import (
+    CreditReport,
+    edge_credit_report,
+    node_credit_report,
+    single_source_edge_credit,
+)
+from .constructions import (
+    sub_butterfly_set,
+    wn_edge_witness,
+    wn_node_witness,
+    bn_edge_witness,
+    bn_node_witness,
+)
+from .snir import (
+    omega_network,
+    omega_expansion_of_set,
+    omega_expansion_profile,
+    snir_inequality_holds,
+)
+from .hong_kung import (
+    min_dominator_size,
+    hong_kung_inequality_holds,
+    check_hong_kung,
+)
+from .bounds import (
+    ee_wn_lower,
+    ne_wn_lower,
+    ee_bn_lower,
+    ne_bn_lower,
+    ee_wn_upper_coeff,
+    ne_wn_upper_coeff,
+    ee_bn_upper_coeff,
+    ne_bn_upper_coeff,
+    k_over_log_k,
+)
+
+__all__ = [
+    "edge_expansion_profile",
+    "edge_expansion",
+    "node_expansion_exact",
+    "node_expansion_profile",
+    "node_expansion_search",
+    "node_expansion_of_set",
+    "edge_expansion_of_set",
+    "CreditReport",
+    "edge_credit_report",
+    "node_credit_report",
+    "single_source_edge_credit",
+    "sub_butterfly_set",
+    "wn_edge_witness",
+    "wn_node_witness",
+    "bn_edge_witness",
+    "bn_node_witness",
+    "omega_network",
+    "omega_expansion_of_set",
+    "omega_expansion_profile",
+    "snir_inequality_holds",
+    "min_dominator_size",
+    "hong_kung_inequality_holds",
+    "check_hong_kung",
+    "ee_wn_lower",
+    "ne_wn_lower",
+    "ee_bn_lower",
+    "ne_bn_lower",
+    "ee_wn_upper_coeff",
+    "ne_wn_upper_coeff",
+    "ee_bn_upper_coeff",
+    "ne_bn_upper_coeff",
+    "k_over_log_k",
+]

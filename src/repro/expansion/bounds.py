@@ -1,0 +1,102 @@
+"""Closed-form bound curves for the Section 4.3 summary tables.
+
+The paper's tables (reproduced by ``benchmarks/bench_table43_lower.py`` and
+``bench_table43_upper.py``):
+
+Lower bounds
+    ============  =======================  ==============
+    function      small-``k`` regime        ``k <= N/2``
+    ============  =======================  ==============
+    ``EE(Wn,k)``  ``(4-o(1)) k/log k``      ``Ω(k/log k)``
+    ``NE(Wn,k)``  ``(1-o(1)) k/log k``      ``Ω(k/log k)``
+    ``EE(Bn,k)``  ``(2-o(1)) k/log k``      ``Ω(k/log k)``
+    ``NE(Bn,k)``  ``(1/2-o(1)) k/log k``    ``Ω(k/log k)``
+    ============  =======================  ==============
+
+Upper bounds (``k <= N``): ``(4+o(1))``, ``(3+o(1))``, ``(2+o(1))``,
+``(1+o(1))`` times ``k / log k`` respectively.
+
+The *finite-`k`* forms returned here keep every low-order term of the
+proofs, so they are true inequalities at every size, not just
+asymptotically:
+
+* credit leak factors ``(1 - k/n)`` (``Wn``) and ``(1 - k/sqrt(n))``
+  (``Bn``);
+* per-target caps ``(⌊log k⌋+1)/4``, ``⌊log k⌋``, ``(⌊log k⌋+1)/2``,
+  ``2⌊log k⌋``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ee_wn_lower",
+    "ne_wn_lower",
+    "ee_bn_lower",
+    "ne_bn_lower",
+    "ee_wn_upper_coeff",
+    "ne_wn_upper_coeff",
+    "ee_bn_upper_coeff",
+    "ne_bn_upper_coeff",
+    "k_over_log_k",
+]
+
+
+def k_over_log_k(k: int) -> float:
+    """The reference curve ``k / log2 k`` (``k`` for ``k <= 2``)."""
+    return float(k) if k <= 2 else k / math.log2(k)
+
+
+def _floor_log2(k: int) -> int:
+    return k.bit_length() - 1 if k >= 1 else 0
+
+
+def ee_wn_lower(k: int, n: int) -> float:
+    """Lemma 4.2's finite form: ``EE(Wn, k) >= k(1 - k/n) * 4/(⌊log k⌋+1)``."""
+    if k < 1:
+        return 0.0
+    return k * max(0.0, 1.0 - k / n) * 4.0 / (_floor_log2(k) + 1)
+
+
+def ne_wn_lower(k: int, n: int) -> float:
+    """Lemma 4.5's finite form: ``NE(Wn, k) >= k(1 - k/n) / max(⌊log k⌋, 1)``."""
+    if k < 1:
+        return 0.0
+    return k * max(0.0, 1.0 - k / n) / max(_floor_log2(k), 1)
+
+
+def ee_bn_lower(k: int, n: int) -> float:
+    """Lemma 4.8's finite form:
+    ``EE(Bn, k) >= k(1 - k/sqrt(n)) * 2/(⌊log k⌋+1)``."""
+    if k < 1:
+        return 0.0
+    return k * max(0.0, 1.0 - k / math.sqrt(n)) * 2.0 / (_floor_log2(k) + 1)
+
+
+def ne_bn_lower(k: int, n: int) -> float:
+    """Lemma 4.11's finite form:
+    ``NE(Bn, k) >= k(1 - k/sqrt(n)) / max(2⌊log k⌋, 1)``."""
+    if k < 1:
+        return 0.0
+    return k * max(0.0, 1.0 - k / math.sqrt(n)) / max(2 * _floor_log2(k), 1)
+
+
+def ee_wn_upper_coeff() -> float:
+    """Upper-bound coefficient of ``k/log k`` for ``EE(Wn, k)`` (Lemma 4.1)."""
+    return 4.0
+
+
+def ne_wn_upper_coeff() -> float:
+    """Upper-bound coefficient for ``NE(Wn, k)`` (Lemma 4.4)."""
+    return 3.0
+
+
+def ee_bn_upper_coeff() -> float:
+    """Upper-bound coefficient for ``EE(Bn, k)`` (Lemma 4.7)."""
+    return 2.0
+
+
+def ne_bn_upper_coeff() -> float:
+    """Upper-bound coefficient for ``NE(Bn, k)`` (Lemma 4.10)."""
+    return 1.0

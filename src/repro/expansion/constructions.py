@@ -1,0 +1,128 @@
+"""Witness sets achieving the Section 4 upper bounds.
+
+=============  ==========================================  ===================
+Lemma          witness                                      value
+=============  ==========================================  ===================
+4.1  (Wn)      a ``d``-dimensional sub-butterfly            ``EE = 4 * 2^d``
+4.4  (Wn)      twin ``d``-dim sub-butterflies inside a      ``NE = 3 * 2^d + 2^{d+1}``
+               ``(d+1)``-dim one                            (``= (3+o(1))k/log k``)
+4.7  (Bn)      a sub-butterfly anchored at the inputs       ``EE = 2 * 2^d``
+4.10 (Bn)      twin sub-butterflies anchored at the         ``NE = 2^{d+1}``
+               outputs                                      (``= (1+o(1))k/log k``)
+=============  ==========================================  ===================
+
+with ``k = (d+1) 2^d`` nodes (``k = 2 (d+1) 2^d`` for the twins).  Each
+constructor returns the explicit node set; the measured expansion values
+are asserted, so a successful return certifies the upper bound.
+
+A ``d``-dimensional sub-butterfly here spans ``d+1`` consecutive levels
+with all non-window column bits pinned to zero (any pinning works, by
+Lemma 2.2's symmetry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly
+
+__all__ = [
+    "sub_butterfly_set",
+    "wn_edge_witness",
+    "wn_node_witness",
+    "bn_edge_witness",
+    "bn_node_witness",
+]
+
+
+def sub_butterfly_set(bf: Butterfly, d: int, start_level: int = 0) -> np.ndarray:
+    """Nodes of a ``d``-dimensional sub-butterfly of ``bf``.
+
+    Levels ``start_level .. start_level + d`` (mod ``log n`` for ``Wn``),
+    columns whose bits outside window ``start_level+1 .. start_level+d``
+    are zero.
+    """
+    lg, n = bf.lg, bf.n
+    if d < 0 or d > lg or (not bf.wraparound and start_level + d > lg):
+        raise ValueError(f"no {d}-dimensional sub-butterfly at level {start_level}")
+    if bf.wraparound and d > lg - 1:
+        raise ValueError("a Wn sub-butterfly spans at most log n levels (d <= log n - 1)")
+    mids = np.arange(1 << d, dtype=np.int64)
+    nodes = []
+    for t in range(d + 1):
+        level = (start_level + t) % lg if bf.wraparound else start_level + t
+        # Window bits start_level+1 .. start_level+d (cyclic for Wn).
+        cols = np.zeros(1 << d, dtype=np.int64)
+        for bit_idx in range(d):
+            pos = (start_level + bit_idx) % lg + 1 if bf.wraparound else start_level + bit_idx + 1
+            cols |= ((mids >> bit_idx) & 1) << (lg - pos)
+        nodes.append(level * n + cols)
+    return np.unique(np.concatenate(nodes))
+
+
+def wn_edge_witness(bf: Butterfly, d: int) -> tuple[np.ndarray, int]:
+    """Lemma 4.1 witness: ``EE(Wn, (d+1)2^d) <= 4 * 2^d``."""
+    if not bf.wraparound:
+        raise ValueError("Lemma 4.1 concerns Wn")
+    members = sub_butterfly_set(bf, d, start_level=0)
+    side = np.zeros(bf.num_nodes, dtype=bool)
+    side[members] = True
+    cap = bf.cut_capacity(side)
+    assert len(members) == (d + 1) << d
+    if d < bf.lg - 1:
+        assert cap == 4 << d, (cap, 4 << d)
+    else:
+        assert cap <= 4 << d, (cap, 4 << d)  # window wraps onto itself
+    return members, cap
+
+
+def wn_node_witness(bf: Butterfly, d: int) -> tuple[np.ndarray, int]:
+    """Lemma 4.4 witness: twin sub-butterflies with
+    ``NE <= (3+o(1)) k / log k``."""
+    if not bf.wraparound:
+        raise ValueError("Lemma 4.4 concerns Wn")
+    if d + 2 > bf.lg:
+        raise ValueError("need d + 2 <= log n for the enclosing sub-butterfly")
+    big = sub_butterfly_set(bf, d + 1, start_level=0)
+    lvl0 = bf.level_of(big) == 0
+    members = big[~lvl0]  # drop the enclosing butterfly's input level
+    ne = len(bf.neighborhood(members))
+    k = len(members)
+    assert k == 2 * (d + 1) << d
+    if d + 2 < bf.lg:
+        # 2^{d+1} enclosing inputs + 2^{d+2} below the outputs = 3 * 2^{d+1}.
+        assert ne == 3 << (d + 1), (ne, 3 << (d + 1))
+    return members, ne
+
+
+def bn_edge_witness(bf: Butterfly, d: int) -> tuple[np.ndarray, int]:
+    """Lemma 4.7 witness: input-anchored sub-butterfly,
+    ``EE(Bn, (d+1)2^d) <= 2 * 2^d``."""
+    if bf.wraparound:
+        raise ValueError("Lemma 4.7 concerns Bn")
+    members = sub_butterfly_set(bf, d, start_level=0)
+    side = np.zeros(bf.num_nodes, dtype=bool)
+    side[members] = True
+    cap = bf.cut_capacity(side)
+    assert len(members) == (d + 1) << d
+    expected = (2 << d) if d < bf.lg else 0
+    assert cap == expected, (cap, expected)
+    return members, cap
+
+
+def bn_node_witness(bf: Butterfly, d: int) -> tuple[np.ndarray, int]:
+    """Lemma 4.10 witness: output-anchored twin sub-butterflies,
+    ``NE = 2^{d+1} = (1+o(1)) k / log k``."""
+    if bf.wraparound:
+        raise ValueError("Lemma 4.10 concerns Bn")
+    if d + 1 > bf.lg:
+        raise ValueError("need d + 1 <= log n")
+    big = sub_butterfly_set(bf, d + 1, start_level=bf.lg - d - 1)
+    first = bf.level_of(big) == bf.lg - d - 1
+    members = big[~first]  # drop the enclosing butterfly's input level
+    ne = len(bf.neighborhood(members))
+    k = len(members)
+    assert k == 2 * (d + 1) << d
+    if d + 1 < bf.lg:
+        assert ne == 2 << d, (ne, 2 << d)
+    return members, ne

@@ -1,0 +1,113 @@
+"""Serialization of witnesses and certificates.
+
+Witness cuts and pullback plans are the tangible artifacts of this
+reproduction — the things a skeptical reader can re-verify without running
+any solver.  This module round-trips them through plain JSON:
+
+* a :class:`~repro.cuts.cut.Cut` is stored as its ``S``-side node list plus
+  the recorded capacity, and *re-verified on load* (the capacity is
+  recomputed against the freshly built network and must match);
+* a :class:`~repro.cuts.butterfly_bisection.BisectionPlan` is pure
+  integers, so it round-trips losslessly and can be rebuilt and re-checked
+  with :func:`~repro.cuts.butterfly_bisection.build_planned_bisection`;
+* a :class:`~repro.core.results.BoundCertificate` exports one-way (its
+  evidence strings are provenance, not re-runnable objects).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .core.results import BoundCertificate
+from .cuts.butterfly_bisection import BisectionPlan
+from .cuts.cut import Cut
+from .topology.base import Network
+
+__all__ = [
+    "cut_to_dict",
+    "cut_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "certificate_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def cut_to_dict(cut: Cut) -> dict[str, Any]:
+    """Serialize a cut: network name, S-side node indices, capacity."""
+    return {
+        "kind": "cut",
+        "network": cut.network.name,
+        "num_nodes": cut.network.num_nodes,
+        "s_nodes": cut.s_nodes.tolist(),
+        "capacity": cut.capacity,
+    }
+
+
+def cut_from_dict(net: Network, data: dict[str, Any]) -> Cut:
+    """Rebuild a cut on ``net`` and re-verify the recorded capacity."""
+    if data.get("kind") != "cut":
+        raise ValueError("not a serialized cut")
+    if data["num_nodes"] != net.num_nodes:
+        raise ValueError(
+            f"network size mismatch: serialized {data['num_nodes']}, "
+            f"got {net.num_nodes}"
+        )
+    cut = Cut.from_node_set(net, data["s_nodes"])
+    if cut.capacity != data["capacity"]:
+        raise ValueError(
+            f"capacity mismatch on load: recorded {data['capacity']}, "
+            f"recomputed {cut.capacity} — wrong network or corrupted data"
+        )
+    return cut
+
+
+def plan_to_dict(plan: BisectionPlan) -> dict[str, Any]:
+    """Serialize a pullback plan (pure integers)."""
+    return {
+        "kind": "bisection_plan",
+        "n": plan.n, "j": plan.j, "a": plan.a, "b": plan.b,
+        "aa_flipped": plan.aa_flipped, "bb_flipped": plan.bb_flipped,
+        "mixed_in_s": plan.mixed_in_s, "drain_in_s": plan.drain_in_s,
+        "capacity": plan.capacity,
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> BisectionPlan:
+    """Rebuild a pullback plan."""
+    if data.get("kind") != "bisection_plan":
+        raise ValueError("not a serialized bisection plan")
+    return BisectionPlan(
+        n=data["n"], j=data["j"], a=data["a"], b=data["b"],
+        aa_flipped=data["aa_flipped"], bb_flipped=data["bb_flipped"],
+        mixed_in_s=data["mixed_in_s"], drain_in_s=data["drain_in_s"],
+        capacity=data["capacity"],
+    )
+
+
+def certificate_to_dict(cert: BoundCertificate) -> dict[str, Any]:
+    """Export a certificate's numbers and provenance (one-way)."""
+    return {
+        "kind": "certificate",
+        "quantity": cert.quantity,
+        "lower": cert.lower,
+        "upper": cert.upper,
+        "lower_evidence": cert.lower_evidence,
+        "upper_evidence": cert.upper_evidence,
+        "exact": cert.is_exact,
+    }
+
+
+def save_json(obj: dict[str, Any], path: str | Path) -> None:
+    """Write a serialized object to disk."""
+    Path(path).write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialized object from disk."""
+    return json.loads(Path(path).read_text())

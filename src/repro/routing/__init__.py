@@ -1,0 +1,48 @@
+"""Routing substrate: paths, Beneš rearrangeability, and a packet simulator.
+
+The bisection width matters because it caps routing throughput
+(Section 1.2); this subpackage supplies the pieces that make that
+connection executable: the unique monotonic paths of Lemma 2.3, the looping
+algorithm that routes any permutation through a Beneš network along
+edge-disjoint paths (the rearrangeability used by Lemma 2.5), and a
+synchronous store-and-forward simulator that measures actual routing times
+against the ``N/(4 BW)`` bound.
+"""
+
+from .paths import (
+    monotonic_path,
+    monotonic_path_wrapped,
+    column_path,
+    count_monotonic_paths,
+    canonical_path,
+)
+from .benes_routing import route_permutation, verify_edge_disjoint
+from .flows import (
+    extract_paths,
+    max_edge_disjoint_paths,
+    min_separating_cut_size,
+)
+from .simulator import PacketSimulator, RoutingResult
+from .throughput import (
+    random_destinations_experiment,
+    bisection_time_bound,
+    permutation_experiment,
+)
+
+__all__ = [
+    "monotonic_path",
+    "monotonic_path_wrapped",
+    "column_path",
+    "count_monotonic_paths",
+    "canonical_path",
+    "route_permutation",
+    "verify_edge_disjoint",
+    "extract_paths",
+    "max_edge_disjoint_paths",
+    "min_separating_cut_size",
+    "PacketSimulator",
+    "RoutingResult",
+    "random_destinations_experiment",
+    "bisection_time_bound",
+    "permutation_experiment",
+]

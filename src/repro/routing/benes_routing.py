@@ -1,0 +1,120 @@
+"""The looping algorithm: Beneš rearrangeability (Section 1.5, Lemma 2.5).
+
+A Beneš network of dimension ``m`` has ``2^m`` input switches with two input
+ports each and the same on the output side.  *Rearrangeability* means any
+bijection of input ports to output ports can be realized by edge-disjoint
+paths [5], [6], [30].  The classical looping algorithm routes it
+recursively:
+
+1. Build the constraint graph on ports whose edges pair the two ports of
+   each input switch and the two ports of each output switch.  It is a
+   union of two perfect matchings, hence a disjoint union of even cycles.
+2. Two-color each cycle; the color of a port is the middle sub-network
+   (upper/lower half, distinguished by the first column bit) through which
+   it travels.
+3. Each half receives a permutation of its own ``2^m`` sub-ports; recurse.
+
+The resulting paths are returned as explicit node sequences in the
+:class:`~repro.topology.benes.Benes` network, and
+:func:`verify_edge_disjoint` checks the defining property.  Pushed through
+the Lemma 2.5 embedding, these routes realize port permutations inside
+``Bn`` itself — the engine behind the compactness Lemma 2.8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.benes import Benes
+
+__all__ = ["route_permutation", "verify_edge_disjoint"]
+
+
+def _two_color(perm: np.ndarray) -> np.ndarray:
+    """Color ports 0/1 so that input-switch mates and output-switch mates
+    always receive different colors (cycle 2-coloring)."""
+    P = len(perm)
+    # Output-switch partner: the unique other port q with perm[q]//2 == perm[p]//2.
+    inv_by_switch: dict[int, list[int]] = {}
+    for p in range(P):
+        inv_by_switch.setdefault(int(perm[p]) // 2, []).append(p)
+    partner_out = np.empty(P, dtype=np.int64)
+    for pair in inv_by_switch.values():
+        assert len(pair) == 2, "perm is not a bijection of ports"
+        partner_out[pair[0]] = pair[1]
+        partner_out[pair[1]] = pair[0]
+    color = -np.ones(P, dtype=np.int64)
+    for start in range(P):
+        if color[start] >= 0:
+            continue
+        stack = [(start, 0)]
+        while stack:
+            v, c = stack.pop()
+            if color[v] >= 0:
+                assert color[v] == c, "constraint graph not 2-colorable"
+                continue
+            color[v] = c
+            stack.append((v ^ 1, 1 - c))               # input-switch mate
+            stack.append((int(partner_out[v]), 1 - c))  # output-switch mate
+    return color
+
+
+def _route_columns(m: int, perm: np.ndarray) -> np.ndarray:
+    """Column sequence (levels 0..2m) for each input port's path."""
+    P = len(perm)
+    assert P == (2 << m), "port count must be 2^(m+1)"
+    if m == 0:
+        return np.zeros((2, 1), dtype=np.int64)
+    half = 1 << (m - 1)
+    color = _two_color(perm)
+    cols = np.empty((P, 2 * m + 1), dtype=np.int64)
+    sub_perm = [np.empty(P // 2, dtype=np.int64), np.empty(P // 2, dtype=np.int64)]
+    sub_member = [np.empty(P // 2, dtype=np.int64), np.empty(P // 2, dtype=np.int64)]
+    for p in range(P):
+        s = int(color[p])
+        w = p // 2                      # input switch column
+        v = int(perm[p]) // 2           # output switch column
+        w_low, w_hi = w & (half - 1), w >> (m - 1)
+        v_low, v_hi = v & (half - 1), v >> (m - 1)
+        sub_in = 2 * w_low + w_hi
+        sub_out = 2 * v_low + v_hi
+        sub_perm[s][sub_in] = sub_out
+        sub_member[s][sub_in] = p
+        cols[p, 0] = w
+        cols[p, 2 * m] = v
+    for s in (0, 1):
+        sub_cols = _route_columns(m - 1, sub_perm[s])
+        for sub_in in range(P // 2):
+            p = int(sub_member[s][sub_in])
+            cols[p, 1: 2 * m] = (s << (m - 1)) | sub_cols[sub_in]
+    return cols
+
+
+def route_permutation(net: Benes, perm: np.ndarray) -> list[np.ndarray]:
+    """Route the port permutation ``perm`` through the Beneš network.
+
+    ``perm[p]`` is the output port of input port ``p`` (``0 <= p < 2n``).
+    Returns one node-index path per input port, ordered level 0 to ``2m``;
+    the path set is edge-disjoint (asserted by tests via
+    :func:`verify_edge_disjoint`).
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(net.num_ports)):
+        raise ValueError("perm must be a permutation of the ports")
+    cols = _route_columns(net.m, perm)
+    levels = np.arange(2 * net.m + 1, dtype=np.int64) * net.n
+    return [levels + cols[p] for p in range(net.num_ports)]
+
+
+def verify_edge_disjoint(net: Benes, paths: list[np.ndarray]) -> bool:
+    """Check that no (undirected) edge is used by two paths."""
+    seen: set[tuple[int, int]] = set()
+    for path in paths:
+        for a, b in zip(path[:-1], path[1:]):
+            key = (int(min(a, b)), int(max(a, b)))
+            if key in seen:
+                return False
+            if not net.has_edge(int(a), int(b)):
+                return False
+            seen.add(key)
+    return True

@@ -1,0 +1,134 @@
+"""Monotonic greedy bit-fixing paths in butterflies (Lemma 2.3).
+
+A path is *monotonic* when it visits each level at most once.  Lemma 2.3:
+between an input ``<v, 0>`` and an output ``<u, log n>`` of ``Bn`` there is
+*exactly one* monotonic path — the greedy route that, crossing from level
+``i`` to ``i+1``, fixes bit position ``i+1`` of the current column to the
+destination's bit.  These paths realize the ``K_{n,n}`` embedding of
+Lemma 3.1 and the middle phase of the ``K_N -> Wn`` embedding of
+Theorem 4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly
+
+__all__ = [
+    "monotonic_path",
+    "monotonic_path_wrapped",
+    "count_monotonic_paths",
+    "column_path",
+    "canonical_path",
+]
+
+
+def monotonic_path(bf: Butterfly, src_col: int, dst_col: int) -> np.ndarray:
+    """The unique monotonic input-to-output path in ``Bn``.
+
+    Returns host node indices from ``<src_col, 0>`` to ``<dst_col, log n>``;
+    at each step the next bit of the column is fixed to the destination's.
+    """
+    if bf.wraparound:
+        raise ValueError("use monotonic_path_wrapped for Wn")
+    lg, n = bf.lg, bf.n
+    nodes = [bf.node(src_col, 0)]
+    col = src_col
+    for i in range(1, lg + 1):
+        mask = 1 << (lg - i)
+        col = (col & ~mask) | (dst_col & mask)
+        nodes.append(bf.node(col, i))
+    assert col == dst_col
+    return np.array(nodes, dtype=np.int64)
+
+
+def monotonic_path_wrapped(bf: Butterfly, src_col: int, start_level: int, dst_col: int) -> np.ndarray:
+    """A length-``log n`` greedy path in ``Wn`` from ``<src_col, i>`` around
+    to ``<dst_col, i>``, fixing one bit per level step (used by the middle
+    phase of Theorem 4.3's ``K_N`` embedding)."""
+    if not bf.wraparound:
+        raise ValueError("defined on Wn")
+    lg = bf.lg
+    nodes = [bf.node(src_col, start_level)]
+    col = src_col
+    level = start_level
+    for _ in range(lg):
+        bitpos = (level % lg) + 1
+        mask = 1 << (lg - bitpos)
+        col = (col & ~mask) | (dst_col & mask)
+        level = (level + 1) % lg
+        nodes.append(bf.node(col, level))
+    assert col == dst_col
+    return np.array(nodes, dtype=np.int64)
+
+
+def column_path(bf: Butterfly, col: int, level_from: int, level_to: int) -> np.ndarray:
+    """The straight path within one column between two levels.
+
+    For ``Wn`` the path winds through levels modulo ``log n`` in the
+    direction of travel (decreasing when ``level_to < level_from``).
+    """
+    if bf.wraparound:
+        lg = bf.lg
+        lf, lt = level_from % lg, level_to % lg
+        step = 1 if ((lt - lf) % lg) <= ((lf - lt) % lg) else -1
+        nodes = [bf.node(col, lf)]
+        cur = lf
+        while cur != lt:
+            cur = (cur + step) % lg
+            nodes.append(bf.node(col, cur))
+        return np.array(nodes, dtype=np.int64)
+    step = 1 if level_to >= level_from else -1
+    levels = range(level_from, level_to + step, step)
+    return np.array([bf.node(col, i) for i in levels], dtype=np.int64)
+
+
+def count_monotonic_paths(bf: Butterfly, src_col: int, dst_col: int) -> int:
+    """Count monotonic input-to-output paths by dynamic programming.
+
+    Lemma 2.3 asserts the count is always exactly 1; the test suite sweeps
+    all pairs.  (A monotonic input-to-output path must advance one level per
+    step, and at each level boundary the bit it may change is forced.)
+    """
+    if bf.wraparound:
+        raise ValueError("Lemma 2.3 concerns Bn")
+    lg, n = bf.lg, bf.n
+    # reach[c] = number of monotonic paths from <src_col, 0> to <c, level>
+    reach = np.zeros(n, dtype=np.int64)
+    reach[src_col] = 1
+    for i in range(1, lg + 1):
+        mask = 1 << (lg - i)
+        cols = np.arange(n)
+        reach = reach + reach[cols ^ mask]
+    return int(reach[dst_col])
+
+
+def canonical_path(bf: Butterfly, src: int, dst: int) -> np.ndarray:
+    """A deterministic node-to-node route between arbitrary butterfly nodes.
+
+    For ``Bn``: straight up the source column to level 0, greedy monotonic
+    descent to level ``log n`` fixing the column to the destination's, then
+    straight up to the destination level (the route the ``2K_N`` embedding
+    uses; length at most ``2 log n + min(i, i')``).
+
+    For ``Wn``: the Theorem 4.3 three-phase route — up to level 0, one full
+    greedy wrap of ``log n`` levels, down through the wrap edge.
+    """
+    n, lg = bf.n, bf.lg
+    ws, is_ = src % n, src // n
+    wd, id_ = dst % n, dst // n
+    if bf.wraparound:
+        up = np.array([bf.node(ws, is_ - t) for t in range(is_ + 1)], dtype=np.int64)
+        mid = monotonic_path_wrapped(bf, ws, 0, wd)
+        if id_:
+            down = np.array(
+                [bf.node(wd, (-t) % lg) for t in range(lg - id_ + 1)], dtype=np.int64
+            )
+        else:
+            down = np.array([bf.node(wd, 0)], dtype=np.int64)
+        return np.concatenate([up, mid[1:], down[1:]])
+    up = column_path(bf, ws, is_, 0)
+    down = monotonic_path(bf, ws, wd)
+    back = column_path(bf, wd, lg, id_)
+    return np.concatenate([up, down[1:], back[1:]])

@@ -1,0 +1,92 @@
+"""Synchronous store-and-forward packet simulator (Section 1.2's model).
+
+The paper's throughput argument assumes "each edge of the network can
+transmit one message (in each direction) in one time step".  This simulator
+implements exactly that model: packets follow fixed precomputed paths; in
+every step each *directed* edge carries at most one packet, and contended
+packets wait in FIFO order (ties broken by packet id, so runs are
+deterministic).  The measured delivery time of a workload is compared
+against the bisection bound ``T >= N / (4 BW)`` in
+:mod:`repro.routing.throughput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..topology.base import Network
+
+__all__ = ["RoutingResult", "PacketSimulator"]
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Outcome of one simulated routing workload.
+
+    Attributes
+    ----------
+    steps:
+        Makespan: steps until the last packet arrived.
+    delivered:
+        Number of packets delivered (always all of them).
+    total_hops:
+        Sum of path lengths (lower bound on total work).
+    max_queue:
+        Largest number of packets ever waiting to cross one directed edge
+        in one step.
+    """
+
+    steps: int
+    delivered: int
+    total_hops: int
+    max_queue: int
+
+
+class PacketSimulator:
+    """Simulate store-and-forward delivery of path-routed packets."""
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+
+    def run(self, paths: list[np.ndarray], max_steps: int | None = None) -> RoutingResult:
+        """Deliver one packet along each path; return timing statistics.
+
+        Packets occupying the same next directed edge are serialized; the
+        lowest packet id wins each step (deterministic FIFO-by-age since
+        all packets start at time 0).
+        """
+        positions = [0] * len(paths)  # index into each packet's path
+        alive = {
+            i for i, p in enumerate(paths) if len(p) > 1
+        }
+        total_hops = sum(len(p) - 1 for p in paths)
+        steps = 0
+        max_queue = 0
+        limit = max_steps if max_steps is not None else 100 * (total_hops + 1)
+        while alive:
+            steps += 1
+            if steps > limit:
+                raise RuntimeError("routing did not complete within the step limit")
+            claims: dict[tuple[int, int], int] = {}
+            queue_sizes: dict[tuple[int, int], int] = {}
+            for i in sorted(alive):
+                path = paths[i]
+                k = positions[i]
+                edge = (int(path[k]), int(path[k + 1]))
+                queue_sizes[edge] = queue_sizes.get(edge, 0) + 1
+                if edge not in claims:
+                    claims[edge] = i
+            if queue_sizes:
+                max_queue = max(max_queue, max(queue_sizes.values()))
+            for edge, i in claims.items():
+                positions[i] += 1
+                if positions[i] == len(paths[i]) - 1:
+                    alive.discard(i)
+        return RoutingResult(
+            steps=steps,
+            delivered=len(paths),
+            total_hops=total_hops,
+            max_queue=max_queue,
+        )

@@ -1,0 +1,82 @@
+"""Routing throughput versus the bisection bound (Section 1.2).
+
+If every processor sends one message to a uniformly random destination,
+about ``N/4`` messages cross any bisection in each direction in
+expectation, so delivery takes at least ``N / (4 BW(G))`` steps — "the
+smaller the bisection width, the longer it will take to route the
+messages".  These experiments run that workload (and full permutations)
+through the store-and-forward simulator on canonical butterfly routes and
+report measured time against the bound, regenerating the paper's
+motivating inequality as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.butterfly import Butterfly
+from .paths import canonical_path
+from .simulator import PacketSimulator, RoutingResult
+
+__all__ = [
+    "bisection_time_bound",
+    "ThroughputReport",
+    "random_destinations_experiment",
+    "permutation_experiment",
+]
+
+
+def bisection_time_bound(num_nodes: int, bisection_width: int) -> float:
+    """The Section 1.2 lower bound ``N / (4 BW)`` on expected routing time
+    for random destinations."""
+    return num_nodes / (4.0 * bisection_width)
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """One workload's measured routing time against the bisection bound."""
+
+    network: str
+    num_packets: int
+    result: RoutingResult
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured steps over the bisection bound (>= some constant)."""
+        return self.result.steps / self.bound if self.bound > 0 else float("inf")
+
+
+def _run(bf: Butterfly, pairs: list[tuple[int, int]], bisection_width: int) -> ThroughputReport:
+    paths = [canonical_path(bf, s, d) for s, d in pairs if s != d]
+    paths = [p for p in paths if len(p) > 1]
+    sim = PacketSimulator(bf)
+    res = sim.run(paths)
+    return ThroughputReport(
+        network=bf.name,
+        num_packets=len(paths),
+        result=res,
+        bound=bisection_time_bound(bf.num_nodes, bisection_width),
+    )
+
+
+def random_destinations_experiment(
+    bf: Butterfly, bisection_width: int, seed: int = 0
+) -> ThroughputReport:
+    """Every node sends one packet to a uniformly random node."""
+    rng = np.random.default_rng(seed)
+    dests = rng.integers(0, bf.num_nodes, size=bf.num_nodes)
+    pairs = [(int(s), int(d)) for s, d in enumerate(dests)]
+    return _run(bf, pairs, bisection_width)
+
+
+def permutation_experiment(
+    bf: Butterfly, bisection_width: int, seed: int = 0
+) -> ThroughputReport:
+    """Every node sends one packet under a uniformly random permutation."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(bf.num_nodes)
+    pairs = [(int(s), int(d)) for s, d in enumerate(perm)]
+    return _run(bf, pairs, bisection_width)

@@ -1,0 +1,99 @@
+"""Network substrates: butterflies and every related topology the paper uses.
+
+This subpackage provides the graphs themselves (``Bn``, ``Wn``, ``CCCn``,
+Beneš, mesh of stars, complete graphs, hypercube, de Bruijn /
+shuffle-exchange), the level/column structure, the Lemma 2.4 sub-butterfly
+decomposition, the Section 4 down/up trees, the Lemma 2.1/2.2 automorphisms,
+and structural property checks (diameter, degree census, 4-cycle
+decomposition).
+"""
+
+from .base import Network
+from .butterfly import Butterfly, butterfly, wrapped_butterfly
+from .ccc import CubeConnectedCycles, cube_connected_cycles
+from .benes import Benes, benes
+from .mesh_of_stars import MeshOfStars, mesh_of_stars
+from .hypercube import Hypercube, hypercube, hypercube_bisection_width
+from .complete import (
+    complete_graph,
+    doubled_complete_graph,
+    complete_bipartite,
+    complete_bisection_width,
+    complete_edge_expansion,
+)
+from .debruijn import de_bruijn, shuffle_exchange
+from .random_regular import random_regular_graph
+from .render import ascii_butterfly
+from .subbutterfly import (
+    SubButterflyComponent,
+    component_key,
+    component_columns,
+    level_range_components,
+    component_of,
+    component_isomorphism,
+)
+from .trees import ButterflyTree, down_tree, up_tree
+from .properties import (
+    diameter,
+    eccentricity,
+    degree_census,
+    butterfly_degree_census,
+    level_four_cycles,
+    expected_diameter,
+)
+from .automorphism import (
+    is_automorphism,
+    level_reversal_permutation,
+    column_xor_permutation,
+    cascade_xor_permutation,
+    level_rotation_permutation,
+    edge_pair_automorphism,
+)
+from . import labels
+
+__all__ = [
+    "Network",
+    "Butterfly",
+    "butterfly",
+    "wrapped_butterfly",
+    "CubeConnectedCycles",
+    "cube_connected_cycles",
+    "Benes",
+    "benes",
+    "MeshOfStars",
+    "mesh_of_stars",
+    "Hypercube",
+    "hypercube",
+    "hypercube_bisection_width",
+    "complete_graph",
+    "doubled_complete_graph",
+    "complete_bipartite",
+    "complete_bisection_width",
+    "complete_edge_expansion",
+    "de_bruijn",
+    "shuffle_exchange",
+    "random_regular_graph",
+    "ascii_butterfly",
+    "SubButterflyComponent",
+    "component_key",
+    "component_columns",
+    "level_range_components",
+    "component_of",
+    "component_isomorphism",
+    "ButterflyTree",
+    "down_tree",
+    "up_tree",
+    "diameter",
+    "eccentricity",
+    "degree_census",
+    "butterfly_degree_census",
+    "level_four_cycles",
+    "expected_diameter",
+    "is_automorphism",
+    "level_reversal_permutation",
+    "column_xor_permutation",
+    "cascade_xor_permutation",
+    "level_rotation_permutation",
+    "edge_pair_automorphism",
+    "labels",
+]

@@ -1,0 +1,172 @@
+"""Automorphisms of butterfly networks (Lemmas 2.1 and 2.2).
+
+Lemma 2.1: there is an automorphism of ``Bn`` mapping each level ``L_i``
+onto ``L_{log n - i}``.  It is realized by *bit reversal*:
+``<w, i> -> <reverse(w), log n - i>``.
+
+Lemma 2.2: the level-preserving automorphism group acts transitively on
+each level, and even on ordered adjacent pairs with prescribed levels.  It
+is realized by *cascading XOR* maps ``<w, i> -> <w ^ c_i, i>`` where the
+per-level masks satisfy ``c_{i+1} = c_i`` or ``c_{i+1} = c_i ^ b_{i+1}``
+(``b_p`` = the bit at paper position ``p``); flipping at step ``i+1``
+exchanges the straight and cross edges between levels ``i`` and ``i+1``.
+
+For the wrapped butterfly we additionally provide the level rotation
+``<w, i> -> <rol(w), i - 1 (mod log n)>`` which, together with column XOR,
+makes ``Wn`` vertex-transitive — the symmetry the paper leans on in the
+proof of Lemma 3.2 ("we can renumber the levels of Wn").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Network
+from .butterfly import Butterfly
+from .labels import bit_reversal_array
+
+__all__ = [
+    "is_automorphism",
+    "permutation_from_label_map",
+    "level_reversal_permutation",
+    "column_xor_permutation",
+    "cascade_xor_permutation",
+    "level_rotation_permutation",
+    "edge_pair_automorphism",
+]
+
+
+def is_automorphism(net: Network, perm: np.ndarray) -> bool:
+    """Check whether node permutation ``perm`` preserves the edge multiset."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (net.num_nodes,) or len(np.unique(perm)) != net.num_nodes:
+        return False
+    e = net.edges
+    mapped = perm[e]
+    lo = np.minimum(mapped[:, 0], mapped[:, 1])
+    hi = np.maximum(mapped[:, 0], mapped[:, 1])
+    mapped = np.column_stack([lo, hi])
+    original = np.sort(e.view([("u", e.dtype), ("v", e.dtype)]).ravel())
+    image = np.sort(mapped.view([("u", e.dtype), ("v", e.dtype)]).ravel())
+    return bool(np.array_equal(original, image))
+
+
+def permutation_from_label_map(net: Network, label_map) -> np.ndarray:
+    """Build an index permutation from a label-to-label callable."""
+    perm = np.empty(net.num_nodes, dtype=np.int64)
+    for idx, lab in enumerate(net.labels):
+        perm[idx] = net.index_of(label_map(lab))
+    return perm
+
+
+def level_reversal_permutation(bf: Butterfly) -> np.ndarray:
+    """Lemma 2.1: the bit-reversal automorphism of ``Bn``.
+
+    Maps ``<w, i>`` to ``<reverse(w), log n - i>``; it carries level ``L_i``
+    onto ``L_{log n - i}`` with load, congestion and dilation 1.
+    """
+    if bf.wraparound:
+        raise ValueError("level reversal is stated for Bn (Lemma 2.1)")
+    n, lg = bf.n, bf.lg
+    cols = np.arange(n, dtype=np.int64)
+    rev = bit_reversal_array(cols, lg)
+    perm = np.empty(bf.num_nodes, dtype=np.int64)
+    for i in range(lg + 1):
+        perm[i * n: (i + 1) * n] = (lg - i) * n + rev
+    return perm
+
+
+def column_xor_permutation(bf: Butterfly, c: int) -> np.ndarray:
+    """The level-preserving automorphism ``<w, i> -> <w ^ c, i>``.
+
+    Valid for both ``Bn`` and ``Wn``; it acts transitively on columns.
+    """
+    if not 0 <= c < bf.n:
+        raise ValueError(f"xor mask {c} out of range for {bf.name}")
+    n = bf.n
+    cols = np.arange(n, dtype=np.int64)
+    perm = np.empty(bf.num_nodes, dtype=np.int64)
+    for i in range(bf.num_levels):
+        perm[i * n: (i + 1) * n] = i * n + (cols ^ c)
+    return perm
+
+
+def cascade_xor_permutation(bf: Butterfly, base: int, flips: Sequence[bool]) -> np.ndarray:
+    """Cascading-XOR automorphism of ``Bn`` (the Lemma 2.2 family).
+
+    Level ``i`` is XORed with mask ``c_i`` where ``c_0 = base`` and
+    ``c_{i+1} = c_i ^ b_{i+1}`` when ``flips[i]`` is true (else ``c_i``).
+    Flipping at step ``i+1`` exchanges straight and cross edges between
+    levels ``i`` and ``i+1`` while preserving adjacency.
+    """
+    if bf.wraparound:
+        raise ValueError("cascading XOR is stated for Bn; Wn constrains the wrap edge")
+    if len(flips) != bf.lg:
+        raise ValueError(f"need exactly log n = {bf.lg} flip choices")
+    n, lg = bf.n, bf.lg
+    cols = np.arange(n, dtype=np.int64)
+    perm = np.empty(bf.num_nodes, dtype=np.int64)
+    c = base
+    perm[0:n] = cols ^ c
+    for i in range(lg):
+        if flips[i]:
+            c ^= 1 << (lg - (i + 1))
+        perm[(i + 1) * n: (i + 2) * n] = (i + 1) * n + (cols ^ c)
+    return perm
+
+
+def level_rotation_permutation(bf: Butterfly, shift: int = 1) -> np.ndarray:
+    """The level-rotation automorphism of ``Wn``.
+
+    One application maps ``<w, i>`` to ``<rol(w, 1), i - 1 (mod log n)>``
+    where ``rol`` rotates the column label left by one bit; ``shift``
+    applications compose it.  Together with column XOR this makes ``Wn``
+    vertex-transitive.
+    """
+    if not bf.wraparound:
+        raise ValueError("level rotation is an automorphism of Wn only")
+    n, lg = bf.n, bf.lg
+    cols = np.arange(n, dtype=np.int64)
+    perm = np.arange(bf.num_nodes, dtype=np.int64)
+    for _ in range(shift % lg):
+        rol = ((cols << 1) | (cols >> (lg - 1))) & (n - 1)
+        nxt = np.empty_like(perm)
+        for i in range(lg):
+            nxt[i * n: (i + 1) * n] = ((i - 1) % lg) * n + rol
+        # Compose: apply the single-step rotation after the permutation so far.
+        perm = nxt[perm]
+    return perm
+
+
+def edge_pair_automorphism(
+    bf: Butterfly, v: int, u: int, v2: int, u2: int
+) -> np.ndarray:
+    """Lemma 2.2: a level-preserving automorphism with ``v -> v2, u -> u2``.
+
+    ``{v, u}`` and ``{v2, u2}`` must be edges of ``Bn`` with ``v, v2`` on a
+    common level ``i`` and ``u, u2`` on level ``i + 1``.
+    """
+    if bf.wraparound:
+        raise ValueError("stated for Bn")
+    lg, n = bf.lg, bf.n
+    lv, lu = int(v) // n, int(u) // n
+    lv2, lu2 = int(v2) // n, int(u2) // n
+    if not (lv == lv2 and lu == lu2 and lu == lv + 1):
+        raise ValueError("edges must span the same adjacent level pair")
+    if not (bf.has_edge(v, u) and bf.has_edge(v2, u2)):
+        raise ValueError("arguments must be edges of the butterfly")
+    wv, wu = int(v) % n, int(u) % n
+    wv2, wu2 = int(v2) % n, int(u2) % n
+    base = wv ^ wv2
+    # No flips before level lv keeps c_i = base through level lv, sending
+    # v -> v2.  At step lv+1 choose the flip so u -> u2; afterwards keep c.
+    flips = [False] * lg
+    need = (wu ^ base) ^ wu2
+    bit = 1 << (lg - (lv + 1))
+    if need == bit:
+        flips[lv] = True
+    elif need != 0:
+        raise AssertionError("inconsistent edge pair")  # pragma: no cover
+    return cascade_xor_permutation(bf, base, flips)

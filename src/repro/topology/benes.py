@@ -1,0 +1,91 @@
+"""Beneš networks (Section 1.5).
+
+A ``(log n)``-dimensional Beneš network consists of two back-to-back
+``(log n)``-dimensional butterflies sharing their level-``log n`` nodes.  We
+realize it directly on ``2m + 1`` levels of ``2^m`` columns: the edges
+between levels ``l`` and ``l + 1`` flip bit position ``l + 1`` in the
+forward half (``l < m``) and bit position ``2m - l`` in the mirrored half
+(``l >= m``), so the two middle stages both flip bit ``m`` and the outermost
+stages flip bit 1.  Consequently levels ``1 .. 2m-1`` split into two
+sub-networks (fixed bit 1), each a ``(m-1)``-dimensional Beneš — the
+recursive structure the looping algorithm (:mod:`repro.routing.benes_routing`)
+exploits to route any permutation of the ``2n`` input ports to the ``2n``
+output ports along edge-disjoint paths (rearrangeability, used by
+Lemma 2.5).
+
+Node ``<w, l>`` has index ``l * 2^m + w`` (level-major), matching the
+butterfly convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = ["Benes", "benes"]
+
+
+class Benes(Network):
+    """The ``m``-dimensional Beneš network (``2^m`` columns, ``2m+1`` levels)."""
+
+    def __init__(self, m: int) -> None:
+        if m < 0:
+            raise ValueError("Beneš dimension must be nonnegative")
+        self.m = m
+        n = 1 << m
+        self.n = n
+        num_levels = 2 * m + 1
+        labels = [(w, l) for l in range(num_levels) for w in range(n)]
+        cols = np.arange(n, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for l in range(2 * m):
+            mask = 1 << (m - self.flip_position(l))
+            straight = np.column_stack([l * n + cols, (l + 1) * n + cols])
+            cross = np.column_stack([l * n + cols, (l + 1) * n + (cols ^ mask)])
+            chunks.append(straight)
+            chunks.append(cross)
+        edges = (
+            np.concatenate(chunks, axis=0) if chunks else np.empty((0, 2), dtype=np.int64)
+        )
+        super().__init__(labels, edges, name=f"Benes{m}")
+        self.num_levels = num_levels
+
+    def flip_position(self, l: int) -> int:
+        """Paper-style bit position flipped between levels ``l`` and ``l+1``.
+
+        ``1, 2, ..., m`` on the way in, ``m, m-1, ..., 1`` on the way out.
+        """
+        if not 0 <= l < 2 * self.m:
+            raise ValueError(f"no stage {l} in {self.name}")
+        return l + 1 if l < self.m else 2 * self.m - l
+
+    def node(self, w: int, l: int) -> int:
+        """Index of node ``<w, l>``."""
+        if not (0 <= l <= 2 * self.m and 0 <= w < self.n):
+            raise ValueError(f"no node <{w}, {l}> in {self.name}")
+        return l * self.n + w
+
+    def level(self, l: int) -> np.ndarray:
+        """Indices of level ``l``."""
+        if not 0 <= l <= 2 * self.m:
+            raise ValueError(f"no level {l} in {self.name}")
+        return np.arange(l * self.n, (l + 1) * self.n, dtype=np.int64)
+
+    def inputs(self) -> np.ndarray:
+        """The input switches (level 0); each carries two input ports."""
+        return self.level(0)
+
+    def outputs(self) -> np.ndarray:
+        """The output switches (level ``2m``); each carries two output ports."""
+        return self.level(2 * self.m)
+
+    @property
+    def num_ports(self) -> int:
+        """Number of input ports (= output ports) = ``2n``."""
+        return 2 * self.n
+
+
+def benes(m: int) -> Benes:
+    """Construct the ``m``-dimensional Beneš network."""
+    return Benes(m)

@@ -1,0 +1,139 @@
+"""Butterfly networks ``Bn`` and wrapped butterflies ``Wn`` (Section 1.1).
+
+The ``(log n)``-dimensional butterfly ``Bn`` has ``N = n(log n + 1)`` nodes in
+``log n + 1`` levels of ``n`` nodes each.  Node ``<w, i>`` sits on level ``i``
+in column ``w``.  Nodes ``<w, i>`` and ``<w', i+1>`` are adjacent iff ``w`` and
+``w'`` are identical ("straight" edge) or differ exactly in bit position
+``i+1`` ("cross" edge); bit positions are 1-indexed from the most significant
+bit.
+
+The wrapped butterfly ``Wn`` identifies level ``log n`` with level ``0`` of
+each column, yielding ``n log n`` nodes, every node of degree 4.  For
+``log n = 2`` this identification produces parallel edges, which we keep
+(so ``Wn`` always has exactly ``2 n log n`` edges and is 4-regular), matching
+the convention under which ``BW(Wn) = n`` is proved.
+
+Node indices are *level-major*: node ``<w, i>`` has index ``i * n + w``.
+Level-major layout keeps each level contiguous, which the layered dynamic
+program in :mod:`repro.cuts.layered_dp` exploits for cache-friendly access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+from .labels import ilog2, is_power_of_two
+
+__all__ = ["Butterfly", "butterfly", "wrapped_butterfly"]
+
+
+class Butterfly(Network):
+    """A butterfly network ``Bn`` (or ``Wn`` when ``wraparound=True``).
+
+    Attributes
+    ----------
+    n:
+        Number of inputs (columns); always a power of two.
+    lg:
+        ``log2(n)``, the dimension.
+    wraparound:
+        ``True`` for ``Wn`` (levels ``0..log n - 1``, cyclic), ``False`` for
+        ``Bn`` (levels ``0..log n``).
+    """
+
+    def __init__(self, n: int, wraparound: bool = False) -> None:
+        if not is_power_of_two(n) or n < 2:
+            raise ValueError(f"butterfly inputs must be a power of two >= 2, got {n}")
+        lg = ilog2(n)
+        if wraparound and lg < 2:
+            raise ValueError("wrapped butterfly requires log n >= 2")
+        self.n = n
+        self.lg = lg
+        self.wraparound = wraparound
+        num_levels = lg if wraparound else lg + 1
+
+        labels = [(w, i) for i in range(num_levels) for w in range(n)]
+        cols = np.arange(n, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for i in range(lg):
+            nxt = (i + 1) % num_levels if wraparound else i + 1
+            mask = 1 << (lg - (i + 1))  # paper bit position i+1, MSB-first
+            base, tgt = i * n, nxt * n
+            straight = np.column_stack([base + cols, tgt + cols])
+            cross = np.column_stack([base + cols, tgt + (cols ^ mask)])
+            chunks.append(straight)
+            chunks.append(cross)
+        edges = np.concatenate(chunks, axis=0)
+        name = f"W{n}" if wraparound else f"B{n}"
+        super().__init__(labels, edges, name=name)
+        self.num_levels = num_levels
+
+    # ------------------------------------------------------------------ #
+    # Index arithmetic
+    # ------------------------------------------------------------------ #
+    def node(self, w: int, i: int) -> int:
+        """Index of node ``<w, i>``.
+
+        For wrapped butterflies the level is reduced modulo ``log n`` so that
+        ``node(w, log n)`` refers to ``node(w, 0)``, mirroring the level
+        identification that defines ``Wn``.
+        """
+        if self.wraparound:
+            i %= self.lg
+        if not (0 <= i < self.num_levels and 0 <= w < self.n):
+            raise ValueError(f"no node <{w}, {i}> in {self.name}")
+        return i * self.n + w
+
+    def level_of(self, index: int | np.ndarray):
+        """Level of the node(s) at ``index``."""
+        return np.asarray(index) // self.n
+
+    def column_of(self, index: int | np.ndarray):
+        """Column of the node(s) at ``index``."""
+        return np.asarray(index) % self.n
+
+    def level(self, i: int) -> np.ndarray:
+        """Indices of level ``L_i`` (all nodes ``<w, i>``)."""
+        if self.wraparound:
+            i %= self.lg
+        if not 0 <= i < self.num_levels:
+            raise ValueError(f"no level {i} in {self.name}")
+        return np.arange(i * self.n, (i + 1) * self.n, dtype=np.int64)
+
+    def column(self, w: int) -> np.ndarray:
+        """Indices of column ``w`` across all levels."""
+        if not 0 <= w < self.n:
+            raise ValueError(f"no column {w} in {self.name}")
+        return np.arange(self.num_levels, dtype=np.int64) * self.n + w
+
+    def inputs(self) -> np.ndarray:
+        """The input nodes (level 0)."""
+        return self.level(0)
+
+    def outputs(self) -> np.ndarray:
+        """The output nodes (level ``log n``; level 0 again for ``Wn``)."""
+        return self.level(self.lg) if not self.wraparound else self.level(0)
+
+    # ------------------------------------------------------------------ #
+    # Layer interface consumed by the layered DP
+    # ------------------------------------------------------------------ #
+    def layers(self) -> list[np.ndarray]:
+        """Levels in order; consecutive (cyclically for ``Wn``) levels carry
+        all edges, and no edges live inside a level."""
+        return [self.level(i) for i in range(self.num_levels)]
+
+    @property
+    def cyclic(self) -> bool:
+        """Whether the last layer also connects back to the first."""
+        return self.wraparound
+
+
+def butterfly(n: int) -> Butterfly:
+    """Construct ``Bn``, the ``log n``-dimensional butterfly without wraparound."""
+    return Butterfly(n, wraparound=False)
+
+
+def wrapped_butterfly(n: int) -> Butterfly:
+    """Construct ``Wn``, the ``log n``-dimensional butterfly with wraparound."""
+    return Butterfly(n, wraparound=True)

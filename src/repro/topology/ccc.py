@@ -1,0 +1,91 @@
+"""Cube-connected cycles networks ``CCCn`` (Section 1.1, [24]).
+
+A ``log n``-dimensional cube-connected cycles network consists of ``n``
+cycles of ``log n`` nodes each.  Node ``<w, i>`` is the node at position
+``i`` (``1 <= i <= log n``) of the cycle labeled by the ``log n``-bit number
+``w``.  Two nodes in different cycles are adjacent iff they share position
+``i`` and their cycle labels differ exactly in bit position ``i`` ("cube"
+edges); within a cycle, consecutive positions are adjacent ("cycle" edges).
+
+For ``log n = 2`` the cycles have length two and are realized as parallel
+edges, so ``CCCn`` is always 3-regular with ``(3/2) n log n`` edges.
+
+Node indices are *position-major*: ``<w, i>`` has index ``(i - 1) * n + w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+from .labels import ilog2, is_power_of_two
+
+__all__ = ["CubeConnectedCycles", "cube_connected_cycles"]
+
+
+class CubeConnectedCycles(Network):
+    """The cube-connected cycles network ``CCCn``."""
+
+    def __init__(self, n: int) -> None:
+        if not is_power_of_two(n) or n < 4:
+            raise ValueError(f"CCC requires n a power of two >= 4, got {n}")
+        self.n = n
+        self.lg = lg = ilog2(n)
+
+        labels = [(w, i) for i in range(1, lg + 1) for w in range(n)]
+        cols = np.arange(n, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        # Cycle edges: position i to position (i mod lg) + 1 within each cycle.
+        # For lg == 2 this emits both (1 -> 2) and (2 -> 1), the parallel pair
+        # realizing the length-2 cycles.
+        for i in range(1, lg + 1):
+            nxt = i % lg + 1
+            chunks.append(
+                np.column_stack([(i - 1) * n + cols, (nxt - 1) * n + cols])
+            )
+        # Cube edges: at position i, connect cycles differing in bit i.
+        for i in range(1, lg + 1):
+            mask = 1 << (lg - i)  # paper bit position i, MSB-first
+            low = cols[(cols & mask) == 0]
+            chunks.append(
+                np.column_stack([(i - 1) * n + low, (i - 1) * n + (low ^ mask)])
+            )
+        edges = np.concatenate(chunks, axis=0)
+        super().__init__(labels, edges, name=f"CCC{n}")
+
+    def node(self, w: int, i: int) -> int:
+        """Index of node ``<w, i>`` (cycle ``w``, position ``i`` in ``1..log n``)."""
+        if not (1 <= i <= self.lg and 0 <= w < self.n):
+            raise ValueError(f"no node <{w}, {i}> in {self.name}")
+        return (i - 1) * self.n + w
+
+    def position(self, i: int) -> np.ndarray:
+        """Indices of all nodes at cycle position ``i``."""
+        if not 1 <= i <= self.lg:
+            raise ValueError(f"no position {i} in {self.name}")
+        return np.arange((i - 1) * self.n, i * self.n, dtype=np.int64)
+
+    def cycle(self, w: int) -> np.ndarray:
+        """Indices of the cycle labeled ``w``."""
+        if not 0 <= w < self.n:
+            raise ValueError(f"no cycle {w} in {self.name}")
+        return np.arange(self.lg, dtype=np.int64) * self.n + w
+
+    # ------------------------------------------------------------------ #
+    # Layer interface for the layered DP: layers are cycle positions.
+    # Cube edges live *inside* a layer; cycle edges connect consecutive
+    # layers cyclically.
+    # ------------------------------------------------------------------ #
+    def layers(self) -> list[np.ndarray]:
+        """Cycle positions in order, each an index array of ``n`` nodes."""
+        return [self.position(i) for i in range(1, self.lg + 1)]
+
+    @property
+    def cyclic(self) -> bool:
+        """Cycle edges wrap from the last position back to the first."""
+        return True
+
+
+def cube_connected_cycles(n: int) -> CubeConnectedCycles:
+    """Construct the ``log n``-dimensional cube-connected cycles ``CCCn``."""
+    return CubeConnectedCycles(n)

@@ -1,0 +1,79 @@
+"""Complete graphs and variants used as embedding guests (Section 1.4).
+
+The paper's lower-bound technique embeds dense guests into the host network:
+
+* ``K_N`` - the complete graph, with ``BW(K_N) = N^2 / 4`` and edge expansion
+  ``EE(K_N, k) = k (N - k)``.
+* ``2K_N`` - the doubled complete graph (every pair joined by two parallel
+  edges); embedding ``2K_{n(log n + 1)}`` into ``Bn`` gives the classical
+  ``BW(Bn) >= n/2`` bound.
+* ``K_{j,k}`` - the complete bipartite graph; ``K_{n,n}`` embeds into ``Bn``
+  along the unique monotonic input-to-output paths (Lemma 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = [
+    "complete_graph",
+    "doubled_complete_graph",
+    "complete_bipartite",
+    "complete_bisection_width",
+    "complete_edge_expansion",
+]
+
+
+def _all_pairs(n: int) -> np.ndarray:
+    iu = np.triu_indices(n, k=1)
+    return np.column_stack([iu[0], iu[1]]).astype(np.int64)
+
+
+def complete_graph(n: int) -> Network:
+    """The complete graph ``K_n`` on nodes labeled ``0..n-1``."""
+    if n < 1:
+        raise ValueError("K_n requires n >= 1")
+    return Network(range(n), _all_pairs(n), name=f"K{n}")
+
+
+def doubled_complete_graph(n: int) -> Network:
+    """``2K_n``: every pair of nodes joined by two parallel edges."""
+    if n < 1:
+        raise ValueError("2K_n requires n >= 1")
+    pairs = _all_pairs(n)
+    return Network(range(n), np.concatenate([pairs, pairs], axis=0), name=f"2K{n}")
+
+
+def complete_bipartite(j: int, k: int) -> Network:
+    """The complete bipartite graph ``K_{j,k}``.
+
+    Left nodes are labeled ``("L", a)``, right nodes ``("R", b)``, so that a
+    ``K_{n,n}`` guest's sides map naturally onto butterfly inputs and outputs.
+    """
+    if j < 1 or k < 1:
+        raise ValueError("K_{j,k} requires j, k >= 1")
+    labels = [("L", a) for a in range(j)] + [("R", b) for b in range(k)]
+    a_idx = np.repeat(np.arange(j, dtype=np.int64), k)
+    b_idx = np.tile(np.arange(k, dtype=np.int64), j)
+    edges = np.column_stack([a_idx, j + b_idx])
+    return Network(labels, edges, name=f"K{j},{k}")
+
+
+def complete_bisection_width(n: int, doubled: bool = False) -> int:
+    """``BW(K_n)`` (or ``BW(2K_n)``) in closed form.
+
+    ``BW(K_N) = floor(N/2) * ceil(N/2)``; the paper writes ``N^2/4`` for even
+    ``N``.  Doubling the edges doubles the width.
+    """
+    width = (n // 2) * ((n + 1) // 2)
+    return 2 * width if doubled else width
+
+
+def complete_edge_expansion(n: int, k: int, doubled: bool = False) -> int:
+    """``EE(K_n, k) = k (n - k)`` (Section 1.4), doubled for ``2K_n``."""
+    if not 0 <= k <= n:
+        raise ValueError(f"k={k} out of range for K_{n}")
+    val = k * (n - k)
+    return 2 * val if doubled else val

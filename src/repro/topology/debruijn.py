@@ -1,0 +1,64 @@
+"""De Bruijn and shuffle-exchange networks (Section 1.5, related networks).
+
+Schwabe [26] showed that an ``N``-node butterfly can emulate a same-size
+shuffle-exchange or de Bruijn network with constant slowdown and vice versa.
+These graphs are provided as companion substrates for emulation-flavored
+experiments and for exercising the generic cut/expansion machinery on
+non-layered hosts.
+
+Both graphs are defined on ``2^d`` nodes identified with ``d``-bit strings.
+Self-loops implied by the algebraic definitions (e.g. the all-zeros node of
+the de Bruijn graph) are dropped, and repeated undirected edges are
+collapsed, which is the usual convention for their undirected versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = ["de_bruijn", "shuffle_exchange"]
+
+
+def _dedupe(edges: np.ndarray) -> np.ndarray:
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keep = lo != hi
+    pairs = np.column_stack([lo[keep], hi[keep]])
+    return np.unique(pairs, axis=0)
+
+
+def de_bruijn(d: int) -> Network:
+    """The undirected ``d``-dimensional de Bruijn graph ``DB(d)``.
+
+    Node ``w`` is adjacent to ``(2w + b) mod 2^d`` for ``b in {0, 1}``
+    (shuffle left and append a bit).
+    """
+    if d < 1:
+        raise ValueError("de Bruijn graph requires d >= 1")
+    n = 1 << d
+    w = np.arange(n, dtype=np.int64)
+    succ0 = (w << 1) & (n - 1)
+    succ1 = succ0 | 1
+    edges = np.concatenate(
+        [np.column_stack([w, succ0]), np.column_stack([w, succ1])], axis=0
+    )
+    return Network(range(n), _dedupe(edges), name=f"DB{d}")
+
+
+def shuffle_exchange(d: int) -> Network:
+    """The undirected ``d``-dimensional shuffle-exchange graph ``SE(d)``.
+
+    *Exchange* edges join ``w`` and ``w ^ 1``; *shuffle* edges join ``w`` to
+    its left cyclic rotation.
+    """
+    if d < 1:
+        raise ValueError("shuffle-exchange graph requires d >= 1")
+    n = 1 << d
+    w = np.arange(n, dtype=np.int64)
+    exchange = np.column_stack([w, w ^ 1])
+    rot = ((w << 1) | (w >> (d - 1))) & (n - 1)
+    shuffle = np.column_stack([w, rot])
+    return Network(range(n), _dedupe(np.concatenate([exchange, shuffle], axis=0)),
+                   name=f"SE{d}")

@@ -1,0 +1,57 @@
+"""Hypercube networks (Section 1.5, related networks).
+
+The butterfly is a bounded-degree variant of the hypercube; Greenberg et
+al. [10] show the butterfly is even a *subgraph* of the hypercube for some
+sizes.  We provide the hypercube as a companion substrate for embedding
+experiments and sanity cross-checks (its bisection width, ``2^{d-1}``, is a
+classical exact value our solvers must recover).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = ["Hypercube", "hypercube", "hypercube_bisection_width"]
+
+
+class Hypercube(Network):
+    """The ``d``-dimensional hypercube ``Q_d`` on ``2^d`` nodes."""
+
+    def __init__(self, d: int) -> None:
+        if d < 0:
+            raise ValueError("dimension must be nonnegative")
+        self.d = d
+        n = 1 << d
+        nodes = np.arange(n, dtype=np.int64)
+        chunks = []
+        for b in range(d):
+            mask = 1 << b
+            low = nodes[(nodes & mask) == 0]
+            chunks.append(np.column_stack([low, low ^ mask]))
+        edges = (
+            np.concatenate(chunks, axis=0) if chunks else np.empty((0, 2), dtype=np.int64)
+        )
+        super().__init__(range(n), edges, name=f"Q{d}")
+
+    def dimension_edges(self, b: int) -> np.ndarray:
+        """Edges of dimension ``b`` (0-indexed from the least significant bit)."""
+        if not 0 <= b < self.d:
+            raise ValueError(f"no dimension {b} in {self.name}")
+        nodes = np.arange(self.num_nodes, dtype=np.int64)
+        mask = 1 << b
+        low = nodes[(nodes & mask) == 0]
+        return np.column_stack([low, low ^ mask])
+
+
+def hypercube(d: int) -> Hypercube:
+    """Construct the ``d``-dimensional hypercube."""
+    return Hypercube(d)
+
+
+def hypercube_bisection_width(d: int) -> int:
+    """``BW(Q_d) = 2^{d-1}`` (classical; one dimension cut is optimal)."""
+    if d < 1:
+        return 0
+    return 1 << (d - 1)

@@ -1,0 +1,126 @@
+"""Node labels and bit manipulation utilities for butterfly-like networks.
+
+The paper labels every butterfly node ``<w, i>`` where ``i`` is the *level*
+(``0 <= i <= log n``) and ``w`` is a ``log n``-bit binary number naming the
+*column*.  Bit positions are numbered ``1`` through ``log n`` with the most
+significant bit numbered ``1`` (Section 1.1 of the paper).  This module
+centralizes those conventions so that every other module agrees on them.
+
+Columns are represented as Python integers in ``[0, n)``; a label is the
+tuple ``(w, i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "bit_of",
+    "flip_bit",
+    "bit_reversal",
+    "prefix_bits",
+    "suffix_bits",
+    "column_bits",
+    "format_column",
+    "make_label",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a positive power of two.
+
+    The number of butterfly inputs ``n`` is always a power of two
+    (Section 2 of the paper).
+    """
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Return ``log2(n)`` for a power of two ``n``, else raise ``ValueError``."""
+    if not is_power_of_two(n):
+        raise ValueError(f"expected a positive power of two, got {n!r}")
+    return n.bit_length() - 1
+
+
+def bit_of(w: int, pos: int, lg: int) -> int:
+    """Return bit at *paper position* ``pos`` of the ``lg``-bit column ``w``.
+
+    Positions are 1-indexed with the most significant bit at position 1,
+    matching the paper's convention ("the bit positions are numbered 1
+    through log n, the most significant bit being numbered 1").
+    """
+    if not 1 <= pos <= lg:
+        raise ValueError(f"bit position {pos} out of range [1, {lg}]")
+    return (w >> (lg - pos)) & 1
+
+
+def flip_bit(w: int, pos: int, lg: int) -> int:
+    """Return ``w`` with the bit at paper position ``pos`` flipped."""
+    if not 1 <= pos <= lg:
+        raise ValueError(f"bit position {pos} out of range [1, {lg}]")
+    return w ^ (1 << (lg - pos))
+
+
+def bit_reversal(w: int, lg: int) -> int:
+    """Reverse the ``lg``-bit representation of ``w``.
+
+    Bit reversal realizes the level-reversing automorphism of the butterfly
+    (Lemma 2.1): mapping ``<w, i>`` to ``<reverse(w), log n - i>`` preserves
+    adjacency.
+    """
+    out = 0
+    for _ in range(lg):
+        out = (out << 1) | (w & 1)
+        w >>= 1
+    return out
+
+
+def bit_reversal_array(ws: np.ndarray, lg: int) -> np.ndarray:
+    """Vectorized :func:`bit_reversal` over an integer array."""
+    ws = np.asarray(ws, dtype=np.int64)
+    out = np.zeros_like(ws)
+    tmp = ws.copy()
+    for _ in range(lg):
+        out = (out << 1) | (tmp & 1)
+        tmp >>= 1
+    return out
+
+
+def prefix_bits(w: int, count: int, lg: int) -> int:
+    """Return the first (most significant) ``count`` bits of ``w``.
+
+    Used to identify the connected components of level-range subgraphs: the
+    components of ``Bn[i, log n]`` are indexed by the first ``i`` bits of the
+    column (Lemma 2.4).
+    """
+    if not 0 <= count <= lg:
+        raise ValueError(f"prefix length {count} out of range [0, {lg}]")
+    return w >> (lg - count) if count else 0
+
+
+def suffix_bits(w: int, count: int) -> int:
+    """Return the last (least significant) ``count`` bits of ``w``.
+
+    The components of ``Bn[0, m]`` are indexed by the last ``log n - m``
+    bits of the column (Lemma 2.4).
+    """
+    if count < 0:
+        raise ValueError(f"suffix length {count} must be nonnegative")
+    return w & ((1 << count) - 1) if count else 0
+
+
+def column_bits(w: int, lg: int) -> tuple[int, ...]:
+    """Return the bits of column ``w`` ordered by paper position (MSB first)."""
+    return tuple((w >> (lg - pos)) & 1 for pos in range(1, lg + 1))
+
+
+def format_column(w: int, lg: int) -> str:
+    """Render column ``w`` as a ``lg``-character binary string (MSB first)."""
+    return format(w, f"0{lg}b") if lg else ""
+
+
+def make_label(w: int, i: int) -> tuple[int, int]:
+    """Return the canonical node label ``<w, i>`` as a tuple ``(w, i)``."""
+    return (w, i)

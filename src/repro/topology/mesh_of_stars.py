@@ -1,0 +1,93 @@
+"""The mesh of stars ``MOS_{j,k}`` (Section 2.1).
+
+``MOS_{j,k}`` is obtained from the complete bipartite graph ``K_{j,k}`` by
+replacing each edge with a path of length 2.  Its three levels are ``M1``
+(``j`` nodes), ``M2`` (``j*k`` middle nodes, one per original edge) and
+``M3`` (``k`` nodes).  The middle node on the path between ``a``-th node of
+``M1`` and ``b``-th node of ``M3`` is labeled ``("M2", a, b)``.
+
+The mesh of stars is the highly symmetric quotient through which the paper
+computes the bisection width of the butterfly: Lemma 2.11 embeds ``Bn`` into
+``MOS_{j,k}`` with dilation 1, and Lemmas 2.17-2.19 pin down
+``BW(MOS_{j,j}, M2) / j^2`` to ``sqrt(2) - 1`` in the limit.
+
+Index layout: ``M1`` occupies indices ``[0, j)``, ``M2`` occupies
+``[j, j + j*k)`` in row-major ``(a, b)`` order, and ``M3`` occupies the final
+``k`` indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = ["MeshOfStars", "mesh_of_stars"]
+
+
+class MeshOfStars(Network):
+    """The ``j x k`` mesh of stars."""
+
+    def __init__(self, j: int, k: int) -> None:
+        if j < 1 or k < 1:
+            raise ValueError(f"MOS requires j, k >= 1, got {j}, {k}")
+        self.j = j
+        self.k = k
+        labels: list[tuple] = [("M1", a) for a in range(j)]
+        labels += [("M2", a, b) for a in range(j) for b in range(k)]
+        labels += [("M3", b) for b in range(k)]
+
+        a_idx = np.repeat(np.arange(j, dtype=np.int64), k)
+        b_idx = np.tile(np.arange(k, dtype=np.int64), j)
+        mid = j + a_idx * k + b_idx
+        left = np.column_stack([a_idx, mid])
+        right = np.column_stack([mid, j + j * k + b_idx])
+        edges = np.concatenate([left, right], axis=0)
+        super().__init__(labels, edges, name=f"MOS{j}x{k}")
+
+    # ------------------------------------------------------------------ #
+    # Level sets
+    # ------------------------------------------------------------------ #
+    def m1(self) -> np.ndarray:
+        """Indices of the ``M1`` side (``j`` nodes)."""
+        return np.arange(self.j, dtype=np.int64)
+
+    def m2(self) -> np.ndarray:
+        """Indices of the ``M2`` middle nodes (``j * k`` nodes)."""
+        return np.arange(self.j, self.j + self.j * self.k, dtype=np.int64)
+
+    def m3(self) -> np.ndarray:
+        """Indices of the ``M3`` side (``k`` nodes)."""
+        base = self.j + self.j * self.k
+        return np.arange(base, base + self.k, dtype=np.int64)
+
+    def m1_node(self, a: int) -> int:
+        """Index of the ``a``-th ``M1`` node."""
+        if not 0 <= a < self.j:
+            raise ValueError(f"no M1 node {a}")
+        return a
+
+    def m2_node(self, a: int, b: int) -> int:
+        """Index of the middle node between ``M1[a]`` and ``M3[b]``."""
+        if not (0 <= a < self.j and 0 <= b < self.k):
+            raise ValueError(f"no M2 node ({a}, {b})")
+        return self.j + a * self.k + b
+
+    def m3_node(self, b: int) -> int:
+        """Index of the ``b``-th ``M3`` node."""
+        if not 0 <= b < self.k:
+            raise ValueError(f"no M3 node {b}")
+        return self.j + self.j * self.k + b
+
+    def layers(self) -> list[np.ndarray]:
+        """The three levels ``M1, M2, M3`` (layered, acyclic)."""
+        return [self.m1(), self.m2(), self.m3()]
+
+    @property
+    def cyclic(self) -> bool:
+        return False
+
+
+def mesh_of_stars(j: int, k: int) -> MeshOfStars:
+    """Construct the ``j x k`` mesh of stars."""
+    return MeshOfStars(j, k)

@@ -1,0 +1,48 @@
+"""Random regular graphs: the expander foil for Section 1.3.
+
+The paper notes that the only bounded-degree networks known to route and
+sort deterministically in ``O(log N)`` time "incorporate some form of
+expansion (``NE(G,k) >= (1+ε)k``) into their structures" — which
+butterflies do *not* have: their expansion is ``Θ(k/log k)``, strictly
+sublinear.  Random regular graphs, by contrast, are expanders with high
+probability, so comparing the two profiles at the same size and degree
+makes Section 1.3's point as data (see
+``benchmarks/bench_expander_contrast.py``).
+
+The generator is the standard configuration model with rejection: pair
+half-edges uniformly, retry on self-loops or duplicate edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = ["random_regular_graph"]
+
+
+def random_regular_graph(n: int, d: int, seed: int = 0, max_tries: int = 500) -> Network:
+    """A uniformly random simple ``d``-regular graph on ``n`` nodes.
+
+    ``n * d`` must be even; raises after ``max_tries`` rejections (only
+    plausible for extreme ``d``).
+    """
+    if n * d % 2:
+        raise ValueError("n * d must be even")
+    if d >= n:
+        raise ValueError("degree must be below the node count")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n), d)
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        pairs = perm.reshape(-1, 2)
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        if (lo == hi).any():
+            continue
+        canon = np.column_stack([lo, hi])
+        if len(np.unique(canon, axis=0)) != len(canon):
+            continue
+        return Network(range(n), canon, name=f"RR({n},{d})")
+    raise RuntimeError(f"could not sample a simple {d}-regular graph on {n} nodes")

@@ -1,0 +1,41 @@
+"""Text rendering of butterfly networks (regenerating Figure 1).
+
+Figure 1 of the paper draws ``B8``: 32 nodes in 4 levels of 8 columns, the
+columns labeled by their 3-bit binary numbers, straight and cross edges
+between consecutive levels.  :func:`ascii_butterfly` reproduces that layout
+as text; for each pair of levels the cross edges of the flipped bit are
+drawn as the characteristic interleaved "butterfly" pattern.
+"""
+
+from __future__ import annotations
+
+from .butterfly import Butterfly
+from .labels import format_column
+
+__all__ = ["ascii_butterfly"]
+
+
+def ascii_butterfly(bf: Butterfly, cell: int = 4) -> str:
+    """Render the butterfly as ASCII art, one row per level.
+
+    Nodes are ``o``; straight edges are implicit (vertical alignment); the
+    cross-edge pattern between levels ``i`` and ``i+1`` is annotated with
+    the bit position it flips.  Suitable up to ``n = 16`` or so.
+    """
+    n, lg = bf.n, bf.lg
+    lines: list[str] = []
+    header = " " * 9 + "".join(format_column(w, lg).center(cell) for w in range(n))
+    lines.append(header.rstrip())
+    lines.append(" " * 9 + ("column".center(n * cell)).rstrip())
+    for i in range(bf.num_levels):
+        row = f"level {i:2d} " + "".join("o".center(cell) for _ in range(n))
+        lines.append(row.rstrip())
+        if i < bf.num_levels - 1 or bf.wraparound:
+            bitpos = (i % lg) + 1
+            span = 1 << (lg - bitpos)  # column distance of the cross edges
+            marks = []
+            for w in range(n):
+                marks.append(("\\" if (w // span) % 2 == 0 else "/").center(cell))
+            label = f"bit {bitpos}   "
+            lines.append((label + "".join(marks)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Level-range subgraphs ``Bn[i, j]`` and their components (Lemma 2.4).
+
+For ``0 <= i <= j <= log n``, ``Bn[i, j]`` denotes the subgraph of ``Bn``
+induced by levels ``L_i .. L_j``.  Lemma 2.4 states that ``Bn[i, j]`` has
+``n / 2^{j-i}`` connected components, each isomorphic to ``B_{2^{j-i}}``,
+with the ``k``-th level of each component inside level ``i + k`` of ``Bn``.
+
+Concretely, the edges inside the range flip only bit positions
+``i+1 .. j``, so a component is determined by the *fixed* bits: the first
+``i`` bits (the prefix) and the last ``log n - j`` bits (the suffix) of the
+column.  This module materializes that decomposition; it is the backbone of
+the butterfly-to-mesh-of-stars quotient (Lemma 2.11) and of the amenable
+rebalancing step in the bisection construction (Lemma 2.16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .butterfly import Butterfly, butterfly
+from .labels import prefix_bits, suffix_bits
+
+__all__ = [
+    "SubButterflyComponent",
+    "component_key",
+    "component_columns",
+    "level_range_components",
+    "component_of",
+    "component_isomorphism",
+]
+
+
+@dataclass(frozen=True)
+class SubButterflyComponent:
+    """One connected component of ``Bn[lo, hi]``.
+
+    Attributes
+    ----------
+    lo, hi:
+        The level range (inclusive) in the parent butterfly.
+    prefix:
+        The fixed first ``lo`` bits shared by every column of the component.
+    suffix:
+        The fixed last ``log n - hi`` bits shared by every column.
+    columns:
+        The ``2^{hi-lo}`` full column numbers of the component, ordered by
+        their middle bits.
+    nodes:
+        Parent-butterfly node indices, level-major: all of level ``lo``
+        first, then level ``lo+1``, etc.
+    """
+
+    lo: int
+    hi: int
+    prefix: int
+    suffix: int
+    columns: np.ndarray
+    nodes: np.ndarray
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the component butterfly (``hi - lo``)."""
+        return self.hi - self.lo
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def level_nodes(self, k: int) -> np.ndarray:
+        """Parent indices of the component's ``k``-th level (level ``lo+k``)."""
+        if not 0 <= k <= self.dimension:
+            raise ValueError(f"component has no level {k}")
+        width = len(self.columns)
+        return self.nodes[k * width:(k + 1) * width]
+
+
+def _check_range(bf: Butterfly, lo: int, hi: int) -> None:
+    if bf.wraparound:
+        raise ValueError("level-range decomposition is defined on Bn, not Wn")
+    if not 0 <= lo <= hi <= bf.lg:
+        raise ValueError(f"invalid level range [{lo}, {hi}] for {bf.name}")
+
+
+def component_key(bf: Butterfly, w: int, lo: int, hi: int) -> tuple[int, int]:
+    """Return the ``(prefix, suffix)`` key of column ``w`` in ``Bn[lo, hi]``."""
+    _check_range(bf, lo, hi)
+    return prefix_bits(w, lo, bf.lg), suffix_bits(w, bf.lg - hi)
+
+
+def component_columns(bf: Butterfly, prefix: int, suffix: int, lo: int, hi: int) -> np.ndarray:
+    """Columns of the ``(prefix, suffix)`` component of ``Bn[lo, hi]``.
+
+    Ordered by the free middle bits (positions ``lo+1 .. hi``).
+    """
+    _check_range(bf, lo, hi)
+    lg = bf.lg
+    mids = np.arange(1 << (hi - lo), dtype=np.int64)
+    return (prefix << (lg - lo)) | (mids << (lg - hi)) | suffix
+
+
+def _component(bf: Butterfly, prefix: int, suffix: int, lo: int, hi: int) -> SubButterflyComponent:
+    cols = component_columns(bf, prefix, suffix, lo, hi)
+    levels = np.arange(lo, hi + 1, dtype=np.int64)
+    nodes = (levels[:, None] * bf.n + cols[None, :]).reshape(-1)
+    return SubButterflyComponent(lo, hi, prefix, suffix, cols, nodes)
+
+
+def level_range_components(bf: Butterfly, lo: int, hi: int) -> list[SubButterflyComponent]:
+    """All connected components of ``Bn[lo, hi]`` (Lemma 2.4).
+
+    There are exactly ``n / 2^{hi-lo}`` of them; components are ordered by
+    ``(prefix, suffix)``.
+    """
+    _check_range(bf, lo, hi)
+    comps = [
+        _component(bf, p, s, lo, hi)
+        for p in range(1 << lo)
+        for s in range(1 << (bf.lg - hi))
+    ]
+    return comps
+
+
+def component_of(bf: Butterfly, w: int, lo: int, hi: int) -> SubButterflyComponent:
+    """The component of ``Bn[lo, hi]`` containing column ``w``."""
+    p, s = component_key(bf, w, lo, hi)
+    return _component(bf, p, s, lo, hi)
+
+
+def component_isomorphism(bf: Butterfly, comp: SubButterflyComponent):
+    """Exhibit the isomorphism of a component onto a fresh ``B_{2^{hi-lo}}``.
+
+    Returns
+    -------
+    (small, mapping):
+        ``small`` is a :class:`Butterfly` of dimension ``hi - lo``;
+        ``mapping`` maps parent node indices to ``small`` node indices.
+        The map sends the component's ``k``-th level onto level ``k`` of
+        ``small`` and orders columns by their free middle bits.
+    """
+    d = comp.dimension
+    if d == 0:
+        raise ValueError("a 0-dimensional component is a single path of nodes, "
+                         "not a butterfly; use dimension >= 1")
+    small = butterfly(1 << d)
+    width = len(comp.columns)
+    mapping: dict[int, int] = {}
+    for k in range(d + 1):
+        lvl = comp.level_nodes(k)
+        for m, parent_idx in enumerate(lvl):
+            mapping[int(parent_idx)] = small.node(m, k)
+    assert len(mapping) == comp.num_nodes == small.num_nodes
+    return small, mapping

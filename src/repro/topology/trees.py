@@ -1,0 +1,133 @@
+"""Down-trees ``T_u`` and up-trees ``T'_u`` in ``Wn`` and ``Bn`` (Section 4).
+
+In the wrapped butterfly, the *down-tree* ``T_u`` rooted at ``u = <w, i>`` is
+the ``n``-leaf complete binary tree whose depth-``j`` level consists of nodes
+on level ``i + j (mod log n)``; the *up-tree* ``T'_u`` descends through
+levels ``i - j (mod log n)``.  In ``Bn`` (no wraparound) the down-tree from
+level ``i`` reaches the outputs (``n / 2^i`` leaves) and the up-tree reaches
+the inputs (``2^i`` leaves).
+
+These trees carry the credit-distribution arguments of Lemmas 4.2, 4.5, 4.8
+and 4.11; :mod:`repro.expansion.credit` propagates credit down exactly these
+trees.  Trees are stored as one NumPy index array per depth with the
+invariant that the parent of the node at position ``c`` of depth ``j`` is at
+position ``c // 2`` of depth ``j - 1`` (even child = straight edge, odd
+child = cross edge), so propagation is fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .butterfly import Butterfly
+
+__all__ = ["ButterflyTree", "down_tree", "up_tree"]
+
+
+@dataclass(frozen=True)
+class ButterflyTree:
+    """A complete binary tree of butterfly nodes.
+
+    Attributes
+    ----------
+    network:
+        The host butterfly.
+    root:
+        Host index of the root node.
+    direction:
+        ``+1`` for a down-tree, ``-1`` for an up-tree.
+    depths:
+        ``depths[j]`` holds host node indices of the ``2^j`` tree nodes at
+        depth ``j``; position ``c``'s parent is position ``c // 2`` one
+        depth up.
+    """
+
+    network: Butterfly = field(repr=False)
+    root: int
+    direction: int
+    depths: list[np.ndarray]
+
+    @property
+    def depth(self) -> int:
+        """Tree depth (number of edge generations)."""
+        return len(self.depths) - 1
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Host indices of the leaves."""
+        return self.depths[-1]
+
+    def edges_at(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Parent and child host-index arrays for the depth-``j`` edges.
+
+        Entry ``c`` of both arrays describes the tree edge into the ``c``-th
+        node of depth ``j``; the parent array therefore repeats each
+        depth-``j-1`` node twice.
+        """
+        if not 1 <= j <= self.depth:
+            raise ValueError(f"tree has no edge generation {j}")
+        children = self.depths[j]
+        parents = np.repeat(self.depths[j - 1], 2)
+        return parents, children
+
+    def all_edges(self) -> np.ndarray:
+        """All tree edges as an ``(E, 2)`` host-index array (parent, child)."""
+        if self.depth == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        parts = [np.column_stack(self.edges_at(j)) for j in range(1, self.depth + 1)]
+        return np.concatenate(parts, axis=0)
+
+
+def _grow(bf: Butterfly, w: int, i: int, direction: int, depth: int) -> ButterflyTree:
+    lg, n = bf.lg, bf.n
+    cols = np.array([w], dtype=np.int64)
+    level = i
+    depths = [np.array([bf.node(w, i)], dtype=np.int64)]
+    for _ in range(depth):
+        if direction > 0:
+            # Edges from `level` to `level + 1` flip bit position level + 1.
+            bitpos = (level % lg) + 1 if bf.wraparound else level + 1
+            next_level = (level + 1) % lg if bf.wraparound else level + 1
+        else:
+            # Edges from `level - 1` to `level` flip bit position `level`
+            # (position log n for the wrap edge out of level 0).
+            eff = level % lg if bf.wraparound else level
+            bitpos = lg if (bf.wraparound and eff == 0) else eff
+            next_level = (level - 1) % lg if bf.wraparound else level - 1
+        mask = 1 << (lg - bitpos)
+        nxt = np.empty(2 * len(cols), dtype=np.int64)
+        nxt[0::2] = cols            # straight child
+        nxt[1::2] = cols ^ mask     # cross child
+        cols = nxt
+        level = next_level
+        depths.append(level * n + cols)
+    return ButterflyTree(bf, depths[0][0], direction, depths)
+
+
+def down_tree(bf: Butterfly, w: int, i: int, depth: int | None = None) -> ButterflyTree:
+    """The down-tree ``T_u`` rooted at ``u = <w, i>``.
+
+    For ``Wn`` the natural depth is ``log n`` (an ``n``-leaf tree whose
+    leaves return to level ``i``); for ``Bn`` it is ``log n - i`` (leaves on
+    the output level).  A smaller ``depth`` may be requested.
+    """
+    natural = bf.lg if bf.wraparound else bf.lg - (i % bf.num_levels)
+    depth = natural if depth is None else depth
+    if depth < 0 or depth > natural:
+        raise ValueError(f"requested depth {depth} exceeds natural depth {natural}")
+    return _grow(bf, w, i % bf.num_levels if bf.wraparound else i, +1, depth)
+
+
+def up_tree(bf: Butterfly, w: int, i: int, depth: int | None = None) -> ButterflyTree:
+    """The up-tree ``T'_u`` rooted at ``u = <w, i>``.
+
+    For ``Wn`` the natural depth is ``log n``; for ``Bn`` it is ``i``
+    (leaves on the input level).
+    """
+    natural = bf.lg if bf.wraparound else (i % bf.num_levels)
+    depth = natural if depth is None else depth
+    if depth < 0 or depth > natural:
+        raise ValueError(f"requested depth {depth} exceeds natural depth {natural}")
+    return _grow(bf, w, i % bf.num_levels if bf.wraparound else i, -1, depth)

@@ -1,0 +1,78 @@
+"""Finite-size scaling toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScalingFit,
+    butterfly_construction_series,
+    check_monotone_envelope,
+    estimate_lemma_219_constant,
+    estimate_theorem_220_constant,
+    fit_inverse_model,
+    mos_ratio_series,
+)
+
+
+class TestFit:
+    def test_recovers_exact_model(self):
+        xs = np.array([1.0, 2.0, 4.0, 8.0])
+        ys = 0.5 + 3.0 / xs
+        fit = fit_inverse_model(xs, ys)
+        assert fit.limit == pytest.approx(0.5)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_predict(self):
+        fit = ScalingFit(limit=1.0, slope=2.0, residual=0.0)
+        assert fit.predict(np.array([2.0]))[0] == pytest.approx(2.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_inverse_model([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_inverse_model([0.0, 1.0], [1.0, 1.0])
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(10, 100, 20)
+        ys = 0.83 + 5.0 / xs + rng.normal(0, 1e-3, 20)
+        fit = fit_inverse_model(xs, ys)
+        assert fit.limit == pytest.approx(0.83, abs=0.01)
+
+
+class TestEnvelope:
+    def test_good_series(self):
+        assert check_monotone_envelope([0.9, 0.87, 0.85], floor=0.83)
+
+    def test_floor_violation(self):
+        assert not check_monotone_envelope([0.9, 0.82], floor=0.83)
+
+    def test_monotonicity_violation(self):
+        assert not check_monotone_envelope([0.85, 0.9], floor=0.8)
+
+    def test_tolerated_wiggle(self):
+        assert check_monotone_envelope([0.85, 0.86, 0.84], floor=0.8, tolerance=0.02)
+
+
+class TestPaperConstants:
+    def test_theorem_220_constant_from_data(self):
+        """Extrapolating the construction series recovers 2(sqrt2 - 1)."""
+        fit = estimate_theorem_220_constant()
+        assert fit.limit == pytest.approx(2 * (math.sqrt(2) - 1), abs=0.01)
+
+    def test_lemma_219_constant_from_data(self):
+        fit = estimate_lemma_219_constant()
+        assert fit.limit == pytest.approx(math.sqrt(2) - 1, abs=0.005)
+
+    def test_construction_series_envelope(self):
+        xs, ys = butterfly_construction_series((100, 200, 400, 800))
+        assert check_monotone_envelope(
+            ys, floor=2 * (math.sqrt(2) - 1), tolerance=0.005
+        )
+
+    def test_mos_series_strictly_above(self):
+        xs, ys = mos_ratio_series((8, 16, 32, 64, 128))
+        assert (ys > math.sqrt(2) - 1).all()

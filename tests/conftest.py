@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import butterfly, wrapped_butterfly, cube_connected_cycles
+
+
+@pytest.fixture(scope="session")
+def b4():
+    return butterfly(4)
+
+
+@pytest.fixture(scope="session")
+def b8():
+    return butterfly(8)
+
+
+@pytest.fixture(scope="session")
+def b16():
+    return butterfly(16)
+
+
+@pytest.fixture(scope="session")
+def w4():
+    return wrapped_butterfly(4)
+
+
+@pytest.fixture(scope="session")
+def w8():
+    return wrapped_butterfly(8)
+
+
+@pytest.fixture(scope="session")
+def w16():
+    return wrapped_butterfly(16)
+
+
+@pytest.fixture(scope="session")
+def ccc8():
+    return cube_connected_cycles(8)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

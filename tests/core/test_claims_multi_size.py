@@ -1,0 +1,99 @@
+"""Paper claims re-checked at non-default sizes.
+
+The registry's defaults pick the smallest meaningful instances; these
+tests sweep the size-parameterizable claims over a ladder so a bug that
+only bites at one width cannot hide.
+"""
+
+import pytest
+
+from repro.core import check
+
+
+class TestStructuralClaims:
+    @pytest.mark.parametrize("n", [4, 16, 32])
+    def test_structure(self, n):
+        assert check("structure", n=n).passed
+
+    @pytest.mark.parametrize("n", [4, 8, 32])
+    def test_lemma_21(self, n):
+        assert check("lemma-2.1", n=n).passed
+
+    @pytest.mark.parametrize("n", [4, 16])
+    def test_lemma_22(self, n):
+        assert check("lemma-2.2", n=n, samples=15).passed
+
+    @pytest.mark.parametrize("n", [4, 8, 32])
+    def test_lemma_23(self, n):
+        assert check("lemma-2.3", n=n).passed
+
+    @pytest.mark.parametrize("n", [4, 8, 32])
+    def test_lemma_24(self, n):
+        assert check("lemma-2.4", n=n).passed
+
+
+class TestCompactnessClaims:
+    @pytest.mark.parametrize("n", [4, 16])
+    def test_lemma_28(self, n):
+        assert check("lemma-2.8", n=n, trials=60).passed
+
+    @pytest.mark.parametrize("n", [4, 16])
+    def test_lemma_29(self, n):
+        assert check("lemma-2.9", n=n, trials=30).passed
+
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_lemma_215(self, n):
+        assert check("lemma-2.15", n=n).passed
+
+
+class TestEmbeddingClaims:
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_lemma_25(self, n):
+        assert check("lemma-2.5", n=n, perms=2).passed
+
+    @pytest.mark.parametrize("n,j,i", [(4, 1, 0), (16, 2, 3), (8, 3, 2)])
+    def test_lemma_210(self, n, j, i):
+        assert check("lemma-2.10", n=n, j=j, i=i).passed
+
+    @pytest.mark.parametrize("n,j,k", [(16, 2, 2), (64, 2, 8), (64, 8, 4)])
+    def test_lemma_211(self, n, j, k):
+        assert check("lemma-2.11", n=n, j=j, k=k).passed
+
+
+class TestMosClaims:
+    @pytest.mark.parametrize("j", [2, 6, 10])
+    def test_lemma_217(self, j):
+        # Even j: the lemma's stated parity (odd j^2 shifts the half by one).
+        assert check("lemma-2.17", j=j).passed
+
+    def test_lemma_219_wide_even_window(self):
+        assert check("lemma-2.19", js=(2, 6, 10, 34, 100, 512)).passed
+
+    def test_lemma_219_fails_at_odd_seven(self):
+        """The parity condition is load-bearing: j = 7 violates the strict
+        bound, so the claim checker must reject a window containing it."""
+        assert not check("lemma-2.19", js=(2, 7, 8)).passed
+
+
+class TestExpansionClaims:
+    @pytest.mark.parametrize("n,d", [(32, 1), (256, 4)])
+    def test_table_upper(self, n, d):
+        assert check("section-4.3-upper", n=n, d=d).passed
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_credit_schemes(self, n):
+        assert check("credit-schemes", n=n, trials=4).passed
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_hong_kung(self, n):
+        assert check("section-1.6-hong-kung", n=n, trials=8).passed
+
+
+class TestRoutingClaims:
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_routing_bound(self, n):
+        assert check("routing-bound", n=n).passed
+
+    @pytest.mark.parametrize("n", [4, 16])
+    def test_menger(self, n):
+        assert check("menger-io", n=n).passed

@@ -1,0 +1,49 @@
+"""Certified expansion API."""
+
+import pytest
+
+from repro.core import edge_expansion, node_expansion
+from repro.topology import butterfly, wrapped_butterfly
+
+
+class TestEdgeExpansion:
+    def test_exact_small(self, w8):
+        cert = edge_expansion(w8, 4)
+        assert cert.is_exact and cert.value == 8
+
+    def test_exact_bn(self, b8):
+        cert = edge_expansion(b8, 2)
+        assert cert.is_exact and cert.value == 4
+
+    def test_interval_large(self):
+        w32 = wrapped_butterfly(32)
+        cert = edge_expansion(w32, 12)
+        assert cert.lower <= cert.upper
+        # The witness value must be a real achievable expansion:
+        assert cert.upper >= 1
+
+    def test_witness_consistency_with_lemma41(self):
+        """At an exact sub-butterfly size the interval's upper bound is at
+        most the Lemma 4.1 witness value."""
+        w64 = wrapped_butterfly(64)
+        k = 3 << 2  # (d+1) 2^d with d = 2
+        cert = edge_expansion(w64, k)
+        assert cert.upper <= 4 << 2
+
+
+class TestNodeExpansion:
+    def test_exact_small(self, b8):
+        cert = node_expansion(b8, 4)
+        assert cert.is_exact and cert.value == 4
+
+    def test_interval_large(self):
+        b64 = butterfly(64)
+        cert = node_expansion(b64, 24)
+        assert cert.lower <= cert.upper
+        # Lemma 4.10's twin witness (k = 24, d = 2) caps the upper bound at 8.
+        assert cert.upper <= 8
+
+    def test_wn_twin_witness_used(self):
+        w64 = wrapped_butterfly(64)
+        cert = node_expansion(w64, 24)
+        assert cert.upper <= 3 << 3  # Lemma 4.4 value

@@ -1,0 +1,30 @@
+"""BoundCertificate invariants."""
+
+import pytest
+
+from repro.core import BoundCertificate
+
+
+class TestCertificate:
+    def test_exact(self):
+        c = BoundCertificate("X", 5, 5, "a", "b")
+        assert c.is_exact
+        assert c.value == 5
+
+    def test_interval(self):
+        c = BoundCertificate("X", 3, 7, "a", "b")
+        assert not c.is_exact
+        with pytest.raises(ValueError):
+            _ = c.value
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BoundCertificate("X", 8, 7, "a", "b")
+
+    def test_str_exact(self):
+        s = str(BoundCertificate("BW(B8)", 8, 8, "dp", "dp"))
+        assert "BW(B8) = 8" in s
+
+    def test_str_interval(self):
+        s = str(BoundCertificate("X", 3, 7, "lo", "hi"))
+        assert "[3, 7]" in s and "lo" in s and "hi" in s

@@ -1,0 +1,38 @@
+"""Every registered paper claim must pass at default parameters."""
+
+import pytest
+
+from repro.core import REGISTRY, all_claim_ids, check
+
+
+@pytest.mark.parametrize("claim_id", all_claim_ids())
+def test_claim_passes(claim_id):
+    res = REGISTRY[claim_id].check()
+    assert res.passed, f"{claim_id} failed: {res.details}"
+
+
+def test_registry_covers_the_paper_skeleton():
+    ids = set(all_claim_ids())
+    must_have = {
+        "structure", "lemma-2.1", "lemma-2.3", "lemma-2.4", "lemma-2.5",
+        "lemma-2.8", "lemma-2.11", "lemma-2.13", "lemma-2.17", "lemma-2.19",
+        "theorem-2.20", "lemma-3.1", "lemma-3.2", "lemma-3.3",
+        "section-4.3-lower", "section-4.3-upper", "credit-schemes",
+    }
+    assert must_have <= ids
+
+
+def test_claims_have_references_and_statements():
+    for claim in REGISTRY.values():
+        assert claim.reference
+        assert len(claim.statement) >= 10
+
+
+def test_check_helper():
+    res = check("lemma-2.18")
+    assert res.passed and res.claim_id == "lemma-2.18"
+
+
+def test_parameterized_check():
+    res = check("lemma-2.1", n=8)
+    assert res.passed

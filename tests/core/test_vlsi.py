@@ -1,0 +1,44 @@
+"""VLSI corollaries (Section 1.2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    at2_lower_bound,
+    bn_area_estimate,
+    bn_volume_order,
+    routing_time_lower_bound,
+    thompson_area_lower_bound,
+)
+
+
+class TestThompson:
+    def test_area_bound(self):
+        assert thompson_area_lower_bound(8) == 64
+
+    def test_folklore_vs_theorem_area_gap(self):
+        """Theorem 2.20 lowers the certified area floor by (2(sqrt2-1))^2."""
+        n = 1 << 20
+        folk = thompson_area_lower_bound(n)
+        true_floor = thompson_area_lower_bound(2 * (math.sqrt(2) - 1) * n)
+        assert true_floor / folk == pytest.approx((2 * (math.sqrt(2) - 1)) ** 2)
+
+    def test_area_floor_below_known_layout(self):
+        """BW^2 <= layout area (1±o(1)) n^2 must be consistent."""
+        n = 1 << 10
+        assert thompson_area_lower_bound(n) <= bn_area_estimate(n) * 1.01
+
+
+class TestAT2:
+    def test_formula(self):
+        assert at2_lower_bound(10) == 100
+
+    def test_routing_time(self):
+        assert routing_time_lower_bound(100, 10) == 10
+        assert routing_time_lower_bound(100, 0) == math.inf
+
+
+class TestOrders:
+    def test_volume_order(self):
+        assert bn_volume_order(4) == 8.0

@@ -1,0 +1,92 @@
+"""Amenable sets (Lemmas 2.14-2.15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuts import Cut, check_amenable_for_cut, mixed_orientation, rearranged
+from repro.topology import butterfly, level_range_components
+
+
+def mixed_cut(bf, comp, comp_in_s=True, reverse=False):
+    """A cut making `comp` a mixed component (Lemma 2.15's hypothesis)."""
+    side = np.zeros(bf.num_nodes, dtype=bool)
+    if not reverse:
+        for i in range(comp.lo):
+            side[bf.level(i)] = True      # input side in S
+    else:
+        for i in range(comp.hi + 1, bf.lg + 1):
+            side[bf.level(i)] = True      # output side in S
+    side[comp.nodes] = comp_in_s
+    return Cut(bf, side)
+
+
+class TestOrientation:
+    def test_forward_orientation(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = mixed_cut(b16, comp)
+        assert mixed_orientation(cut, comp) == +1
+
+    def test_reverse_orientation(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = mixed_cut(b16, comp, reverse=True)
+        assert mixed_orientation(cut, comp) == -1
+
+    def test_unmixed_returns_zero(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = Cut(b16, np.zeros(b16.num_nodes, dtype=bool))
+        assert mixed_orientation(cut, comp) == 0
+
+    def test_component_touching_io_rejected(self, b16):
+        comp = level_range_components(b16, 0, 2)[0]
+        cut = Cut(b16, np.zeros(b16.num_nodes, dtype=bool))
+        with pytest.raises(ValueError):
+            mixed_orientation(cut, comp)
+
+
+class TestLemma215:
+    @given(st.booleans(), st.booleans(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_invariant_under_threshold(self, comp_in_s, reverse, data):
+        """Every k from 0 to |U| is achievable at unchanged capacity."""
+        bf = butterfly(16)
+        comp = level_range_components(bf, 1, 3)[0]
+        cut = mixed_cut(bf, comp, comp_in_s=comp_in_s, reverse=reverse)
+        k = data.draw(st.integers(0, comp.num_nodes))
+        re = rearranged(cut, comp, k)
+        assert re.capacity == cut.capacity
+        assert re.count_in(comp.nodes) == k
+
+    def test_check_amenable_full_sweep(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = mixed_cut(b16, comp)
+        assert check_amenable_for_cut(cut, comp)
+
+    def test_rearranged_only_touches_component(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = mixed_cut(b16, comp)
+        re = rearranged(cut, comp, 5)
+        outside = np.ones(b16.num_nodes, dtype=bool)
+        outside[comp.nodes] = False
+        assert np.array_equal(re.side[outside], cut.side[outside])
+
+    def test_non_mixed_rejected(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = Cut(b16, np.zeros(b16.num_nodes, dtype=bool))
+        with pytest.raises(ValueError, match="not mixed"):
+            rearranged(cut, comp, 3)
+
+    def test_k_out_of_range(self, b16):
+        comp = level_range_components(b16, 1, 3)[0]
+        cut = mixed_cut(b16, comp)
+        with pytest.raises(ValueError):
+            rearranged(cut, comp, comp.num_nodes + 1)
+
+    def test_b32_middle_fiber(self):
+        """The configuration the bisection builder actually uses."""
+        bf = butterfly(32)
+        comp = level_range_components(bf, 2, 3)[0]
+        cut = mixed_cut(bf, comp)
+        assert check_amenable_for_cut(
+            cut, comp, ks=np.arange(0, comp.num_nodes + 1, 3)
+        )

@@ -1,0 +1,105 @@
+"""Compact sets (Lemmas 2.6-2.9) as falsifiable properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuts import (
+    Cut,
+    best_collapse,
+    check_compact_for_cut,
+    collapse_above_inputs,
+    collapse_onto_side,
+    component_collapse,
+)
+from repro.topology import butterfly, level_range_components, wrapped_butterfly
+
+
+def random_cut(bf, seed):
+    rng = np.random.default_rng(seed)
+    return Cut(bf, rng.random(bf.num_nodes) < rng.random())
+
+
+class TestCollapsePrimitives:
+    def test_collapse_onto_side(self, b8):
+        cut = Cut.from_node_set(b8, [0, 1])
+        col = collapse_onto_side(cut, np.array([5, 6]), True)
+        assert col.count_in([5, 6]) == 2
+        assert col.count_in([0, 1]) == 2  # untouched
+
+    def test_best_collapse_picks_cheaper(self, b8, rng):
+        cut = random_cut(b8, 7)
+        u = np.arange(8, 32)
+        best = best_collapse(cut, u)
+        s = collapse_onto_side(cut, u, True)
+        t = collapse_onto_side(cut, u, False)
+        assert best.capacity == min(s.capacity, t.capacity)
+
+
+class TestLemma28:
+    """U = all non-input levels is compact in Bn."""
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=150, deadline=None)
+    def test_collapse_never_increases_b8(self, seed):
+        bf = butterfly(8)
+        cut = random_cut(bf, seed)
+        assert collapse_above_inputs(cut).capacity <= cut.capacity
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_collapse_never_increases_b16(self, seed):
+        bf = butterfly(16)
+        cut = random_cut(bf, seed)
+        assert collapse_above_inputs(cut).capacity <= cut.capacity
+
+    def test_collapsed_cut_unifies_u(self, b8):
+        cut = random_cut(b8, 3)
+        col = collapse_above_inputs(cut)
+        u = np.arange(8, 32)
+        inside = col.count_in(u)
+        assert inside in (0, len(u))
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            collapse_above_inputs(random_cut(w8, 0))
+
+
+class TestLemma29:
+    """Components of Bn[i, log n] are compact in Bn."""
+
+    @given(st.integers(0, 1000), st.integers(1, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_component_collapse_never_increases(self, seed, i):
+        bf = butterfly(8)
+        cut = random_cut(bf, seed)
+        for comp in level_range_components(bf, i, bf.lg):
+            assert component_collapse(cut, comp).capacity <= cut.capacity
+
+    def test_requires_output_anchored(self, b8):
+        comp = level_range_components(b8, 1, 2)[0]
+        with pytest.raises(ValueError):
+            component_collapse(random_cut(b8, 0), comp)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_definitional_check(self, seed):
+        """check_compact_for_cut exercises the definition directly."""
+        bf = butterfly(8)
+        cut = random_cut(bf, seed)
+        for comp in level_range_components(bf, 2, bf.lg):
+            assert check_compact_for_cut(cut, comp.nodes)
+
+
+class TestNotEverythingIsCompact:
+    def test_a_non_compact_set_exists(self, b8):
+        """Sanity: a generic set (half of one level) is NOT compact for some
+        cut — compactness is a special property, not a triviality."""
+        found_violation = False
+        u = b8.level(1)[:4]
+        for seed in range(200):
+            cut = random_cut(b8, seed)
+            if not check_compact_for_cut(cut, u):
+                found_violation = True
+                break
+        assert found_violation

@@ -1,0 +1,67 @@
+"""The paper's explicit cuts (Section 1.4, Lemma 3.2/3.3 upper bounds)."""
+
+import pytest
+
+from repro.cuts import ccc_dimension_cut, column_prefix_cut, level_split_cut
+from repro.topology import butterfly, cube_connected_cycles, wrapped_butterfly
+
+
+class TestColumnCut:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64, 256])
+    def test_bn_capacity_n(self, n):
+        cut = column_prefix_cut(butterfly(n))
+        assert cut.capacity == n
+        assert cut.is_bisection()
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64, 256])
+    def test_wn_capacity_n(self, n):
+        cut = column_prefix_cut(wrapped_butterfly(n))
+        assert cut.capacity == n
+        assert cut.is_bisection()
+
+    def test_optimal_on_w8(self, w8):
+        """On Wn the folklore cut IS optimal (Lemma 3.2)."""
+        from repro.cuts import layered_cut_profile
+
+        assert column_prefix_cut(w8).capacity == layered_cut_profile(
+            w8, with_witnesses=False
+        ).bisection_width()
+
+    def test_not_optimal_asymptotically(self):
+        """Theorem 2.20: the pullback beats the column cut for large n."""
+        from repro.cuts import best_plan
+
+        assert best_plan(1 << 12).capacity < column_prefix_cut(butterfly(1 << 12)).capacity
+
+
+class TestCCCDimensionCut:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_capacity_half_n(self, n):
+        cut = ccc_dimension_cut(cube_connected_cycles(n))
+        assert cut.capacity == n // 2
+        assert cut.is_bisection()
+
+    def test_optimal_on_ccc8(self, ccc8):
+        from repro.cuts import layered_cut_profile
+
+        assert ccc_dimension_cut(ccc8).capacity == layered_cut_profile(
+            ccc8, with_witnesses=False
+        ).bisection_width()
+
+
+class TestLevelSplit:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_capacity_2n(self, b8, t):
+        assert level_split_cut(b8, t).capacity == 16
+
+    def test_never_a_good_bisection(self, b8):
+        """Horizontal cuts cost 2n — double the folklore cut."""
+        assert level_split_cut(b8, 2).capacity == 2 * column_prefix_cut(b8).capacity
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            level_split_cut(w8, 1)
+
+    def test_rejects_bad_level(self, b8):
+        with pytest.raises(ValueError):
+            level_split_cut(b8, 0)

@@ -1,0 +1,111 @@
+"""The Cut abstraction (Sections 1.2, 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuts import Cut
+from repro.topology import butterfly
+
+
+class TestConstruction:
+    def test_from_side_array(self, b8):
+        side = np.zeros(32, dtype=bool)
+        side[:16] = True
+        cut = Cut(b8, side)
+        assert cut.s_size == 16 and cut.complement_size == 16
+
+    def test_side_is_read_only(self, b8):
+        cut = Cut(b8, np.zeros(32, dtype=bool))
+        with pytest.raises(ValueError):
+            cut.side[0] = True
+
+    def test_shape_check(self, b8):
+        with pytest.raises(ValueError):
+            Cut(b8, np.zeros(5, dtype=bool))
+
+    def test_from_node_set(self, b8):
+        cut = Cut.from_node_set(b8, [0, 1, 2])
+        assert cut.s_size == 3
+        assert sorted(cut.s_nodes.tolist()) == [0, 1, 2]
+
+    def test_from_node_set_range_check(self, b8):
+        with pytest.raises(ValueError):
+            Cut.from_node_set(b8, [99])
+
+    def test_from_labels(self, b8):
+        cut = Cut.from_labels(b8, [(0, 0), (1, 0)])
+        assert cut.s_size == 2
+
+
+class TestCapacity:
+    def test_column_cut_capacity(self, b8):
+        """The folklore cut: columns starting with 0 — capacity n."""
+        cols = np.arange(32) % 8
+        cut = Cut(b8, cols < 4)
+        assert cut.capacity == 8
+
+    def test_empty_and_full_cuts(self, b8):
+        assert Cut(b8, np.zeros(32, dtype=bool)).capacity == 0
+        assert Cut(b8, np.ones(32, dtype=bool)).capacity == 0
+
+    def test_complement_preserves_capacity(self, b8, rng):
+        cut = Cut(b8, rng.random(32) < 0.4)
+        assert cut.complement().capacity == cut.capacity
+        assert cut.complement().s_size == cut.complement_size
+
+    def test_cut_edges_match_capacity(self, b8, rng):
+        cut = Cut(b8, rng.random(32) < 0.5)
+        assert len(cut.cut_edges()) == cut.capacity
+
+
+class TestBisection:
+    def test_is_bisection(self, b8):
+        side = np.zeros(32, dtype=bool)
+        side[:16] = True
+        assert Cut(b8, side).is_bisection()
+        side[16] = True
+        assert not Cut(b8, side).is_bisection()
+
+    def test_odd_bisection(self):
+        from repro.topology import Network
+
+        net = Network(range(5), [(0, 1)])
+        side = np.zeros(5, dtype=bool)
+        side[:3] = True
+        assert Cut(net, side).is_bisection()
+
+    def test_bisects_subset(self, b8):
+        cut = Cut.from_node_set(b8, [0, 1, 8, 9])
+        assert cut.bisects([0, 1, 2, 3])          # 2 vs 2
+        assert cut.bisects([0, 1, 2])             # 2 vs 1, difference 1
+        assert not cut.bisects([0, 1, 8, 2])      # 3 vs 1, difference 2
+
+    def test_bisects_definition(self, b8):
+        cut = Cut.from_node_set(b8, [0, 1])
+        assert cut.bisects([0, 1, 2, 3])          # 2 vs 2
+        assert cut.bisects([0, 1, 2])             # 2 vs 1
+        assert not cut.bisects([0, 1, 2, 3, 4, 5])  # 2 vs 4
+
+    def test_count_in(self, b8):
+        cut = Cut.from_node_set(b8, [0, 5, 9])
+        assert cut.count_in([0, 1, 9]) == 2
+
+
+class TestMoves:
+    def test_with_moved(self, b8):
+        cut = Cut.from_node_set(b8, [0])
+        moved = cut.with_moved([1, 2], to_s=True)
+        assert moved.s_size == 3
+        assert cut.s_size == 1  # original untouched
+
+    @given(st.integers(0, 31), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_move_gains_predict_capacity_change(self, v, data):
+        """Moving node v changes capacity by exactly -gains[v]."""
+        bf = butterfly(8)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        cut = Cut(bf, rng.random(32) < 0.5)
+        gains = cut.move_gains()
+        moved = cut.with_moved([v], to_s=not cut.side[v])
+        assert moved.capacity == cut.capacity - gains[v]

@@ -1,0 +1,83 @@
+"""Exhaustive exact cuts."""
+
+import numpy as np
+import pytest
+
+from repro.cuts import Cut, cut_profile, min_bisection, min_u_bisection
+from repro.topology import Network, butterfly, complete_graph
+
+
+def path_graph(n):
+    return Network(range(n), [(i, i + 1) for i in range(n - 1)], name=f"P{n}")
+
+
+def cycle_graph(n):
+    return Network(range(n), [(i, (i + 1) % n) for i in range(n)], name=f"C{n}")
+
+
+class TestKnownValues:
+    def test_path_profile(self):
+        """A path of n nodes: any proper prefix cut costs 1."""
+        prof = cut_profile(path_graph(6))
+        assert prof.values.tolist() == [0, 1, 1, 1, 1, 1, 0]
+
+    def test_cycle_bisection(self):
+        assert cut_profile(cycle_graph(8)).bisection_width() == 2
+
+    def test_complete_graph(self):
+        prof = cut_profile(complete_graph(6))
+        for k in range(7):
+            assert prof.values[k] == k * (6 - k)
+
+    def test_b4_bisection(self, b4):
+        assert cut_profile(b4).bisection_width() == 4
+
+    def test_multigraph(self):
+        net = Network(range(4), [(0, 1), (0, 1), (1, 2), (2, 3)])
+        prof = cut_profile(net)
+        assert prof.values[1] == 1  # isolate node 3
+
+
+class TestProfileInvariants:
+    def test_symmetry(self, b4):
+        prof = cut_profile(b4)
+        assert np.array_equal(prof.values, prof.values[::-1])
+
+    def test_endpoints_zero(self, b4):
+        prof = cut_profile(b4)
+        assert prof.values[0] == 0 and prof.values[-1] == 0
+
+    def test_witnesses_realize_values(self, b4):
+        prof = cut_profile(b4)
+        for c in range(13):
+            cut = prof.witness_cut(c)
+            assert cut.capacity == prof.values[c]
+            assert cut.s_size == c
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            cut_profile(complete_graph(29))
+
+
+class TestUBisection:
+    def test_counted_subset(self, b4):
+        """Bisecting only the inputs of B4 costs n = 4 (Lemma 3.1)."""
+        prof = cut_profile(b4, counted=b4.inputs())
+        assert prof.bisection_width() == 4
+
+    def test_min_u_bisection_witness(self, b4):
+        cut = min_u_bisection(b4, b4.inputs())
+        assert cut.bisects(b4.inputs())
+        assert cut.capacity == 4
+
+    def test_min_bisection_witness(self, b4):
+        cut = min_bisection(b4)
+        assert cut.is_bisection()
+        assert cut.capacity == 4
+
+    def test_counted_singleton(self):
+        net = path_graph(5)
+        prof = cut_profile(net, counted=np.array([2]))
+        # Bisecting a single node means either side may hold it; the empty
+        # cut qualifies.
+        assert prof.bisection_width() == 0

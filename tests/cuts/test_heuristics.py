@@ -1,0 +1,83 @@
+"""Kernighan–Lin, Fiduccia–Mattheyses and spectral bisection."""
+
+import numpy as np
+import pytest
+
+from repro.cuts import (
+    Cut,
+    fm_bisection,
+    fm_refine,
+    kernighan_lin_bisection,
+    kl_refine,
+    layered_cut_profile,
+    spectral_bisection,
+)
+from repro.topology import butterfly, hypercube, hypercube_bisection_width, wrapped_butterfly
+
+
+class TestKernighanLin:
+    def test_balanced_output(self, b8):
+        cut = kernighan_lin_bisection(b8, restarts=2)
+        assert cut.is_bisection()
+        assert cut.s_size == 16
+
+    def test_refine_never_worsens(self, b8, rng):
+        side = np.zeros(32, dtype=bool)
+        side[rng.permutation(32)[:16]] = True
+        cut = Cut(b8, side)
+        refined = kl_refine(cut)
+        assert refined.capacity <= cut.capacity
+        assert refined.s_size == cut.s_size
+
+    def test_reaches_exact_on_b8(self, b8):
+        exact = layered_cut_profile(b8, with_witnesses=False).bisection_width()
+        assert kernighan_lin_bisection(b8, restarts=4).capacity == exact
+
+    def test_hypercube(self):
+        q = hypercube(4)
+        cut = kernighan_lin_bisection(q, restarts=4)
+        assert cut.capacity == hypercube_bisection_width(4)
+
+
+class TestFiducciaMattheyses:
+    def test_balanced_output(self, b8):
+        cut = fm_bisection(b8, restarts=2)
+        assert cut.is_bisection()
+
+    def test_refine_never_worsens(self, b8, rng):
+        side = np.zeros(32, dtype=bool)
+        side[rng.permutation(32)[:16]] = True
+        cut = Cut(b8, side)
+        refined = fm_refine(cut)
+        assert refined.capacity <= cut.capacity
+        assert refined.s_size == cut.s_size
+
+    def test_upper_bounds_exact(self, b8):
+        exact = layered_cut_profile(b8, with_witnesses=False).bisection_width()
+        assert fm_bisection(b8, restarts=3).capacity >= exact
+
+
+class TestSpectral:
+    def test_balanced_output(self, b8):
+        cut = spectral_bisection(b8)
+        assert cut.is_bisection()
+
+    def test_reaches_exact_on_b8(self, b8):
+        exact = layered_cut_profile(b8, with_witnesses=False).bisection_width()
+        assert spectral_bisection(b8).capacity == exact
+
+    def test_unrefined_still_balanced(self, b8):
+        cut = spectral_bisection(b8, refine=False)
+        assert cut.is_bisection()
+
+    def test_column_cut_quality_on_w16(self):
+        """Heuristics should find the optimal n cut on W16 (BW = 16)."""
+        w16 = wrapped_butterfly(16)
+        cut = spectral_bisection(w16)
+        assert cut.capacity == 16
+
+    def test_larger_instances(self):
+        b32 = butterfly(32)
+        cut = spectral_bisection(b32)
+        assert cut.is_bisection()
+        assert cut.capacity <= 32  # never worse than folklore

@@ -1,0 +1,166 @@
+"""The layered min-plus DP versus ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuts import cut_profile, layered_cut_profile, layered_u_bisection_width
+from repro.topology import (
+    Network,
+    butterfly,
+    cube_connected_cycles,
+    mesh_of_stars,
+    wrapped_butterfly,
+)
+
+
+def random_layered_network(rng, cyclic):
+    """A random layered (multi)graph with optional intra-layer edges."""
+    L = int(rng.integers(2, 5))
+    widths = rng.integers(1, 5, size=L)
+    layers = []
+    start = 0
+    for w in widths:
+        layers.append(np.arange(start, start + w))
+        start += w
+    edges = []
+    bound = L if cyclic else L - 1
+    for l in range(bound):
+        a, b = layers[l], layers[(l + 1) % L]
+        for u in a:
+            for v in b:
+                if rng.random() < 0.5:
+                    edges.append((int(u), int(v)))
+    for l in range(L):
+        a = layers[l]
+        for i in range(len(a)):
+            for j in range(i + 1, len(a)):
+                if rng.random() < 0.3:
+                    edges.append((int(a[i]), int(a[j])))
+    if not edges:
+        edges = [(int(layers[0][0]), int(layers[1][0]))]
+    net = Network(range(start), edges, name="randlay")
+    return net, layers
+
+
+class TestAgainstEnumeration:
+    @given(st.integers(0, 500), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_enumeration_on_random_layered(self, seed, cyclic):
+        rng = np.random.default_rng(seed)
+        net, layers = random_layered_network(rng, cyclic)
+        dp = layered_cut_profile(net, layers=layers, cyclic=cyclic)
+        enum = cut_profile(net)
+        assert np.array_equal(dp.values, enum.values)
+
+    def test_b4(self, b4):
+        assert np.array_equal(
+            layered_cut_profile(b4).values, cut_profile(b4).values
+        )
+
+    def test_w4_multigraph(self, w4):
+        assert np.array_equal(
+            layered_cut_profile(w4).values, cut_profile(w4).values
+        )
+
+    def test_ccc4_intra_layer_edges(self):
+        ccc = cube_connected_cycles(4)
+        assert np.array_equal(
+            layered_cut_profile(ccc).values, cut_profile(ccc).values
+        )
+
+    def test_mos(self):
+        mos = mesh_of_stars(2, 3)
+        assert np.array_equal(
+            layered_cut_profile(mos).values, cut_profile(mos).values
+        )
+
+
+class TestPaperValues:
+    def test_bw_b8_exact(self, b8):
+        assert layered_cut_profile(b8, with_witnesses=False).bisection_width() == 8
+
+    @pytest.mark.slow
+    def test_bw_w8_exact(self, w8):
+        assert layered_cut_profile(w8, with_witnesses=False).bisection_width() == 8
+
+    @pytest.mark.slow
+    def test_bw_ccc8_exact(self, ccc8):
+        assert layered_cut_profile(ccc8, with_witnesses=False).bisection_width() == 4
+
+    def test_lemma31_io_bisections(self, b8):
+        assert layered_u_bisection_width(b8, b8.inputs()) == 8
+        assert layered_u_bisection_width(b8, b8.outputs()) == 8
+        io = np.concatenate([b8.inputs(), b8.outputs()])
+        assert layered_u_bisection_width(b8, io) == 8
+
+
+class TestWitnesses:
+    def test_witnesses_valid(self, b8):
+        prof = layered_cut_profile(b8)
+        for c in (0, 5, 16, 20, 32):
+            cut = prof.witness(c)
+            assert cut.s_size == c
+            assert cut.capacity == prof.values[c]
+
+    def test_min_bisection_witness(self, b4):
+        cut = layered_cut_profile(b4).min_bisection()
+        assert cut.is_bisection()
+        assert cut.capacity == 4
+
+    def test_cyclic_witnesses(self, w4):
+        prof = layered_cut_profile(w4)
+        for c in (1, 4, 6):
+            cut = prof.witness(c)
+            assert cut.s_size == c
+            assert cut.capacity == prof.values[c]
+
+
+class TestGuards:
+    def test_width_limit(self, b16):
+        with pytest.raises(ValueError, match="max_width"):
+            layered_cut_profile(b16, max_width=12)
+
+    def test_non_layered_edges_detected(self):
+        net = Network(range(4), [(0, 3)])
+        layers = [np.array([0]), np.array([1]), np.array([2]), np.array([3])]
+        with pytest.raises(ValueError, match="not layered"):
+            layered_cut_profile(net, layers=layers, cyclic=False)
+
+    def test_incomplete_layers_detected(self, b4):
+        with pytest.raises(ValueError, match="cover"):
+            layered_cut_profile(b4, layers=[b4.level(0)], cyclic=False)
+
+
+class TestCountedProfiles:
+    """Counted (U-restricted) profiles against enumeration."""
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_counted_matches_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        net, layers = random_layered_network(rng, cyclic=bool(seed % 2))
+        k = int(rng.integers(1, net.num_nodes + 1))
+        counted = rng.choice(net.num_nodes, size=k, replace=False)
+        dp = layered_cut_profile(
+            net, layers=layers, cyclic=bool(seed % 2), counted=counted,
+            with_witnesses=False,
+        )
+        enum = cut_profile(net, counted=counted)
+        assert np.array_equal(dp.values, enum.values)
+
+    def test_counted_witnesses(self, b4):
+        counted = b4.inputs()
+        prof = layered_cut_profile(b4, counted=counted)
+        for c in range(len(counted) + 1):
+            cut = prof.witness(c)
+            assert cut.count_in(counted) == c
+            assert cut.capacity == prof.values[c]
+
+    def test_level_bisection_values(self, b8):
+        """BW(B8, L_i) per level — the quantities of Lemma 2.12(1)."""
+        vals = [
+            layered_u_bisection_width(b8, b8.level(i)) for i in range(b8.lg + 1)
+        ]
+        bw = layered_cut_profile(b8, with_witnesses=False).bisection_width()
+        assert min(vals) <= bw

@@ -1,0 +1,52 @@
+"""Process-parallel cyclic DP."""
+
+import numpy as np
+import pytest
+
+from repro.cuts import layered_cut_profile
+from repro.cuts.parallel import parallel_cyclic_profile
+from repro.topology import cube_connected_cycles, wrapped_butterfly
+
+
+class TestCorrectness:
+    def test_w4_matches_serial(self, w4):
+        serial = layered_cut_profile(w4, with_witnesses=False).values
+        par = parallel_cyclic_profile(w4, workers=2)
+        assert np.array_equal(serial, par)
+
+    def test_ccc4_matches_serial(self):
+        ccc = cube_connected_cycles(4)
+        serial = layered_cut_profile(ccc, with_witnesses=False).values
+        par = parallel_cyclic_profile(ccc, workers=3)
+        assert np.array_equal(serial, par)
+
+    def test_single_worker_path(self, w4):
+        serial = layered_cut_profile(w4, with_witnesses=False).values
+        par = parallel_cyclic_profile(w4, workers=1)
+        assert np.array_equal(serial, par)
+
+    def test_counted_sets(self, w4):
+        counted = w4.level(0)
+        serial = layered_cut_profile(
+            w4, counted=counted, with_witnesses=False
+        ).values
+        par = parallel_cyclic_profile(w4, counted=counted, workers=2)
+        assert np.array_equal(serial, par)
+
+    @pytest.mark.slow
+    def test_w8_matches_serial(self, w8):
+        serial = layered_cut_profile(w8, with_witnesses=False).values
+        par = parallel_cyclic_profile(w8, workers=4)
+        assert np.array_equal(serial, par)
+        assert int(min(par[12], par[12])) == 8  # BW(W8) = n
+
+
+class TestGuards:
+    def test_rejects_acyclic(self, b4):
+        with pytest.raises(ValueError, match="cyclic"):
+            parallel_cyclic_profile(b4)
+
+    def test_width_limit(self):
+        w16 = wrapped_butterfly(16)
+        with pytest.raises(ValueError, match="max_width"):
+            parallel_cyclic_profile(w16)

@@ -1,0 +1,76 @@
+"""The embedding framework (Section 1.4 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import Embedding
+from repro.topology import Network
+
+
+def hosts():
+    guest = Network(["x", "y"], [(0, 1)], name="guest")
+    host = Network(range(3), [(0, 1), (1, 2)], name="host")
+    return guest, host
+
+
+class TestMeasurement:
+    def test_load(self):
+        guest, host = hosts()
+        emb = Embedding(guest, host, np.array([0, 2]), [np.array([0, 1, 2])])
+        assert emb.load == 1
+        emb2 = Embedding(guest, host, np.array([0, 0]), [np.array([0])])
+        assert emb2.load == 2
+
+    def test_dilation(self):
+        guest, host = hosts()
+        emb = Embedding(guest, host, np.array([0, 2]), [np.array([0, 1, 2])])
+        assert emb.dilation == 2
+
+    def test_congestion_counts_traversals(self):
+        guest = Network(["x", "y", "z"], [(0, 1), (0, 2)], name="guest")
+        host = Network(range(3), [(0, 1), (1, 2)], name="host")
+        emb = Embedding(
+            guest, host, np.array([0, 2, 2]),
+            [np.array([0, 1, 2]), np.array([0, 1, 2])],
+        )
+        assert emb.congestion == 2
+        assert emb.edge_congestions() == {(0, 1): 2, (1, 2): 2}
+
+    def test_zero_length_paths(self):
+        guest, host = hosts()
+        emb = Embedding(guest, host, np.array([1, 1]), [np.array([1])])
+        assert emb.dilation == 0
+        assert emb.congestion == 0
+
+    def test_path_count_check(self):
+        guest, host = hosts()
+        with pytest.raises(ValueError):
+            Embedding(guest, host, np.array([0, 2]), [])
+
+    def test_node_map_shape_check(self):
+        guest, host = hosts()
+        with pytest.raises(ValueError):
+            Embedding(guest, host, np.array([0]), [np.array([0, 1, 2])])
+
+
+class TestVerify:
+    def test_valid_passes(self):
+        guest, host = hosts()
+        Embedding(guest, host, np.array([0, 2]), [np.array([0, 1, 2])]).verify()
+
+    def test_detects_non_edges(self):
+        guest, host = hosts()
+        emb = Embedding(guest, host, np.array([0, 2]), [np.array([0, 2])])
+        with pytest.raises(AssertionError, match="not a host edge"):
+            emb.verify()
+
+    def test_detects_wrong_endpoints(self):
+        guest, host = hosts()
+        emb = Embedding(guest, host, np.array([0, 2]), [np.array([0, 1])])
+        with pytest.raises(AssertionError, match="endpoints"):
+            emb.verify()
+
+    def test_summary_keys(self):
+        guest, host = hosts()
+        emb = Embedding(guest, host, np.array([0, 2]), [np.array([0, 1, 2])])
+        assert set(emb.summary()) == {"load", "congestion", "dilation"}

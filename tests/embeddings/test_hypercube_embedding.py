@@ -1,0 +1,45 @@
+"""The Gray-code embedding of Bn into the hypercube (Section 1.5)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import butterfly_into_hypercube, gray_code
+
+
+class TestGrayCode:
+    def test_consecutive_differ_one_bit(self):
+        for i in range(100):
+            assert (gray_code(i) ^ gray_code(i + 1)).bit_count() == 1
+
+    def test_injective(self):
+        vals = [gray_code(i) for i in range(64)]
+        assert len(set(vals)) == 64
+
+    def test_zero(self):
+        assert gray_code(0) == 0
+
+
+class TestEmbedding:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_verified_constant_parameters(self, n):
+        emb, bf, q = butterfly_into_hypercube(n)
+        emb.verify()
+        assert emb.load == 1
+        assert emb.dilation <= 2
+        assert emb.congestion <= 4  # constant, independent of n
+
+    def test_host_dimension(self):
+        emb, bf, q = butterfly_into_hypercube(8)
+        # log n = 3 levels bits: ceil(log2(4)) = 2 -> Q5.
+        assert q.d == 5
+
+    def test_straight_edges_are_hypercube_edges(self):
+        """Straight butterfly edges differ only in the Gray level bit."""
+        emb, bf, q = butterfly_into_hypercube(8)
+        for (u, v), path in zip(bf.edges, emb.paths):
+            if bf.column_of(int(u)) == bf.column_of(int(v)):
+                assert len(path) == 2  # dilation 1 on straight edges
+
+    def test_node_images_distinct(self):
+        emb, bf, q = butterfly_into_hypercube(16)
+        assert len(np.unique(emb.node_map)) == bf.num_nodes

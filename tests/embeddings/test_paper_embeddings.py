@@ -1,0 +1,167 @@
+"""Every specific embedding of the paper, verified against its lemma."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    benes_into_butterfly,
+    bisection_lower_bound,
+    butterfly_into_butterfly,
+    butterfly_into_mos,
+    complete_bipartite_into_butterfly,
+    complete_into_wrapped,
+    doubled_complete_bisection_bound,
+    doubled_complete_into_butterfly,
+    edge_expansion_lower_bound,
+    io_cut_lower_bound,
+    io_partition,
+    wrapped_into_ccc,
+)
+from repro.topology import butterfly
+
+
+class TestLemma211MOS:
+    @pytest.mark.parametrize("n,j,k", [(16, 2, 2), (16, 2, 4), (64, 4, 8), (64, 8, 8)])
+    def test_all_properties(self, n, j, k):
+        bf = butterfly(n)
+        emb, mos = butterfly_into_mos(bf, j, k)
+        emb.verify()
+        assert emb.dilation <= 1
+        assert set(emb.edge_congestions().values()) == {2 * n // (j * k)}
+        loads = emb.load_per_host_node
+        lgj, lgk, lg = (j).bit_length() - 1, (k).bit_length() - 1, bf.lg
+        assert set(loads[mos.m1()].tolist()) == {(n // j) * lgk}
+        assert set(loads[mos.m3()].tolist()) == {(n // k) * lgj}
+        assert set(loads[mos.m2()].tolist()) == {(n // (j * k)) * (lg - lgj - lgk + 1)}
+
+    def test_square_case_m2_load_one(self):
+        """jk = n: each M2 fiber is a single node (used by Lemma 2.13)."""
+        bf = butterfly(16)
+        emb, mos = butterfly_into_mos(bf, 4, 4)
+        assert set(emb.load_per_host_node[mos.m2()].tolist()) == {1}
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            butterfly_into_mos(butterfly(16), 8, 8)
+
+
+class TestLemma210Squeeze:
+    @pytest.mark.parametrize("n,j,i", [(4, 1, 0), (8, 2, 1), (8, 1, 3), (16, 1, 2)])
+    def test_all_properties(self, n, j, i):
+        emb, big, host = butterfly_into_butterfly(n, j, i)
+        emb.verify()
+        assert emb.dilation <= 1
+        assert set(emb.edge_congestions().values()) == {1 << j}
+        loads = emb.load_per_host_node
+        lv = np.arange(host.num_nodes) // host.n
+        assert set(loads[lv == i].tolist()) == {(j + 1) << j}
+        if (lv != i).any():
+            assert set(loads[lv != i].tolist()) == {1 << j}
+
+    def test_identity_case(self):
+        emb, big, host = butterfly_into_butterfly(8, 0, 0)
+        assert emb.load == 1 and emb.congestion == 1
+
+
+class TestLemma31Bipartite:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_parameters(self, n):
+        emb, host = complete_bipartite_into_butterfly(n)
+        emb.verify()
+        assert emb.load == 1
+        assert emb.congestion == n // 2
+        assert emb.dilation == host.lg
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_io_bound_is_n(self, n):
+        assert io_cut_lower_bound(n) == n
+
+    def test_bound_tight_against_exact(self, b8):
+        """The embedding bound meets the exact DP value (Lemma 3.1)."""
+        from repro.cuts import layered_u_bisection_width
+
+        assert io_cut_lower_bound(8) == layered_u_bisection_width(b8, b8.inputs())
+
+
+class TestTheorem43Complete:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_verified(self, n):
+        emb, host = complete_into_wrapped(n)
+        emb.verify()
+        assert emb.load == 1
+        N = host.num_nodes
+        # Congestion is O(N log n): generous constant check.
+        assert emb.congestion <= 4 * N * host.lg
+
+    def test_ee_lower_bounds_hold(self, w8):
+        """EE(Wn, k) >= k N / 2c with measured c, against exact EE."""
+        from repro.expansion import edge_expansion_profile
+
+        emb, host = complete_into_wrapped(8)
+        prof = edge_expansion_profile(host)
+        for k in range(1, host.num_nodes // 2):
+            assert edge_expansion_lower_bound(emb, k) <= prof[k]
+
+
+class TestDoubledComplete:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_verified_load_one(self, n):
+        emb, host = doubled_complete_into_butterfly(n)
+        emb.verify()
+        assert emb.load == 1
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_bound_reaches_half_n(self, n):
+        emb, host = doubled_complete_into_butterfly(n)
+        assert doubled_complete_bisection_bound(emb) == n // 2
+
+    def test_deterministic_under_seed(self):
+        e1, _ = doubled_complete_into_butterfly(4, seed=9)
+        e2, _ = doubled_complete_into_butterfly(4, seed=9)
+        assert all(np.array_equal(a, b) for a, b in zip(e1.paths, e2.paths))
+
+
+class TestLemma33CCC:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_parameters(self, n):
+        emb, host = wrapped_into_ccc(n)
+        emb.verify()
+        assert emb.load == 1
+        assert emb.congestion == 2
+        assert emb.dilation == 2
+
+    def test_derived_bound(self):
+        emb, host = wrapped_into_ccc(8)
+        assert bisection_lower_bound(emb, 8) == 4  # BW(W8) = 8 exactly
+
+
+class TestLemma25Benes:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_parameters(self, n):
+        emb, guest, host = benes_into_butterfly(n)
+        emb.verify()
+        assert emb.summary() == {"load": 1, "congestion": 1, "dilation": 3}
+
+    def test_io_on_level_zero(self):
+        emb, guest, host = benes_into_butterfly(16)
+        ins = emb.node_map[guest.inputs()]
+        outs = emb.node_map[guest.outputs()]
+        assert (host.level_of(ins) == 0).all()
+        assert (host.level_of(outs) == 0).all()
+
+    def test_io_partition_halves(self, b16):
+        i_set, o_set = io_partition(b16)
+        assert len(i_set) == len(o_set) == 8
+        assert not set(i_set.tolist()) & set(o_set.tolist())
+
+
+class TestLowerBoundGuards:
+    def test_load_one_required(self):
+        from repro.embeddings import Embedding
+        from repro.topology import Network
+
+        guest = Network(["x", "y"], [(0, 1)])
+        host = Network(range(2), [(0, 1)])
+        emb = Embedding(guest, host, np.array([0, 0]), [np.array([0])])
+        with pytest.raises(ValueError, match="load 1"):
+            bisection_lower_bound(emb, 1)

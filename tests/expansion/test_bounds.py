@@ -1,0 +1,68 @@
+"""Closed-form bound curves (Section 4.3)."""
+
+import math
+
+import pytest
+
+from repro.expansion import (
+    ee_bn_lower,
+    ee_wn_lower,
+    k_over_log_k,
+    ne_bn_lower,
+    ne_wn_lower,
+    ee_wn_upper_coeff,
+    ne_wn_upper_coeff,
+    ee_bn_upper_coeff,
+    ne_bn_upper_coeff,
+)
+
+
+class TestReferenceCurve:
+    def test_small_k(self):
+        assert k_over_log_k(1) == 1.0
+        assert k_over_log_k(2) == 2.0
+
+    def test_growth(self):
+        assert k_over_log_k(1024) == pytest.approx(102.4)
+
+
+class TestLowerCurves:
+    def test_zero_at_k_zero(self):
+        for fn in (ee_wn_lower, ne_wn_lower, ee_bn_lower, ne_bn_lower):
+            assert fn(0, 64) == 0.0
+
+    def test_ordering_of_constants(self):
+        """EE(Wn) curve is about twice EE(Bn)'s, which is about 4x NE(Bn)'s —
+        the 4 : 2 : 1 : 1/2 layout of the paper's table."""
+        n, k = 1 << 40, 64  # n huge so both leak factors are ~1
+        assert ee_wn_lower(k, n) == pytest.approx(2 * ee_bn_lower(k, n), rel=0.01)
+        assert ee_bn_lower(k, n) == pytest.approx(4 * ne_bn_lower(k, n), rel=0.2)
+
+    def test_asymptotic_coefficients(self):
+        """As n -> inf with k fixed, the curves approach c * k/(⌊log k⌋+1)."""
+        n = 1 << 40
+        k = 256
+        assert ee_wn_lower(k, n) == pytest.approx(4 * k / 9, rel=1e-3)
+        assert ee_bn_lower(k, n) == pytest.approx(2 * k / 9, rel=1e-3)
+
+    def test_vanish_when_k_too_large(self):
+        """Outside the o(n) / o(sqrt n) regimes the finite forms go to 0 —
+        they never overclaim."""
+        assert ee_wn_lower(64, 64) == 0.0
+        assert ee_bn_lower(8, 64) == 0.0
+
+    def test_upper_coeffs(self):
+        assert (ee_wn_upper_coeff(), ne_wn_upper_coeff()) == (4.0, 3.0)
+        assert (ee_bn_upper_coeff(), ne_bn_upper_coeff()) == (2.0, 1.0)
+
+
+class TestSandwich:
+    def test_lower_below_upper_everywhere(self):
+        """The finite lower curves sit below c_upper * k/log k."""
+        n = 1 << 16
+        for k in range(2, 200):
+            ref = k_over_log_k(k)
+            assert ee_wn_lower(k, n) <= 4 * ref + 1e-9
+            assert ee_bn_lower(k, n) <= 2 * ref + 1e-9
+            assert ne_wn_lower(k, n) <= 3 * ref + 1e-9
+            assert ne_bn_lower(k, n) <= 1 * ref + 1e-9

@@ -1,0 +1,118 @@
+"""Section 4 witness sets (Lemmas 4.1, 4.4, 4.7, 4.10)."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bn_edge_witness,
+    bn_node_witness,
+    edge_expansion_profile,
+    node_expansion_exact,
+    sub_butterfly_set,
+    wn_edge_witness,
+    wn_node_witness,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+
+class TestSubButterflySet:
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_size(self, w16, d):
+        assert len(sub_butterfly_set(w16, d)) == (d + 1) << d
+
+    def test_induced_structure(self, b16):
+        """The set induces a butterfly of the right dimension."""
+        members = sub_butterfly_set(b16, 2)
+        sub = b16.subgraph(members)
+        small = butterfly(4)
+        assert sub.num_edges == small.num_edges
+        assert len(sub.connected_components()) == 1
+
+    def test_start_level_offsets(self, b16):
+        members = sub_butterfly_set(b16, 1, start_level=2)
+        assert set(b16.level_of(members).tolist()) == {2, 3}
+
+    def test_wrapped_window_wraps(self, w8):
+        members = sub_butterfly_set(w8, 1, start_level=2)
+        assert set(w8.level_of(members).tolist()) == {2, 0}
+
+    def test_dimension_caps(self, w8):
+        with pytest.raises(ValueError):
+            sub_butterfly_set(w8, 3)  # d <= log n - 1 for Wn
+        with pytest.raises(ValueError):
+            sub_butterfly_set(butterfly(8), 2, start_level=2)
+
+
+class TestWnWitnesses:
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_edge_witness_value(self, d):
+        w = wrapped_butterfly(32)
+        members, cap = wn_edge_witness(w, d)
+        assert cap == 4 << d
+
+    def test_edge_witness_is_exact_at_small_sizes(self, w8):
+        """On W8 the d=1 witness achieves the exact EE value."""
+        members, cap = wn_edge_witness(w8, 1)
+        prof = edge_expansion_profile(w8)
+        assert cap == prof[len(members)]
+
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_node_witness_value(self, d):
+        w = wrapped_butterfly(64)
+        members, ne = wn_node_witness(w, d)
+        assert ne == 3 << (d + 1)
+
+    def test_node_witness_needs_room(self, w8):
+        with pytest.raises(ValueError):
+            wn_node_witness(w8, 2)
+
+    def test_wrong_family_rejected(self, b8):
+        with pytest.raises(ValueError):
+            wn_edge_witness(b8, 1)
+
+
+class TestBnWitnesses:
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_edge_witness_value(self, d):
+        b = butterfly(32)
+        members, cap = bn_edge_witness(b, d)
+        assert cap == 2 << d
+
+    def test_edge_witness_is_exact_on_b8(self, b8):
+        """Lemma 4.7's witness achieves EE(B8, k) exactly for d = 1."""
+        members, cap = bn_edge_witness(b8, 1)
+        prof = edge_expansion_profile(b8)
+        assert cap == prof[len(members)]
+
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_node_witness_value(self, d):
+        b = butterfly(64)
+        members, ne = bn_node_witness(b, d)
+        assert ne == 2 << d
+
+    def test_node_witness_beats_generic_sets(self):
+        """The output-anchored twins have far fewer neighbors than random
+        sets of the same size — the content of Lemma 4.10."""
+        b = butterfly(32)
+        members, ne = bn_node_witness(b, 1)
+        rng = np.random.default_rng(0)
+        rand = rng.choice(b.num_nodes, size=len(members), replace=False)
+        assert ne < len(b.neighborhood(rand))
+
+    def test_wrong_family_rejected(self, w8):
+        with pytest.raises(ValueError):
+            bn_edge_witness(w8, 1)
+
+
+class TestWitnessesAgainstExact:
+    def test_bn_node_witness_optimal_small(self, b8):
+        """For B8, k = 4 (d = 0 twins): NE witness equals the exact NE."""
+        members, ne = bn_node_witness(b8, 0)
+        exact, _ = node_expansion_exact(b8, len(members))
+        assert ne == exact
+
+    def test_upper_bounds_dominate_exact(self, w8):
+        prof = edge_expansion_profile(w8)
+        for d in (0, 1):
+            members, cap = wn_edge_witness(w8, d)
+            assert prof[len(members)] <= cap

@@ -1,0 +1,138 @@
+"""The credit-distribution schemes (Lemmas 4.2, 4.5, 4.8, 4.11, Figure 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expansion import (
+    edge_credit_report,
+    node_credit_report,
+    single_source_edge_credit,
+)
+from repro.topology import butterfly, down_tree, wrapped_butterfly
+
+
+class TestFigure2:
+    def test_figure2_fractions(self):
+        """Figure 2's worked example: an A-path down the tree whose off-path
+        siblings are outside A retains 1/4, 1/8, 1/16 on consecutive cut
+        edges and 1/16 on the final leaf-level cut edge."""
+        w8 = wrapped_butterfly(8)
+        rep = edge_credit_report(w8, np.array([0]))
+        # A lone root: each of its 4 incident edges is a cut edge and
+        # retains exactly 1/4 (the first annotation of Figure 2).
+        assert math.isclose(rep.retained_on_targets, 1.0)
+        assert len(rep.per_target) == 4
+        assert all(math.isclose(v, 0.25) for v in rep.per_target.values())
+
+    def test_figure2_single_source_ladder(self):
+        """The exact fractions of Figure 2 from u's distribution alone:
+        1/4, 1/8, 1/16 on the cut edges off the chain."""
+        w8 = wrapped_butterfly(8)
+        tree = down_tree(w8, 0, 0)
+        chain = [int(d[0]) for d in tree.depths]
+        members = np.array(chain[:-1])
+        per_edge, leaked = single_source_edge_credit(w8, members, chain[0])
+        for depth in range(1, tree.depth + 1):
+            parent = chain[depth - 1]
+            off = int(tree.depths[depth][1])
+            key = (min(parent, off), max(parent, off))
+            assert math.isclose(per_edge[key], 0.5 / 2 ** depth)
+        # Both trees' leaf edges inside A leak 1/16 each.
+        assert math.isclose(leaked, 2 / 16)
+
+    def test_figure2_chain(self):
+        """The full Figure 2 configuration: a chain of A nodes down one
+        column path; the first cut edges see 1/4, then 1/8, 1/16, ..."""
+        w8 = wrapped_butterfly(8)
+        tree = down_tree(w8, 0, 0)
+        chain = [int(d[0]) for d in tree.depths]  # straight path, depth lg
+        members = np.array(chain[:-1])  # leaf (= root level again) excluded
+        rep = edge_credit_report(w8, members)
+        # The root's down-tree: the cross edge at depth 1 retains 1/4, the
+        # cross edge at depth 2 retains 1/8, at depth 3 the two tree edges
+        # retain 1/16 each (Figure 2's annotation).
+        root_cross = (min(chain[0], int(tree.depths[1][1])),
+                      max(chain[0], int(tree.depths[1][1])))
+        assert rep.per_target[root_cross] >= 0.25 - 1e-12
+        rep.check()
+
+
+class TestConservation:
+    @given(st.integers(0, 300), st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_wn_edge_conservation(self, seed, k):
+        w = wrapped_butterfly(16)
+        rng = np.random.default_rng(seed)
+        members = rng.choice(w.num_nodes, size=min(k, w.num_nodes), replace=False)
+        rep = edge_credit_report(w, members)
+        assert math.isclose(rep.retained_on_targets + rep.leaked, rep.k)
+
+    @given(st.integers(0, 300), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_bn_node_conservation(self, seed, k):
+        b = butterfly(16)
+        rng = np.random.default_rng(seed)
+        members = rng.choice(b.num_nodes, size=min(k, b.num_nodes), replace=False)
+        rep = node_credit_report(b, members)
+        assert math.isclose(rep.retained_on_targets + rep.leaked, rep.k)
+
+
+class TestCapsAndBounds:
+    @given(st.integers(0, 200), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_wn_edge_caps_and_bound(self, seed, k):
+        """Per-edge cap (⌊log k⌋+1)/4 and bound <= true capacity."""
+        w = wrapped_butterfly(32)
+        rng = np.random.default_rng(seed)
+        members = rng.choice(w.num_nodes, size=k, replace=False)
+        rep = edge_credit_report(w, members)
+        rep.check()
+        assert rep.lower_bound <= rep.true_value + 1e-9
+
+    @given(st.integers(0, 200), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_bn_edge_caps_and_bound(self, seed, k):
+        b = butterfly(64)  # k = o(sqrt n) regime
+        rng = np.random.default_rng(seed)
+        members = rng.choice(b.num_nodes, size=k, replace=False)
+        rep = edge_credit_report(b, members)
+        rep.check()
+
+    @given(st.integers(0, 200), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_wn_node_caps_and_bound(self, seed, k):
+        w = wrapped_butterfly(32)
+        rng = np.random.default_rng(seed)
+        members = rng.choice(w.num_nodes, size=k, replace=False)
+        rep = node_credit_report(w, members)
+        rep.check()
+        assert rep.lower_bound <= rep.true_value + 1e-9
+
+    def test_leak_bound_structured_set(self):
+        """Lemma 4.2's leak bound: at most k^2/n credit leaks."""
+        w = wrapped_butterfly(64)
+        from repro.expansion import sub_butterfly_set
+
+        members = sub_butterfly_set(w, 2)
+        rep = edge_credit_report(w, members)
+        k = rep.k
+        assert rep.leaked <= k * k / w.n + 1e-9
+
+    def test_single_node_edge_cases(self):
+        w = wrapped_butterfly(16)
+        rep = edge_credit_report(w, np.array([0]))
+        rep.check()
+        assert math.isclose(rep.retained_on_targets, 1.0)  # degree-4, isolated
+
+    def test_bound_quality_on_tight_sets(self):
+        """For the Lemma 4.1 witness the certified bound comes within the
+        lemma's factor of the true capacity."""
+        from repro.expansion import sub_butterfly_set
+
+        w = wrapped_butterfly(64)
+        members = sub_butterfly_set(w, 2)
+        rep = edge_credit_report(w, members)
+        assert rep.lower_bound >= rep.true_value / 3.0  # generous factor

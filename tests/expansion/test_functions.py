@@ -1,0 +1,119 @@
+"""Exact expansion functions."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    edge_expansion,
+    edge_expansion_of_set,
+    edge_expansion_profile,
+    node_expansion_exact,
+    node_expansion_of_set,
+    node_expansion_search,
+)
+from repro.topology import Network, butterfly, wrapped_butterfly
+
+
+class TestEdgeExpansion:
+    def test_profile_matches_enumeration(self, b4):
+        from repro.cuts import cut_profile
+
+        assert np.array_equal(edge_expansion_profile(b4), cut_profile(b4).values)
+
+    def test_single_value(self, b4):
+        assert edge_expansion(b4, 1) == 2  # an input node has degree 2
+
+    def test_k_bounds(self, b4):
+        with pytest.raises(ValueError):
+            edge_expansion(b4, 99)
+
+    def test_of_set_matches_capacity(self, b8, rng):
+        members = rng.choice(32, size=10, replace=False)
+        side = np.zeros(32, dtype=bool)
+        side[members] = True
+        assert edge_expansion_of_set(b8, members) == b8.cut_capacity(side)
+
+    def test_non_layered_fallback(self):
+        net = Network(range(6), [(i, (i + 1) % 6) for i in range(6)])
+        prof = edge_expansion_profile(net)
+        assert prof[2] == 2  # arc of a cycle
+
+    def test_ee_wn_values_from_paper_shape(self, w8):
+        """EE(W8, k) should sit between the Lemma 4.2 lower curve and the
+        Lemma 4.1 witnesses (sanity of the whole Section 4 story)."""
+        from repro.expansion import ee_wn_lower
+
+        prof = edge_expansion_profile(w8)
+        for k in range(1, 12):
+            assert prof[k] >= ee_wn_lower(k, 8) - 1e-9
+
+
+class TestNodeExpansion:
+    def test_exact_matches_brute_force(self, b4):
+        from itertools import combinations
+
+        for k in (1, 2, 3):
+            val, wit = node_expansion_exact(b4, k)
+            brute = min(
+                len(b4.neighborhood(np.array(c)))
+                for c in combinations(range(b4.num_nodes), k)
+            )
+            assert val == brute
+            assert node_expansion_of_set(b4, wit) == val
+
+    def test_witness_has_size_k(self, w8):
+        val, wit = node_expansion_exact(w8, 3)
+        assert len(wit) == 3
+
+    def test_enumeration_limit(self):
+        big = wrapped_butterfly(64)
+        with pytest.raises(ValueError, match="exceed"):
+            node_expansion_exact(big, 20)
+
+    def test_search_upper_bounds_exact(self, w8):
+        for k in (2, 4, 6):
+            exact, _ = node_expansion_exact(w8, k)
+            found, wit = node_expansion_search(w8, k, iters=500, restarts=4)
+            assert found >= exact
+            assert len(wit) == k
+            assert node_expansion_of_set(w8, wit) == found
+
+    def test_search_finds_structured_sets(self):
+        """On W16 with k = 8 the search should get close to a sub-butterfly."""
+        w16 = wrapped_butterfly(16)
+        found, _ = node_expansion_search(w16, 6, iters=3000, restarts=6, seed=3)
+        assert found <= 12  # loose sanity ceiling
+
+
+class TestNodeExpansionProfile:
+    def test_matches_pointwise_exact(self, b4):
+        from repro.expansion import node_expansion_profile
+
+        prof = node_expansion_profile(b4)
+        for k in range(1, b4.num_nodes):
+            v, _ = node_expansion_exact(b4, k)
+            assert prof[k] == v
+
+    def test_endpoints(self, b4):
+        from repro.expansion import node_expansion_profile
+
+        prof = node_expansion_profile(b4)
+        assert prof[0] == 0
+        assert prof[b4.num_nodes] == 0  # the full set has no neighbors
+
+    @pytest.mark.slow
+    def test_w8_full_profile(self, w8):
+        """Exact NE(W8, k) at every k — the Section 4.3 row, complete."""
+        from repro.expansion import node_expansion_profile
+        from repro.expansion import ne_wn_lower
+
+        prof = node_expansion_profile(w8)
+        assert prof[1:13].tolist() == [4, 5, 6, 6, 7, 8, 8, 8, 8, 8, 8, 7]
+        for k in range(1, w8.num_nodes):
+            assert prof[k] >= ne_wn_lower(k, 8) - 1e-9
+
+    def test_size_limit(self, b8):
+        from repro.expansion import node_expansion_profile
+
+        with pytest.raises(ValueError, match="limited"):
+            node_expansion_profile(b8)

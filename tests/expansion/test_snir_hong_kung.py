@@ -1,0 +1,122 @@
+"""Section 1.6's related bounds: Snir's Ω_n and Hong–Kung's FFT_n."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expansion.hong_kung import (
+    check_hong_kung,
+    hong_kung_inequality_holds,
+    min_dominator_size,
+)
+from repro.expansion.snir import (
+    omega_expansion_of_set,
+    omega_expansion_profile,
+    omega_network,
+    snir_inequality_holds,
+)
+from repro.topology import butterfly
+
+
+class TestOmegaNetwork:
+    def test_built_on_half_butterfly(self):
+        bf = omega_network(16)
+        assert bf.n == 8
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            omega_network(7)
+
+    def test_ports_counted(self):
+        bf = omega_network(8)  # B4
+        # A single input node: degree 2 + 2 ports = 4.
+        assert omega_expansion_of_set(bf, np.array([bf.node(0, 0)])) == 4
+        # A single interior node: degree 4, no ports.
+        assert omega_expansion_of_set(bf, np.array([bf.node(0, 1)])) == 4
+
+    def test_full_set_keeps_ports(self):
+        """The ported expansion of the whole of Ω_n never vanishes — the
+        contrast with EE(Wn, |Wn|) = 0 the paper draws in Section 1.6.
+        With m = n/2 columns it equals 4m (2 ports at each of the 2m
+        boundary nodes)."""
+        bf = omega_network(8)  # built on B4: m = 4
+        all_nodes = np.arange(bf.num_nodes)
+        assert omega_expansion_of_set(bf, all_nodes) == 4 * 4
+
+
+class TestSnirInequality:
+    def test_profile_matches_set_evaluation(self):
+        bf = omega_network(8)
+        prof = omega_expansion_profile(bf)
+        # Spot-check: the k=1 minimum is over single nodes.
+        singles = min(
+            omega_expansion_of_set(bf, np.array([v])) for v in range(bf.num_nodes)
+        )
+        assert prof[1] == singles
+
+    def test_snir_holds_for_every_k(self):
+        """C log C >= 4k for the exact minimizers — Snir's theorem on Ω_8."""
+        bf = omega_network(8)
+        prof = omega_expansion_profile(bf)
+        for k in range(1, bf.num_nodes + 1):
+            assert snir_inequality_holds(int(prof[k]), k), (k, prof[k])
+
+    @given(st.integers(0, 400), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_snir_holds_on_random_sets(self, seed, k):
+        bf = omega_network(16)  # B8, 32 nodes
+        rng = np.random.default_rng(seed)
+        members = rng.choice(bf.num_nodes, size=k, replace=False)
+        c = omega_expansion_of_set(bf, members)
+        assert snir_inequality_holds(c, k)
+
+    def test_inequality_edge_cases(self):
+        assert snir_inequality_holds(0, 0)
+        assert not snir_inequality_holds(1, 1)
+        assert snir_inequality_holds(4, 2)
+
+
+class TestHongKung:
+    def test_single_interior_node(self, b8):
+        """One node at level i is dominated by itself (D = {v})."""
+        v = b8.node(0, 2)
+        d = min_dominator_size(b8, np.array([v]))
+        assert d == 1
+
+    def test_input_nodes_force_themselves(self, b8):
+        members = b8.inputs()[:3]
+        assert min_dominator_size(b8, members) == 3
+
+    def test_output_anchored_subbutterfly(self, b8):
+        """The Lemma 4.10-style set: k nodes behind 2^d inputs of a
+        sub-butterfly are dominated by far fewer nodes."""
+        from repro.expansion import sub_butterfly_set
+
+        members = sub_butterfly_set(b8, 2, start_level=1)
+        d = min_dominator_size(b8, members)
+        k = len(members)
+        assert d < k
+        assert hong_kung_inequality_holds(k, d)
+
+    @given(st.integers(0, 400), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_hong_kung_on_random_sets(self, seed, k):
+        bf = butterfly(8)
+        rng = np.random.default_rng(seed)
+        members = rng.choice(bf.num_nodes, size=k, replace=False)
+        holds, d = check_hong_kung(bf, members)
+        assert holds, (k, d)
+
+    def test_whole_network(self, b8):
+        """S = everything: D must contain all inputs; k = N satisfies the
+        bound with |D| = n."""
+        members = np.arange(b8.num_nodes)
+        d = min_dominator_size(b8, members)
+        assert d == 8
+        assert hong_kung_inequality_holds(b8.num_nodes, d)
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            min_dominator_size(w8, np.array([0]))

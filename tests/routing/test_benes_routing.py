@@ -1,0 +1,70 @@
+"""The looping algorithm (Beneš rearrangeability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import route_permutation, verify_edge_disjoint
+from repro.topology import benes
+
+
+class TestRoutes:
+    @given(st.integers(0, 4), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_permutations_edge_disjoint(self, m, seed):
+        bn = benes(m)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(bn.num_ports)
+        paths = route_permutation(bn, perm)
+        assert verify_edge_disjoint(bn, paths)
+
+    @given(st.integers(0, 4), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_endpoints_honor_permutation(self, m, seed):
+        bn = benes(m)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(bn.num_ports)
+        paths = route_permutation(bn, perm)
+        for p, path in enumerate(paths):
+            assert path[0] == bn.node(p // 2, 0)
+            assert path[-1] == bn.node(int(perm[p]) // 2, 2 * m)
+            assert len(path) == 2 * m + 1
+
+    def test_identity_permutation(self):
+        bn = benes(3)
+        paths = route_permutation(bn, np.arange(bn.num_ports))
+        assert verify_edge_disjoint(bn, paths)
+
+    def test_reversal_permutation(self):
+        bn = benes(3)
+        paths = route_permutation(bn, np.arange(bn.num_ports)[::-1])
+        assert verify_edge_disjoint(bn, paths)
+
+    def test_paths_are_walks(self):
+        bn = benes(2)
+        rng = np.random.default_rng(5)
+        for path in route_permutation(bn, rng.permutation(bn.num_ports)):
+            for a, b in zip(path[:-1], path[1:]):
+                assert bn.has_edge(int(a), int(b))
+
+
+class TestGuards:
+    def test_rejects_non_permutation(self):
+        bn = benes(2)
+        with pytest.raises(ValueError):
+            route_permutation(bn, np.zeros(bn.num_ports, dtype=int))
+
+    def test_rejects_wrong_length(self):
+        bn = benes(2)
+        with pytest.raises(ValueError):
+            route_permutation(bn, np.arange(4))
+
+    def test_verify_catches_shared_edge(self):
+        bn = benes(1)
+        path = np.array([bn.node(0, 0), bn.node(0, 1), bn.node(0, 2)])
+        assert not verify_edge_disjoint(bn, [path, path])
+
+    def test_verify_catches_non_edges(self):
+        bn = benes(1)
+        bad = np.array([bn.node(0, 0), bn.node(1, 2)])
+        assert not verify_edge_disjoint(bn, [bad])

@@ -1,0 +1,55 @@
+"""Emulation through embeddings (Section 1.5)."""
+
+import pytest
+
+from repro.embeddings import (
+    butterfly_into_butterfly,
+    butterfly_into_hypercube,
+    wrapped_into_ccc,
+)
+from repro.routing.emulation import emulate_round, emulation_slowdown
+
+
+class TestEmulateRound:
+    def test_wn_on_ccc(self):
+        """CCCn emulates Wn with small constant slowdown (Lemma 3.3's
+        embedding: congestion 2, dilation 2)."""
+        emb, host = wrapped_into_ccc(8)
+        rep = emulate_round(emb)
+        assert rep.messages == 2 * emb.guest.num_edges
+        assert rep.result.delivered == rep.messages
+        assert 1 <= rep.slowdown <= 4 * rep.bound
+
+    def test_bn_on_hypercube_constant(self):
+        """The hypercube emulates Bn at constant slowdown."""
+        emb, bf, q = butterfly_into_hypercube(8)
+        rep = emulate_round(emb)
+        assert rep.slowdown <= 12  # small constant, independent of n
+
+    def test_big_butterfly_on_small(self):
+        """Lemma 2.10: B_{n 2^j} on Bn costs Θ(2^j) per round."""
+        emb, big, host = butterfly_into_butterfly(8, 2, 1)
+        rep = emulate_round(emb)
+        assert rep.slowdown >= 1 << 2  # congestion 2^j forces at least 4
+        assert rep.slowdown <= 8 * (1 << 2)
+
+    def test_slowdown_average(self):
+        emb, host = wrapped_into_ccc(8)
+        avg = emulation_slowdown(emb, rounds=2)
+        assert avg == emulate_round(emb).slowdown  # deterministic model
+
+    def test_rounds_guard(self):
+        emb, host = wrapped_into_ccc(8)
+        with pytest.raises(ValueError):
+            emulation_slowdown(emb, rounds=0)
+
+
+class TestScaling:
+    def test_constant_across_sizes_for_ccc(self):
+        """The Wn-on-CCC slowdown stays flat as n grows — the meaning of a
+        constant-factor emulation."""
+        slow = []
+        for n in (8, 16, 32):
+            emb, host = wrapped_into_ccc(n)
+            slow.append(emulate_round(emb).slowdown)
+        assert max(slow) <= min(slow) + 4

@@ -1,0 +1,126 @@
+"""Max-flow / Menger certification (Dinic from scratch)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.flows import (
+    extract_paths,
+    max_edge_disjoint_paths,
+    min_separating_cut_size,
+)
+from repro.topology import Network, butterfly, wrapped_butterfly
+
+
+def path_graph(n):
+    return Network(range(n), [(i, i + 1) for i in range(n - 1)], name=f"P{n}")
+
+
+class TestBasics:
+    def test_path_has_one_path(self):
+        net = path_graph(5)
+        assert max_edge_disjoint_paths(net, [0], [4]) == 1
+
+    def test_cycle_has_two(self):
+        net = Network(range(6), [(i, (i + 1) % 6) for i in range(6)])
+        assert max_edge_disjoint_paths(net, [0], [3]) == 2
+
+    def test_complete_graph(self):
+        from repro.topology import complete_graph
+
+        k5 = complete_graph(5)
+        # Menger: min cut separating two nodes of K5 is 4.
+        assert max_edge_disjoint_paths(k5, [0], [4]) == 4
+
+    def test_multi_source_sink(self):
+        net = path_graph(6)
+        assert max_edge_disjoint_paths(net, [0, 1], [4, 5]) == 1
+
+    def test_overlapping_sets_rejected(self):
+        net = path_graph(3)
+        with pytest.raises(ValueError):
+            max_edge_disjoint_paths(net, [0, 1], [1, 2])
+
+    def test_parallel_edges_add_capacity(self):
+        net = Network(range(2), [(0, 1), (0, 1)])
+        assert max_edge_disjoint_paths(net, [0], [1]) == 2
+
+
+class TestMengerOnButterflies:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_inputs_to_outputs_is_2n(self, n):
+        """2n edge-disjoint paths link inputs to outputs: the min separating
+        cut is a full level boundary (= the level-split cut's capacity)."""
+        bf = butterfly(n)
+        assert max_edge_disjoint_paths(bf, bf.inputs(), bf.outputs()) == 2 * n
+
+    def test_io_flow_matches_level_split_cut(self, b8):
+        from repro.cuts import level_split_cut
+
+        flow = max_edge_disjoint_paths(b8, b8.inputs(), b8.outputs())
+        assert flow == level_split_cut(b8, 1).capacity
+
+    def test_single_input_degree_limited(self, b8):
+        assert max_edge_disjoint_paths(b8, [int(b8.node(0, 0))], b8.outputs()) == 2
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_half_inputs_separation_is_n(self, n):
+        """Lemma 3.1 via Menger: separating the MSB-0 inputs from the MSB-1
+        inputs needs n edges — any such cut bisects the inputs, so the flow
+        can be no less than BW(Bn, L0) = n, and the column cut shows it is
+        no more."""
+        bf = butterfly(n)
+        inputs = bf.inputs()
+        cols = bf.column_of(inputs)
+        msb = 1 << (bf.lg - 1)
+        left = inputs[(cols & msb) == 0]
+        right = inputs[(cols & msb) != 0]
+        assert max_edge_disjoint_paths(bf, left, right) == n
+
+    def test_half_inputs_flow_matches_exact_dp(self, b8):
+        """Cross-validate the flow value against the exact U-bisection DP."""
+        from repro.cuts import layered_u_bisection_width
+
+        inputs = b8.inputs()
+        msb = 4
+        left = inputs[(b8.column_of(inputs) & msb) == 0]
+        right = inputs[(b8.column_of(inputs) & msb) != 0]
+        flow = max_edge_disjoint_paths(b8, left, right)
+        assert flow >= layered_u_bisection_width(b8, inputs)
+
+    def test_mixed_component_cover(self, b16):
+        """Lemma 2.15's path system: the component's boundary supports
+        2^{d+1} edge-disjoint top-to-bottom paths through U ∪ N(U)."""
+        from repro.topology import level_range_components
+
+        comp = level_range_components(b16, 1, 3)[0]
+        region = np.unique(np.concatenate([
+            comp.nodes, b16.neighborhood(comp.nodes)
+        ]))
+        sub = b16.subgraph(region)
+        tops = [i for i, lab in enumerate(sub.labels) if lab[1] == 0]
+        bots = [i for i, lab in enumerate(sub.labels) if lab[1] == 4]
+        flow = max_edge_disjoint_paths(sub, tops, bots)
+        assert flow == 8  # n'/2 with n' = 16 inputs in the proof's notation
+
+
+class TestExtraction:
+    def test_paths_are_edge_disjoint_walks(self, b8):
+        paths = extract_paths(b8, b8.inputs(), b8.outputs())
+        assert len(paths) == 16  # 2n of them
+        seen = set()
+        for p in paths:
+            for a, b in zip(p[:-1], p[1:]):
+                assert b8.has_edge(int(a), int(b))
+                key = (min(int(a), int(b)), max(int(a), int(b)))
+                assert key not in seen
+                seen.add(key)
+
+    def test_path_endpoints(self, b8):
+        ins = set(b8.inputs().tolist())
+        outs = set(b8.outputs().tolist())
+        for p in extract_paths(b8, b8.inputs(), b8.outputs()):
+            assert int(p[0]) in ins and int(p[-1]) in outs
+
+    def test_wrapped_butterfly_flow(self, w8):
+        paths = extract_paths(w8, w8.level(0), w8.level(1))
+        assert len(paths) == max_edge_disjoint_paths(w8, w8.level(0), w8.level(1))

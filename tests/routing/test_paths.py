@@ -1,0 +1,98 @@
+"""Monotonic and canonical paths (Lemma 2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import (
+    canonical_path,
+    column_path,
+    count_monotonic_paths,
+    monotonic_path,
+    monotonic_path_wrapped,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+
+def assert_walk(bf, path):
+    for a, b in zip(path[:-1], path[1:]):
+        assert bf.has_edge(int(a), int(b)), (a, b)
+
+
+class TestLemma23:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_uniqueness_all_pairs(self, n):
+        bf = butterfly(n)
+        for s in range(n):
+            for d in range(n):
+                assert count_monotonic_paths(bf, s, d) == 1
+
+    def test_path_is_the_greedy_route(self, b8):
+        p = monotonic_path(b8, 0b000, 0b101)
+        cols = (p % 8).tolist()
+        assert cols == [0b000, 0b100, 0b100, 0b101]
+
+    def test_path_valid_walk(self, b8):
+        for s in range(8):
+            for d in range(8):
+                p = monotonic_path(b8, s, d)
+                assert_walk(b8, p)
+                assert p[0] == b8.node(s, 0)
+                assert p[-1] == b8.node(d, b8.lg)
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            monotonic_path(w8, 0, 1)
+
+
+class TestWrappedGreedy:
+    @given(st.integers(0, 7), st.integers(0, 2), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_wraps_once_and_fixes_bits(self, src, lvl, dst):
+        w8 = wrapped_butterfly(8)
+        p = monotonic_path_wrapped(w8, src, lvl, dst)
+        assert len(p) == w8.lg + 1
+        assert_walk(w8, p)
+        assert p[0] == w8.node(src, lvl)
+        assert p[-1] == w8.node(dst, lvl)
+
+
+class TestColumnPath:
+    def test_bn_descending(self, b8):
+        p = column_path(b8, 3, 3, 0)
+        assert (p % 8 == 3).all()
+        assert (p // 8).tolist() == [3, 2, 1, 0]
+        assert_walk(b8, p)
+
+    def test_bn_single_node(self, b8):
+        p = column_path(b8, 3, 2, 2)
+        assert p.tolist() == [b8.node(3, 2)]
+
+    def test_wn_wraps_shortest(self, w8):
+        p = column_path(w8, 5, 0, 2)
+        assert_walk(w8, p)
+        assert p[0] == w8.node(5, 0) and p[-1] == w8.node(5, 2)
+
+
+class TestCanonicalPath:
+    @given(st.booleans(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_connects_any_pair(self, wrap, data):
+        bf = wrapped_butterfly(8) if wrap else butterfly(8)
+        src = data.draw(st.integers(0, bf.num_nodes - 1))
+        dst = data.draw(st.integers(0, bf.num_nodes - 1))
+        p = canonical_path(bf, src, dst)
+        assert p[0] == src and p[-1] == dst
+        assert_walk(bf, p)
+
+    def test_length_bound_bn(self, b8):
+        for src in range(b8.num_nodes):
+            for dst in range(b8.num_nodes):
+                p = canonical_path(b8, src, dst)
+                assert len(p) - 1 <= 3 * b8.lg
+
+    def test_length_bound_wn(self, w8):
+        for src in range(w8.num_nodes):
+            for dst in range(w8.num_nodes):
+                p = canonical_path(w8, src, dst)
+                assert len(p) - 1 <= 3 * w8.lg - 2  # the Theorem 4.3 dilation

@@ -1,0 +1,77 @@
+"""The store-and-forward packet simulator (Section 1.2's model)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import PacketSimulator
+from repro.topology import Network, butterfly
+
+
+def line(n):
+    return Network(range(n), [(i, i + 1) for i in range(n - 1)], name=f"P{n}")
+
+
+class TestBasics:
+    def test_single_packet_takes_path_length(self):
+        net = line(5)
+        sim = PacketSimulator(net)
+        res = sim.run([np.arange(5)])
+        assert res.steps == 4
+        assert res.delivered == 1
+        assert res.total_hops == 4
+
+    def test_empty_paths_deliver_instantly(self):
+        net = line(3)
+        res = PacketSimulator(net).run([np.array([1])])
+        assert res.steps == 0
+
+    def test_no_packets(self):
+        res = PacketSimulator(line(3)).run([])
+        assert res.steps == 0 and res.delivered == 0
+
+
+class TestContention:
+    def test_shared_edge_serializes(self):
+        """Two packets over the same directed edge: one waits one step."""
+        net = line(3)
+        paths = [np.array([0, 1, 2]), np.array([0, 1, 2])]
+        res = PacketSimulator(net).run(paths)
+        assert res.steps == 3  # second packet finishes one step later
+        assert res.max_queue == 2
+
+    def test_opposite_directions_dont_conflict(self):
+        """The model is full duplex: one message per direction per step."""
+        net = line(2)
+        paths = [np.array([0, 1]), np.array([1, 0])]
+        res = PacketSimulator(net).run(paths)
+        assert res.steps == 1
+
+    def test_deterministic_priority(self):
+        net = line(4)
+        paths = [np.array([1, 2, 3]), np.array([0, 1, 2, 3])]
+        r1 = PacketSimulator(net).run(paths)
+        r2 = PacketSimulator(net).run(paths)
+        assert r1 == r2
+
+    def test_k_packets_one_edge(self):
+        net = line(2)
+        paths = [np.array([0, 1]) for _ in range(5)]
+        res = PacketSimulator(net).run(paths)
+        assert res.steps == 5
+        assert res.max_queue == 5
+
+
+class TestGuards:
+    def test_step_limit(self):
+        net = line(3)
+        with pytest.raises(RuntimeError):
+            PacketSimulator(net).run([np.array([0, 1, 2])], max_steps=1)
+
+    def test_butterfly_permutation_completes(self, b8):
+        from repro.routing import canonical_path
+
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(b8.num_nodes)
+        paths = [canonical_path(b8, int(s), int(d)) for s, d in enumerate(perm) if s != d]
+        res = PacketSimulator(b8).run(paths)
+        assert res.delivered == len(paths)

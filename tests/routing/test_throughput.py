@@ -1,0 +1,47 @@
+"""Routing time versus the bisection bound (Section 1.2)."""
+
+import pytest
+
+from repro.routing import (
+    bisection_time_bound,
+    permutation_experiment,
+    random_destinations_experiment,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+
+class TestBound:
+    def test_formula(self):
+        assert bisection_time_bound(32, 8) == 1.0
+        assert bisection_time_bound(100, 5) == 5.0
+
+    def test_smaller_bisection_larger_bound(self):
+        assert bisection_time_bound(64, 4) > bisection_time_bound(64, 8)
+
+
+class TestExperiments:
+    def test_random_destinations_b8(self, b8):
+        rep = random_destinations_experiment(b8, bisection_width=8, seed=1)
+        assert rep.result.delivered == rep.num_packets
+        assert rep.bound == 1.0
+        assert rep.ratio >= 1.0  # routing can never beat the bound scale
+
+    def test_permutation_w8(self, w8):
+        rep = permutation_experiment(w8, bisection_width=8, seed=2)
+        assert rep.result.delivered == rep.num_packets
+        assert rep.result.steps >= 1
+
+    def test_deterministic(self, b8):
+        r1 = random_destinations_experiment(b8, 8, seed=7)
+        r2 = random_destinations_experiment(b8, 8, seed=7)
+        assert r1.result == r2.result
+
+    def test_steps_at_least_max_distance(self, b8):
+        """Makespan is at least the longest individual path."""
+        rep = permutation_experiment(b8, 8, seed=3)
+        assert rep.result.steps * rep.num_packets >= rep.result.total_hops
+
+    def test_bigger_network_longer(self):
+        small = permutation_experiment(butterfly(8), 8, seed=0)
+        large = permutation_experiment(butterfly(32), 32, seed=0)
+        assert large.result.steps >= small.result.steps

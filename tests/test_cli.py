@@ -1,0 +1,62 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "B8" in out and "32 nodes" in out
+
+    def test_info_wraparound(self, capsys):
+        assert main(["info", "8", "--wraparound"]) == 0
+        assert "W8" in capsys.readouterr().out
+
+    def test_bisection(self, capsys):
+        assert main(["bisection", "bn", "8"]) == 0
+        assert "BW(B8) = 8" in capsys.readouterr().out
+
+    def test_bisection_ccc(self, capsys):
+        assert main(["bisection", "ccc", "8"]) == 0
+        assert "BW(CCC8) = 4" in capsys.readouterr().out
+
+    def test_expansion(self, capsys):
+        assert main(["expansion", "wn", "8", "4"]) == 0
+        assert "EE(W8, 4)" in capsys.readouterr().out
+
+    def test_expansion_node(self, capsys):
+        assert main(["expansion", "bn", "8", "4", "--node"]) == 0
+        assert "NE(B8, 4)" in capsys.readouterr().out
+
+    def test_folklore_plan_only(self, capsys):
+        assert main(["folklore", "4096", "--plan-only"]) == 0
+        out = capsys.readouterr().out
+        assert "0.9375" in out
+
+    def test_folklore_built(self, capsys):
+        assert main(["folklore", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "built and verified" in out
+
+    def test_claims_subset(self, capsys):
+        assert main(["claims", "lemma-2.18", "lemma-2.1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 2
+
+    def test_claims_unknown_id(self, capsys):
+        assert main(["claims", "lemma-9.9"]) == 1
+
+
+class TestMainModule:
+    def test_python_dash_m(self):
+        import subprocess, sys
+
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "bisection", "ccc", "8"],
+            capture_output=True, text=True,
+        )
+        assert out.returncode == 0
+        assert "BW(CCC8) = 4" in out.stdout

@@ -1,0 +1,74 @@
+"""Witness serialization."""
+
+import pytest
+
+from repro.core import butterfly_bisection_width
+from repro.cuts import Cut, best_plan, build_planned_bisection, plan_bisection
+from repro.io import (
+    certificate_to_dict,
+    cut_from_dict,
+    cut_to_dict,
+    load_json,
+    plan_from_dict,
+    plan_to_dict,
+    save_json,
+)
+from repro.topology import butterfly
+
+
+class TestCutRoundTrip:
+    def test_round_trip(self, b8):
+        cut = Cut.from_node_set(b8, range(16))
+        data = cut_to_dict(cut)
+        again = cut_from_dict(b8, data)
+        assert again.capacity == cut.capacity
+        assert (again.side == cut.side).all()
+
+    def test_capacity_reverified(self, b8):
+        cut = Cut.from_node_set(b8, range(16))
+        data = cut_to_dict(cut)
+        data["capacity"] += 1
+        with pytest.raises(ValueError, match="capacity mismatch"):
+            cut_from_dict(b8, data)
+
+    def test_size_mismatch(self, b8, b16):
+        data = cut_to_dict(Cut.from_node_set(b8, range(4)))
+        with pytest.raises(ValueError, match="size mismatch"):
+            cut_from_dict(b16, data)
+
+    def test_kind_check(self, b8):
+        with pytest.raises(ValueError):
+            cut_from_dict(b8, {"kind": "other"})
+
+
+class TestPlanRoundTrip:
+    def test_round_trip_and_rebuild(self):
+        plan = plan_bisection(1 << 10, 8, 5, 5)
+        data = plan_to_dict(plan)
+        again = plan_from_dict(data)
+        assert again == plan
+        cut = build_planned_bisection(again)
+        assert cut.capacity == plan.capacity
+
+    def test_best_plan_serializes(self):
+        plan = best_plan(1 << 40)
+        again = plan_from_dict(plan_to_dict(plan))
+        assert again.capacity_over_n == plan.capacity_over_n
+
+    def test_kind_check(self):
+        with pytest.raises(ValueError):
+            plan_from_dict({"kind": "cut"})
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path, b8):
+        cut = Cut.from_node_set(b8, range(16))
+        p = tmp_path / "cut.json"
+        save_json(cut_to_dict(cut), p)
+        again = cut_from_dict(b8, load_json(p))
+        assert again.capacity == cut.capacity
+
+    def test_certificate_export(self):
+        cert = butterfly_bisection_width(8)
+        data = certificate_to_dict(cert)
+        assert data["exact"] and data["upper"] == 8

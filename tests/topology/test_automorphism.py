@@ -1,0 +1,135 @@
+"""Automorphisms of butterflies (Lemmas 2.1 and 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    butterfly,
+    cascade_xor_permutation,
+    column_xor_permutation,
+    edge_pair_automorphism,
+    is_automorphism,
+    level_reversal_permutation,
+    level_rotation_permutation,
+    wrapped_butterfly,
+)
+
+
+class TestLevelReversal:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_lemma_21(self, n):
+        bf = butterfly(n)
+        perm = level_reversal_permutation(bf)
+        assert is_automorphism(bf, perm)
+        for i in range(bf.lg + 1):
+            assert set((perm[bf.level(i)] // bf.n).tolist()) == {bf.lg - i}
+
+    def test_involution(self, b8):
+        perm = level_reversal_permutation(b8)
+        assert np.array_equal(perm[perm], np.arange(b8.num_nodes))
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            level_reversal_permutation(w8)
+
+
+class TestColumnXor:
+    @given(st.sampled_from([4, 8, 16]), st.booleans(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_always_automorphism(self, n, wrap, data):
+        bf = wrapped_butterfly(n) if wrap else butterfly(n)
+        c = data.draw(st.integers(0, n - 1))
+        perm = column_xor_permutation(bf, c)
+        assert is_automorphism(bf, perm)
+
+    def test_transitive_on_columns(self, b8):
+        """Any column maps to any other: Lemma 2.2's node transitivity."""
+        for target in range(8):
+            perm = column_xor_permutation(b8, 0 ^ target)
+            assert perm[b8.node(0, 1)] == b8.node(target, 1)
+
+    def test_rejects_out_of_range(self, b8):
+        with pytest.raises(ValueError):
+            column_xor_permutation(b8, 8)
+
+
+class TestCascadeXor:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_cascades_are_automorphisms(self, data):
+        n = data.draw(st.sampled_from([4, 8, 16]))
+        bf = butterfly(n)
+        base = data.draw(st.integers(0, n - 1))
+        flips = data.draw(st.lists(st.booleans(), min_size=bf.lg, max_size=bf.lg))
+        perm = cascade_xor_permutation(bf, base, flips)
+        assert is_automorphism(bf, perm)
+
+    def test_flip_swaps_straight_and_cross(self, b8):
+        """Flipping at step 1 exchanges the straight and cross edges
+        between levels 0 and 1."""
+        perm = cascade_xor_permutation(b8, 0, [True, False, False])
+        u, v = b8.node(0, 0), b8.node(0, 1)  # a straight edge
+        assert perm[u] == b8.node(0, 0)
+        assert perm[v] == b8.node(4, 1)  # cross image
+
+    def test_wrong_flip_count(self, b8):
+        with pytest.raises(ValueError):
+            cascade_xor_permutation(b8, 0, [True])
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            cascade_xor_permutation(w8, 0, [True] * w8.lg)
+
+
+class TestLevelRotation:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_rotation_is_automorphism(self, n):
+        wf = wrapped_butterfly(n)
+        for shift in range(wf.lg):
+            assert is_automorphism(wf, level_rotation_permutation(wf, shift))
+
+    def test_full_rotation_is_identity(self, w8):
+        perm = level_rotation_permutation(w8, w8.lg)
+        assert np.array_equal(perm, np.arange(w8.num_nodes))
+
+    def test_vertex_transitivity(self, w8):
+        """Rotation + column xor reach every node from <0, 0> — the symmetry
+        used to renumber levels in Lemma 3.2's proof."""
+        reachable = set()
+        for shift in range(w8.lg):
+            rot = level_rotation_permutation(w8, shift)
+            for c in range(w8.n):
+                xor = column_xor_permutation(w8, c)
+                reachable.add(int(xor[rot[w8.node(0, 0)]]))
+        assert reachable == set(range(w8.num_nodes))
+
+    def test_rejects_plain_butterfly(self, b8):
+        with pytest.raises(ValueError):
+            level_rotation_permutation(b8, 1)
+
+
+class TestEdgePairAutomorphism:
+    def test_lemma_22_all_pairs_level0(self, b4):
+        e = b4.edges
+        lv = e[:, 0] // b4.n
+        level0 = e[lv == 0]
+        for a in level0:
+            for b in level0:
+                perm = edge_pair_automorphism(
+                    b4, int(a[0]), int(a[1]), int(b[0]), int(b[1])
+                )
+                assert is_automorphism(b4, perm)
+                assert perm[a[0]] == b[0] and perm[a[1]] == b[1]
+
+    def test_mismatched_levels_rejected(self, b8):
+        with pytest.raises(ValueError):
+            edge_pair_automorphism(
+                b8, b8.node(0, 0), b8.node(0, 1), b8.node(0, 1), b8.node(0, 2)
+            )
+
+    def test_non_edges_rejected(self, b8):
+        with pytest.raises(ValueError):
+            edge_pair_automorphism(
+                b8, b8.node(0, 0), b8.node(3, 1), b8.node(0, 0), b8.node(0, 1)
+            )

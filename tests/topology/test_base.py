@@ -1,0 +1,137 @@
+"""The Network container."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Network
+
+
+def triangle():
+    return Network(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        net = triangle()
+        assert net.num_nodes == 3
+        assert net.num_edges == 3
+        assert len(net) == 3
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Network(["a", "a"], [])
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Network(["a", "b"], [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Network(["a", "b"], [(0, 2)])
+
+    def test_edges_canonicalized(self):
+        net = Network(["a", "b"], [(1, 0)])
+        assert net.edges.tolist() == [[0, 1]]
+
+    def test_edges_read_only(self):
+        net = triangle()
+        with pytest.raises(ValueError):
+            net.edges[0, 0] = 5
+
+    def test_empty_edges(self):
+        net = Network(["a", "b"], [])
+        assert net.num_edges == 0
+        assert net.degrees.tolist() == [0, 0]
+
+
+class TestLabels:
+    def test_index_round_trip(self):
+        net = triangle()
+        for i, lab in enumerate(net.labels):
+            assert net.index_of(lab) == i
+            assert net.label_of(i) == lab
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            triangle().index_of("z")
+
+    def test_has_node(self):
+        net = triangle()
+        assert net.has_node("a") and not net.has_node("z")
+
+    def test_indices_of(self):
+        net = triangle()
+        assert net.indices_of(["c", "a"]).tolist() == [2, 0]
+
+
+class TestStructure:
+    def test_degrees(self):
+        assert triangle().degrees.tolist() == [2, 2, 2]
+
+    def test_multigraph_degrees(self):
+        net = Network(["a", "b"], [(0, 1), (0, 1)])
+        assert net.degrees.tolist() == [2, 2]
+        assert not net.is_simple
+        assert net.edge_multiset == {(0, 1): 2}
+
+    def test_neighbors_sorted(self):
+        net = Network(range(4), [(3, 0), (0, 1)])
+        assert net.neighbors(0).tolist() == [1, 3]
+
+    def test_has_edge(self):
+        net = triangle()
+        assert net.has_edge(0, 1) and net.has_edge(1, 0)
+        assert not net.has_edge(0, 0)
+
+    def test_neighborhood(self):
+        net = Network(range(5), [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert net.neighborhood([1, 2]).tolist() == [0, 3]
+        assert net.neighborhood([0]).tolist() == [1]
+
+    def test_connected_components(self):
+        net = Network(range(5), [(0, 1), (2, 3)])
+        comps = sorted(tuple(c) for c in net.connected_components())
+        assert comps == [(0, 1), (2, 3), (4,)]
+
+
+class TestDerived:
+    def test_subgraph(self):
+        net = triangle()
+        sub = net.subgraph([0, 1])
+        assert sub.num_nodes == 2 and sub.num_edges == 1
+        assert sub.labels == ("a", "b")
+
+    def test_to_networkx_simple(self):
+        g = triangle().to_networkx()
+        import networkx as nx
+
+        assert isinstance(g, nx.Graph)
+        assert g.number_of_edges() == 3
+
+    def test_to_networkx_multigraph(self):
+        net = Network(["a", "b"], [(0, 1), (0, 1)])
+        g = net.to_networkx()
+        import networkx as nx
+
+        assert isinstance(g, nx.MultiGraph)
+        assert g.number_of_edges() == 2
+
+
+class TestCutPrimitives:
+    def test_cut_capacity(self):
+        net = triangle()
+        assert net.cut_capacity(np.array([True, False, False])) == 2
+        assert net.cut_capacity(np.array([True, True, True])) == 0
+
+    def test_cut_capacity_shape_check(self):
+        with pytest.raises(ValueError):
+            triangle().cut_capacity(np.array([True]))
+
+    def test_cut_edges(self):
+        net = triangle()
+        ce = net.cut_edges(np.array([True, False, False]))
+        assert sorted(map(tuple, ce.tolist())) == [(0, 1), (0, 2)]
+
+    def test_multigraph_cut_counts_multiplicity(self):
+        net = Network(["a", "b"], [(0, 1), (0, 1)])
+        assert net.cut_capacity(np.array([True, False])) == 2

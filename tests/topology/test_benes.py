@@ -1,0 +1,74 @@
+"""Beneš networks (Section 1.5)."""
+
+import pytest
+
+from repro.topology import benes
+from repro.topology.labels import flip_bit
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 4])
+    def test_counts(self, m):
+        bn = benes(m)
+        assert bn.num_nodes == (2 * m + 1) << m
+        assert bn.num_edges == 2 * (2 * m) << m
+        assert bn.num_ports == 2 << m
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            benes(-1)
+
+    def test_flip_positions_mirror(self):
+        bn = benes(3)
+        assert [bn.flip_position(l) for l in range(6)] == [1, 2, 3, 3, 2, 1]
+
+    def test_flip_position_bounds(self):
+        with pytest.raises(ValueError):
+            benes(2).flip_position(4)
+
+
+class TestStructure:
+    def test_back_to_back_butterflies(self):
+        """Each half of the Beneš network is a butterfly."""
+        from repro.topology import butterfly
+        import numpy as np
+
+        m = 3
+        bn = benes(m)
+        half = butterfly(1 << m)
+        fwd = np.concatenate([bn.level(l) for l in range(m + 1)])
+        sub = bn.subgraph(fwd)
+        assert sub.num_edges == half.num_edges
+        bwd = np.concatenate([bn.level(l) for l in range(m, 2 * m + 1)])
+        sub = bn.subgraph(bwd)
+        assert sub.num_edges == half.num_edges
+
+    def test_edge_rule(self):
+        bn = benes(3)
+        m = bn.m
+        for l in range(2 * m):
+            p = bn.flip_position(l)
+            for w in range(bn.n):
+                assert bn.has_edge(bn.node(w, l), bn.node(w, l + 1))
+                assert bn.has_edge(bn.node(w, l), bn.node(flip_bit(w, p, m), l + 1))
+
+    def test_middle_splits_into_two_sub_benes(self):
+        """Levels 1..2m-1 split by the first bit into two Beneš(m-1)'s —
+        the recursion the looping algorithm uses."""
+        import numpy as np
+
+        m = 3
+        bn = benes(m)
+        mid = np.concatenate([bn.level(l) for l in range(1, 2 * m)])
+        sub = bn.subgraph(mid)
+        comps = sub.connected_components()
+        assert len(comps) == 2
+        small = benes(m - 1)
+        for comp in comps:
+            assert len(comp) == small.num_nodes
+            assert sub.subgraph(comp).num_edges == small.num_edges
+
+    def test_io_levels(self):
+        bn = benes(2)
+        assert len(bn.inputs()) == 4
+        assert len(bn.outputs()) == 4

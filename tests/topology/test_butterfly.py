@@ -1,0 +1,134 @@
+"""Butterfly networks Bn and Wn (Section 1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Butterfly, butterfly, wrapped_butterfly
+from repro.topology.labels import flip_bit
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_bn_counts(self, n):
+        bf = butterfly(n)
+        lg = bf.lg
+        assert bf.num_nodes == n * (lg + 1)  # the paper's N
+        assert bf.num_edges == 2 * n * lg
+        assert bf.num_levels == lg + 1
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_wn_counts(self, n):
+        bf = wrapped_butterfly(n)
+        assert bf.num_nodes == n * bf.lg
+        assert bf.num_edges == 2 * n * bf.lg
+        assert (bf.degrees == 4).all()  # Wn is 4-regular
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            butterfly(6)
+        with pytest.raises(ValueError):
+            butterfly(0)
+
+    def test_wraparound_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            wrapped_butterfly(2)
+
+    def test_w4_has_parallel_edges(self, w4):
+        # Identifying levels 0 and 2 of B4 doubles the straight edges.
+        assert not w4.is_simple
+        assert w4.num_edges == 16
+
+    def test_w8_is_simple(self, w8):
+        assert w8.is_simple
+
+
+class TestIndexing:
+    def test_node_level_major(self, b8):
+        assert b8.node(3, 0) == 3
+        assert b8.node(0, 1) == 8
+        assert b8.node(7, 3) == 31
+
+    def test_label_round_trip(self, b8):
+        for w in range(8):
+            for i in range(4):
+                idx = b8.node(w, i)
+                assert b8.labels[idx] == (w, i)
+                assert b8.level_of(idx) == i
+                assert b8.column_of(idx) == w
+
+    def test_wrapped_level_reduction(self, w8):
+        assert w8.node(5, 3) == w8.node(5, 0)
+
+    def test_bounds(self, b8):
+        with pytest.raises(ValueError):
+            b8.node(8, 0)
+        with pytest.raises(ValueError):
+            b8.node(0, 4)
+
+    def test_level_sets(self, b8):
+        lvl = b8.level(2)
+        assert len(lvl) == 8
+        assert (b8.level_of(lvl) == 2).all()
+
+    def test_column_sets(self, b8):
+        col = b8.column(5)
+        assert len(col) == 4
+        assert (b8.column_of(col) == 5).all()
+
+    def test_inputs_outputs(self, b8):
+        assert (b8.level_of(b8.inputs()) == 0).all()
+        assert (b8.level_of(b8.outputs()) == 3).all()
+
+    def test_wn_outputs_are_inputs(self, w8):
+        assert np.array_equal(w8.outputs(), w8.inputs())
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_bn_edge_rule(self, n):
+        """<w,i> ~ <w',i+1> iff w = w' or they differ in bit position i+1."""
+        bf = butterfly(n)
+        for w in range(n):
+            for i in range(bf.lg):
+                u = bf.node(w, i)
+                assert bf.has_edge(u, bf.node(w, i + 1))
+                assert bf.has_edge(u, bf.node(flip_bit(w, i + 1, bf.lg), i + 1))
+                # No other cross edges at this step.
+                for pos in range(1, bf.lg + 1):
+                    if pos != i + 1:
+                        assert not bf.has_edge(u, bf.node(flip_bit(w, pos, bf.lg), i + 1))
+
+    def test_bn_degree_profile(self, b8):
+        lv = b8.level_of(np.arange(b8.num_nodes))
+        deg = b8.degrees
+        assert (deg[(lv == 0) | (lv == b8.lg)] == 2).all()
+        assert (deg[(lv > 0) & (lv < b8.lg)] == 4).all()
+
+    def test_wn_wrap_edge_rule(self, w8):
+        # Level log n - 1 connects to level 0, flipping bit log n or nothing.
+        lg = w8.lg
+        for w in range(8):
+            u = w8.node(w, lg - 1)
+            assert w8.has_edge(u, w8.node(w, 0))
+            assert w8.has_edge(u, w8.node(flip_bit(w, lg, lg), 0))
+
+    def test_no_intra_level_edges(self, b8, w8):
+        for bf in (b8, w8):
+            lv = bf.level_of(np.arange(bf.num_nodes))
+            e = bf.edges
+            assert (lv[e[:, 0]] != lv[e[:, 1]]).all()
+
+
+class TestLayers:
+    def test_bn_layers(self, b8):
+        layers = b8.layers()
+        assert len(layers) == 4
+        assert not b8.cyclic
+
+    def test_wn_layers_cyclic(self, w8):
+        assert len(w8.layers()) == 3
+        assert w8.cyclic
+
+    def test_layers_partition(self, b8):
+        allnodes = np.concatenate(b8.layers())
+        assert sorted(allnodes.tolist()) == list(range(b8.num_nodes))

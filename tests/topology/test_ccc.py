@@ -1,0 +1,78 @@
+"""Cube-connected cycles (Section 1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import cube_connected_cycles
+from repro.topology.labels import flip_bit
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_counts(self, n):
+        ccc = cube_connected_cycles(n)
+        lg = ccc.lg
+        assert ccc.num_nodes == n * lg
+        assert ccc.num_edges == n * lg + n * lg // 2  # cycle + cube edges
+        assert (ccc.degrees == 3).all()  # CCC is 3-regular
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            cube_connected_cycles(2)
+
+    def test_ccc4_parallel_cycle_edges(self):
+        ccc = cube_connected_cycles(4)
+        assert not ccc.is_simple  # length-2 cycles
+
+    def test_ccc8_simple(self, ccc8):
+        assert ccc8.is_simple
+
+
+class TestAdjacency:
+    def test_cycle_edges(self, ccc8):
+        lg = ccc8.lg
+        for w in range(8):
+            for i in range(1, lg + 1):
+                nxt = i % lg + 1
+                assert ccc8.has_edge(ccc8.node(w, i), ccc8.node(w, nxt))
+
+    def test_cube_edges_flip_position_bit(self, ccc8):
+        """<w,i> ~ <w',i> iff w, w' differ exactly in bit position i."""
+        lg = ccc8.lg
+        for w in range(8):
+            for i in range(1, lg + 1):
+                u = ccc8.node(w, i)
+                assert ccc8.has_edge(u, ccc8.node(flip_bit(w, i, lg), i))
+                for pos in range(1, lg + 1):
+                    if pos != i:
+                        assert not ccc8.has_edge(u, ccc8.node(flip_bit(w, pos, lg), i))
+
+    def test_cycle_structure(self, ccc8):
+        cyc = ccc8.cycle(5)
+        assert len(cyc) == ccc8.lg
+        sub = ccc8.subgraph(cyc)
+        assert (sub.degrees == 2).all()  # each cycle is a simple cycle
+
+    def test_position_sets(self, ccc8):
+        pos = ccc8.position(2)
+        assert len(pos) == 8
+
+    def test_bounds(self, ccc8):
+        with pytest.raises(ValueError):
+            ccc8.node(0, 0)
+        with pytest.raises(ValueError):
+            ccc8.node(0, 4)
+
+
+class TestLayers:
+    def test_layers_cyclic(self, ccc8):
+        assert len(ccc8.layers()) == 3
+        assert ccc8.cyclic
+
+    def test_cube_edges_are_intra_layer(self, ccc8):
+        pos_of = np.arange(ccc8.num_nodes) // ccc8.n
+        intra = 0
+        for u, v in ccc8.edges:
+            if pos_of[u] == pos_of[v]:
+                intra += 1
+        assert intra == ccc8.n * ccc8.lg // 2

@@ -1,0 +1,74 @@
+"""Complete-graph guests (Section 1.4)."""
+
+import pytest
+
+from repro.topology import (
+    complete_graph,
+    complete_bipartite,
+    complete_bisection_width,
+    complete_edge_expansion,
+    doubled_complete_graph,
+)
+
+
+class TestCompleteGraph:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_counts(self, n):
+        g = complete_graph(n)
+        assert g.num_nodes == n
+        assert g.num_edges == n * (n - 1) // 2
+
+    def test_doubled(self):
+        g = doubled_complete_graph(5)
+        assert g.num_edges == 20
+        assert not g.is_simple
+
+    def test_bisection_width_formula(self):
+        # BW(K_N) = floor(N/2) ceil(N/2); the paper's N^2/4 for even N.
+        assert complete_bisection_width(4) == 4
+        assert complete_bisection_width(5) == 6
+        assert complete_bisection_width(4, doubled=True) == 8
+
+    def test_bisection_width_matches_enumeration(self):
+        from repro.cuts import cut_profile
+
+        for n in (3, 4, 5, 6):
+            prof = cut_profile(complete_graph(n))
+            assert prof.bisection_width() == complete_bisection_width(n)
+
+    def test_edge_expansion_formula(self):
+        # EE(K_N, k) = k (N - k).
+        from repro.cuts import cut_profile
+
+        n = 6
+        prof = cut_profile(complete_graph(n))
+        for k in range(n + 1):
+            assert prof.values[k] == complete_edge_expansion(n, k)
+
+    def test_edge_expansion_bounds_check(self):
+        with pytest.raises(ValueError):
+            complete_edge_expansion(4, 5)
+
+
+class TestCompleteBipartite:
+    def test_counts(self):
+        g = complete_bipartite(3, 4)
+        assert g.num_nodes == 7
+        assert g.num_edges == 12
+
+    def test_labels(self):
+        g = complete_bipartite(2, 2)
+        assert g.has_node(("L", 0)) and g.has_node(("R", 1))
+        assert g.has_edge(g.index_of(("L", 0)), g.index_of(("R", 1)))
+
+    def test_side_bisection_capacity(self):
+        """A cut bisecting one side of K_{n,n} has capacity >= n^2/2 —
+        the counting fact in Lemma 3.1."""
+        from repro.cuts import cut_profile
+        import numpy as np
+
+        n = 4
+        g = complete_bipartite(n, n)
+        left = np.arange(n)
+        prof = cut_profile(g, counted=left)
+        assert prof.bisection_width() == n * n // 2

@@ -1,0 +1,50 @@
+"""De Bruijn and shuffle-exchange graphs (Section 1.5)."""
+
+import pytest
+
+from repro.topology import de_bruijn, shuffle_exchange
+
+
+class TestDeBruijn:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_connected(self, d):
+        g = de_bruijn(d)
+        assert g.num_nodes == 1 << d
+        assert len(g.connected_components()) == 1
+
+    def test_degree_bound(self):
+        g = de_bruijn(4)
+        assert g.degrees.max() <= 4  # bounded-degree hypercube variant
+
+    def test_no_self_loops_kept(self):
+        g = de_bruijn(3)
+        assert (g.edges[:, 0] != g.edges[:, 1]).all()
+
+    def test_shift_adjacency(self):
+        g = de_bruijn(3)
+        # 011 -> 110 and 111 are shift successors.
+        assert g.has_edge(0b011, 0b110)
+        assert g.has_edge(0b011, 0b111)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            de_bruijn(0)
+
+
+class TestShuffleExchange:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_connected(self, d):
+        g = shuffle_exchange(d)
+        assert len(g.connected_components()) == 1
+
+    def test_exchange_edges(self):
+        g = shuffle_exchange(3)
+        assert g.has_edge(0b010, 0b011)
+
+    def test_shuffle_edges(self):
+        g = shuffle_exchange(3)
+        assert g.has_edge(0b001, 0b010)  # rotation
+        assert g.has_edge(0b100, 0b001)
+
+    def test_degree_bound(self):
+        assert shuffle_exchange(4).degrees.max() <= 3

@@ -1,0 +1,45 @@
+"""Hypercube companion substrate (Section 1.5)."""
+
+import pytest
+
+from repro.topology import hypercube, hypercube_bisection_width
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 4])
+    def test_counts(self, d):
+        q = hypercube(d)
+        assert q.num_nodes == 1 << d
+        assert q.num_edges == d * (1 << (d - 1)) if d else q.num_edges == 0
+        assert (q.degrees == d).all()
+
+    def test_dimension_edges(self):
+        q = hypercube(3)
+        for b in range(3):
+            de = q.dimension_edges(b)
+            assert len(de) == 4
+            for u, v in de:
+                assert u ^ v == 1 << b
+
+    def test_dimension_bounds(self):
+        with pytest.raises(ValueError):
+            hypercube(3).dimension_edges(3)
+
+    def test_bisection_width_closed_form(self):
+        assert hypercube_bisection_width(0) == 0
+        assert hypercube_bisection_width(3) == 4
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_bisection_width_exact(self, d):
+        """Our exact solver recovers the classical BW(Q_d) = 2^{d-1}."""
+        from repro.cuts import cut_profile
+
+        q = hypercube(d)
+        assert cut_profile(q).bisection_width() == hypercube_bisection_width(d)
+
+    def test_butterfly_is_subgraph_flavor(self):
+        """Sanity in the Greenberg et al. direction: B4 has no more edges
+        than Q4 and embeds with small dilation (here: just edge count)."""
+        from repro.topology import butterfly
+
+        assert butterfly(4).num_edges <= hypercube(4).num_edges

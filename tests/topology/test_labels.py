@@ -1,0 +1,121 @@
+"""Bit/label conventions (Section 1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.labels import (
+    bit_of,
+    bit_reversal,
+    bit_reversal_array,
+    column_bits,
+    flip_bit,
+    format_column,
+    ilog2,
+    is_power_of_two,
+    prefix_bits,
+    suffix_bits,
+)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << t) for t in range(30))
+
+    def test_non_powers(self):
+        for v in (0, -1, 3, 5, 6, 7, 9, 100, 1023):
+            assert not is_power_of_two(v)
+
+    def test_ilog2(self):
+        for t in range(20):
+            assert ilog2(1 << t) == t
+
+    def test_ilog2_rejects(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+
+class TestBitConventions:
+    def test_msb_is_position_one(self):
+        # Paper: "the most significant bit being numbered 1".
+        assert bit_of(0b100, 1, 3) == 1
+        assert bit_of(0b100, 2, 3) == 0
+        assert bit_of(0b001, 3, 3) == 1
+
+    def test_flip_bit_msb(self):
+        assert flip_bit(0, 1, 3) == 0b100
+        assert flip_bit(0, 3, 3) == 0b001
+
+    def test_bit_positions_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_of(0, 0, 3)
+        with pytest.raises(ValueError):
+            flip_bit(0, 4, 3)
+
+    @given(st.integers(1, 16), st.data())
+    def test_flip_is_involution(self, lg, data):
+        w = data.draw(st.integers(0, (1 << lg) - 1))
+        pos = data.draw(st.integers(1, lg))
+        assert flip_bit(flip_bit(w, pos, lg), pos, lg) == w
+
+    @given(st.integers(1, 16), st.data())
+    def test_flip_changes_exactly_one_bit(self, lg, data):
+        w = data.draw(st.integers(0, (1 << lg) - 1))
+        pos = data.draw(st.integers(1, lg))
+        diff = w ^ flip_bit(w, pos, lg)
+        assert diff.bit_count() == 1
+        assert bit_of(diff, pos, lg) == 1
+
+
+class TestBitReversal:
+    def test_examples(self):
+        assert bit_reversal(0b110, 3) == 0b011
+        assert bit_reversal(0b100, 3) == 0b001
+        assert bit_reversal(0, 5) == 0
+
+    @given(st.integers(1, 16), st.data())
+    def test_involution(self, lg, data):
+        w = data.draw(st.integers(0, (1 << lg) - 1))
+        assert bit_reversal(bit_reversal(w, lg), lg) == w
+
+    @given(st.integers(1, 12))
+    def test_array_matches_scalar(self, lg):
+        ws = np.arange(1 << lg)
+        arr = bit_reversal_array(ws, lg)
+        assert all(arr[w] == bit_reversal(int(w), lg) for w in ws)
+
+    @given(st.integers(1, 12))
+    def test_is_permutation(self, lg):
+        arr = bit_reversal_array(np.arange(1 << lg), lg)
+        assert len(np.unique(arr)) == 1 << lg
+
+
+class TestPrefixSuffix:
+    @given(st.integers(1, 16), st.data())
+    def test_recompose(self, lg, data):
+        w = data.draw(st.integers(0, (1 << lg) - 1))
+        cut = data.draw(st.integers(0, lg))
+        p = prefix_bits(w, cut, lg)
+        s = suffix_bits(w, lg - cut)
+        assert (p << (lg - cut)) | s == w
+
+    def test_prefix_examples(self):
+        assert prefix_bits(0b1011, 2, 4) == 0b10
+        assert prefix_bits(0b1011, 0, 4) == 0
+        assert suffix_bits(0b1011, 2) == 0b11
+        assert suffix_bits(0b1011, 0) == 0
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            prefix_bits(0, 5, 4)
+        with pytest.raises(ValueError):
+            suffix_bits(0, -1)
+
+
+class TestFormatting:
+    def test_column_bits_msb_first(self):
+        assert column_bits(0b101, 3) == (1, 0, 1)
+
+    def test_format_column(self):
+        assert format_column(5, 4) == "0101"
+        assert format_column(0, 0) == ""

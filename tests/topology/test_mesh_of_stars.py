@@ -1,0 +1,70 @@
+"""The mesh of stars (Section 2.1)."""
+
+import pytest
+
+from repro.topology import mesh_of_stars
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("j,k", [(1, 1), (2, 3), (4, 4), (8, 2)])
+    def test_counts(self, j, k):
+        mos = mesh_of_stars(j, k)
+        assert mos.num_nodes == j + j * k + k
+        assert mos.num_edges == 2 * j * k  # every K_{j,k} edge subdivided
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            mesh_of_stars(0, 3)
+
+    def test_level_sizes(self):
+        mos = mesh_of_stars(3, 5)
+        assert len(mos.m1()) == 3
+        assert len(mos.m2()) == 15
+        assert len(mos.m3()) == 5
+
+    def test_degrees(self):
+        mos = mesh_of_stars(3, 5)
+        assert (mos.degrees[mos.m1()] == 5).all()
+        assert (mos.degrees[mos.m2()] == 2).all()
+        assert (mos.degrees[mos.m3()] == 3).all()
+
+
+class TestAdjacency:
+    def test_middle_connects_its_endpoints_only(self):
+        mos = mesh_of_stars(3, 4)
+        for a in range(3):
+            for b in range(4):
+                mid = mos.m2_node(a, b)
+                assert mos.has_edge(mos.m1_node(a), mid)
+                assert mos.has_edge(mid, mos.m3_node(b))
+                assert not mos.has_edge(mos.m1_node(a), mos.m3_node(b))
+                for a2 in range(3):
+                    if a2 != a:
+                        assert not mos.has_edge(mos.m1_node(a2), mid)
+
+    def test_monotone_paths_length_two(self):
+        """Every M1 node reaches every M3 node by a unique length-2 path."""
+        mos = mesh_of_stars(4, 4)
+        for a in range(4):
+            nbrs = set(mos.neighbors(mos.m1_node(a)).tolist())
+            reach = set()
+            for mid in nbrs:
+                reach.update(mos.neighbors(int(mid)).tolist())
+            assert set(mos.m3().tolist()) <= reach
+
+    def test_node_index_bounds(self):
+        mos = mesh_of_stars(2, 2)
+        with pytest.raises(ValueError):
+            mos.m1_node(2)
+        with pytest.raises(ValueError):
+            mos.m2_node(0, 2)
+        with pytest.raises(ValueError):
+            mos.m3_node(-1)
+
+
+class TestLayers:
+    def test_layers(self):
+        mos = mesh_of_stars(3, 4)
+        layers = mos.layers()
+        assert [len(l) for l in layers] == [3, 12, 4]
+        assert not mos.cyclic

@@ -1,0 +1,93 @@
+"""Structural properties and the Section 1.1 claims."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    butterfly,
+    butterfly_degree_census,
+    cube_connected_cycles,
+    degree_census,
+    diameter,
+    eccentricity,
+    expected_diameter,
+    level_four_cycles,
+    wrapped_butterfly,
+)
+
+
+class TestDiameter:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_bn_diameter_is_2logn(self, n):
+        bf = butterfly(n)
+        assert diameter(bf) == 2 * bf.lg == expected_diameter(bf)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_wn_diameter_is_3logn_over_2(self, n):
+        bf = wrapped_butterfly(n)
+        assert diameter(bf) == (3 * bf.lg) // 2 == expected_diameter(bf)
+
+    def test_eccentricity_le_diameter(self, b8):
+        assert eccentricity(b8, 0) <= diameter(b8)
+
+    def test_disconnected_raises(self):
+        from repro.topology import Network
+
+        net = Network(range(4), [(0, 1)])
+        with pytest.raises(ValueError):
+            diameter(net)
+
+
+class TestDegreeCensus:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_bn_census(self, n):
+        bf = butterfly(n)
+        assert degree_census(bf) == butterfly_degree_census(bf)
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_wn_census(self, n):
+        bf = wrapped_butterfly(n)
+        assert degree_census(bf) == {4: n * bf.lg}
+
+    def test_ccc_census(self):
+        assert degree_census(cube_connected_cycles(8)) == {3: 24}
+
+
+class TestFourCycles:
+    """Lemma 2.12's structural fact: level edges decompose into 4-cycles."""
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_cycles_are_valid(self, n):
+        bf = butterfly(n)
+        for i in range(bf.lg):
+            fc = level_four_cycles(bf, i)
+            assert fc.shape == (n // 2, 4)
+            for v, u, v2, u2 in fc:
+                assert bf.has_edge(int(v), int(u))
+                assert bf.has_edge(int(u), int(v2))
+                assert bf.has_edge(int(v2), int(u2))
+                assert bf.has_edge(int(u2), int(v))
+
+    def test_cycles_cover_all_level_edges(self, b8):
+        for i in range(b8.lg):
+            fc = level_four_cycles(b8, i)
+            edges = set()
+            for v, u, v2, u2 in fc:
+                for a, b in ((v, u), (u, v2), (v2, u2), (u2, v)):
+                    edges.add((min(int(a), int(b)), max(int(a), int(b))))
+            assert len(edges) == 2 * b8.n  # node- and edge-disjoint cover
+
+    def test_cycles_node_disjoint(self, b8):
+        fc = level_four_cycles(b8, 1)
+        flat = fc.reshape(-1)
+        assert len(np.unique(flat)) == len(flat)
+
+    def test_wrapped_four_cycles(self, w8):
+        fc = level_four_cycles(w8, w8.lg - 1)  # the wrap level pair
+        for v, u, v2, u2 in fc:
+            assert w8.has_edge(int(v), int(u))
+            assert w8.has_edge(int(u2), int(v))
+
+    def test_bad_level_rejected(self, b8):
+        with pytest.raises(ValueError):
+            level_four_cycles(b8, b8.lg)

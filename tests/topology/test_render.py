@@ -1,0 +1,33 @@
+"""ASCII rendering (Figure 1 regeneration)."""
+
+from repro.topology import butterfly, wrapped_butterfly
+from repro.topology.render import ascii_butterfly
+
+
+class TestRender:
+    def test_b8_shape(self):
+        art = ascii_butterfly(butterfly(8))
+        lines = art.splitlines()
+        # Header, caption, 4 level rows, 3 cross-pattern rows.
+        assert sum(1 for l in lines if l.strip().startswith("level")) == 4
+        assert sum(1 for l in lines if l.strip().startswith("bit")) == 3
+
+    def test_column_labels_binary(self):
+        art = ascii_butterfly(butterfly(8))
+        assert "000" in art and "111" in art
+
+    def test_node_count_in_art(self):
+        art = ascii_butterfly(butterfly(8))
+        level_rows = [l for l in art.splitlines() if l.strip().startswith("level")]
+        assert sum(l.count("o") for l in level_rows) == 32
+
+    def test_wrapped_has_wrap_stage(self):
+        art = ascii_butterfly(wrapped_butterfly(8))
+        lines = art.splitlines()
+        # Wn: 3 level rows and 3 edge stages (including the wrap).
+        assert sum(1 for l in lines if l.strip().startswith("level")) == 3
+        assert sum(1 for l in lines if l.strip().startswith("bit")) == 3
+
+    def test_bit_positions_in_order(self):
+        art = ascii_butterfly(butterfly(8))
+        assert art.index("bit 1") < art.index("bit 2") < art.index("bit 3")

@@ -1,0 +1,100 @@
+"""Lemma 2.4: the sub-butterfly decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    butterfly,
+    component_columns,
+    component_isomorphism,
+    component_key,
+    component_of,
+    level_range_components,
+)
+
+
+class TestComponentCounts:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_lemma_24_component_count(self, n):
+        bf = butterfly(n)
+        for lo in range(bf.lg + 1):
+            for hi in range(lo, bf.lg + 1):
+                comps = level_range_components(bf, lo, hi)
+                assert len(comps) == n >> (hi - lo)
+
+    def test_components_partition_the_range(self, b8):
+        comps = level_range_components(b8, 1, 2)
+        allnodes = np.concatenate([c.nodes for c in comps])
+        expected = np.concatenate([b8.level(1), b8.level(2)])
+        assert sorted(allnodes.tolist()) == sorted(expected.tolist())
+
+    def test_components_are_connected_and_disjoint(self, b8):
+        comps = level_range_components(b8, 1, 3)
+        seen = set()
+        for comp in comps:
+            assert not (seen & set(comp.nodes.tolist()))
+            seen.update(comp.nodes.tolist())
+            sub = b8.subgraph(comp.nodes)
+            assert len(sub.connected_components()) == 1
+
+
+class TestKeys:
+    def test_key_round_trip(self, b16):
+        lo, hi = 1, 3
+        for w in range(16):
+            p, s = component_key(b16, w, lo, hi)
+            cols = component_columns(b16, p, s, lo, hi)
+            assert w in cols.tolist()
+
+    def test_component_of(self, b16):
+        comp = component_of(b16, 5, 1, 3)
+        assert 5 in comp.columns.tolist()
+        assert comp.lo == 1 and comp.hi == 3
+
+    def test_rejects_wrapped(self, w8):
+        with pytest.raises(ValueError):
+            level_range_components(w8, 0, 1)
+
+    def test_rejects_bad_range(self, b8):
+        with pytest.raises(ValueError):
+            level_range_components(b8, 2, 1)
+        with pytest.raises(ValueError):
+            level_range_components(b8, 0, 4)
+
+
+class TestIsomorphism:
+    @given(st.sampled_from([4, 8, 16]), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_components_isomorphic_to_butterfly(self, n, data):
+        """Lemma 2.4: each component of Bn[i,j] is isomorphic to B_{2^{j-i}}."""
+        bf = butterfly(n)
+        lo = data.draw(st.integers(0, bf.lg - 1))
+        hi = data.draw(st.integers(lo + 1, bf.lg))
+        comp = level_range_components(bf, lo, hi)[
+            data.draw(st.integers(0, (n >> (hi - lo)) - 1))
+        ]
+        small, mapping = component_isomorphism(bf, comp)
+        assert len(mapping) == small.num_nodes
+        sub = bf.subgraph(comp.nodes)
+        assert sub.num_edges == small.num_edges
+        for u, v in bf.edges:
+            if int(u) in mapping and int(v) in mapping:
+                assert small.has_edge(mapping[int(u)], mapping[int(v)])
+
+    def test_levels_line_up(self, b8):
+        """The k-th level of each component sits inside level i+k of Bn."""
+        comp = level_range_components(b8, 1, 3)[0]
+        for k in range(comp.dimension + 1):
+            lvl = comp.level_nodes(k)
+            assert (b8.level_of(lvl) == 1 + k).all()
+
+    def test_zero_dimensional_rejected(self, b8):
+        comp = level_range_components(b8, 1, 1)[0]
+        with pytest.raises(ValueError):
+            component_isomorphism(b8, comp)
+
+    def test_level_nodes_bounds(self, b8):
+        comp = level_range_components(b8, 1, 2)[0]
+        with pytest.raises(ValueError):
+            comp.level_nodes(5)

@@ -1,0 +1,99 @@
+"""Down-trees and up-trees (Section 4 definitions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import butterfly, down_tree, up_tree, wrapped_butterfly
+
+
+class TestWrappedTrees:
+    def test_down_tree_shape(self, w8):
+        t = down_tree(w8, 0, 0)
+        assert t.depth == w8.lg
+        assert [len(d) for d in t.depths] == [1, 2, 4, 8]
+        # Leaves return to the root's level (mod log n).
+        assert (w8.level_of(t.leaves) == 0).all()
+
+    def test_up_tree_shape(self, w8):
+        t = up_tree(w8, 3, 1)
+        assert t.depth == w8.lg
+        assert (w8.level_of(t.leaves) == 1).all()
+
+    def test_levels_advance_mod_logn(self, w8):
+        t = down_tree(w8, 2, 2)
+        for j, nodes in enumerate(t.depths):
+            assert (w8.level_of(nodes) == (2 + j) % w8.lg).all()
+
+    def test_up_levels_recede(self, w8):
+        t = up_tree(w8, 2, 2)
+        for j, nodes in enumerate(t.depths):
+            assert (w8.level_of(nodes) == (2 - j) % w8.lg).all()
+
+    def test_leaves_distinct_columns(self, w8):
+        t = down_tree(w8, 5, 1)
+        assert len(np.unique(w8.column_of(t.leaves))) == w8.n
+
+
+class TestButterflyTrees:
+    def test_down_tree_natural_depth(self, b8):
+        t = down_tree(b8, 0, 1)
+        assert t.depth == b8.lg - 1
+        assert (b8.level_of(t.leaves) == b8.lg).all()
+
+    def test_up_tree_natural_depth(self, b8):
+        t = up_tree(b8, 0, 2)
+        assert t.depth == 2
+        assert (b8.level_of(t.leaves) == 0).all()
+
+    def test_depth_cap(self, b8):
+        with pytest.raises(ValueError):
+            down_tree(b8, 0, 1, depth=3)
+        with pytest.raises(ValueError):
+            up_tree(b8, 0, 1, depth=2)
+
+    def test_partial_depth(self, b8):
+        t = down_tree(b8, 0, 0, depth=2)
+        assert t.depth == 2
+        assert len(t.leaves) == 4
+
+
+class TestTreeEdges:
+    @given(
+        st.sampled_from(["b8", "w8", "b16"]),
+        st.booleans(),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_tree_edges_are_network_edges(self, which, down, data):
+        bf = {"b8": butterfly(8), "w8": wrapped_butterfly(8), "b16": butterfly(16)}[which]
+        w = data.draw(st.integers(0, bf.n - 1))
+        i = data.draw(st.integers(0, bf.num_levels - 1))
+        t = down_tree(bf, w, i) if down else up_tree(bf, w, i)
+        for p, c in t.all_edges():
+            assert bf.has_edge(int(p), int(c))
+
+    def test_parent_child_convention(self, w8):
+        """Child at position c has its parent at position c // 2; even child
+        is the straight edge, odd child the cross edge."""
+        t = down_tree(w8, 0, 0)
+        parents, children = t.edges_at(1)
+        assert parents.tolist() == [t.depths[0][0]] * 2
+        for j in range(2, t.depth + 1):
+            parents, children = t.edges_at(j)
+            assert np.array_equal(parents, np.repeat(t.depths[j - 1], 2))
+            # Even children keep the parent's column (straight edges).
+            assert np.array_equal(
+                w8.column_of(children[0::2]), w8.column_of(t.depths[j - 1])
+            )
+
+    def test_edges_at_bounds(self, w8):
+        t = down_tree(w8, 0, 0)
+        with pytest.raises(ValueError):
+            t.edges_at(0)
+        with pytest.raises(ValueError):
+            t.edges_at(t.depth + 1)
+
+    def test_all_edges_count(self, w8):
+        t = down_tree(w8, 0, 0)
+        assert len(t.all_edges()) == 2 * w8.n - 2  # complete binary tree
