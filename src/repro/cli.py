@@ -13,6 +13,9 @@ Subcommands
     verified balanced bisection of ``Bn`` with capacity below ``n``.
 ``claims [IDS...]``
     Check registered paper claims (all by default).
+``lint [PATHS...]``
+    Static analysis for the repo's paper-contract invariants
+    (:mod:`repro.lint`; also installed standalone as ``repro-lint``).
 """
 
 from __future__ import annotations
@@ -96,6 +99,15 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    forwarded = list(args.paths)
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    return lint_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -130,6 +142,11 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("claims", help="check paper claims")
     p.add_argument("ids", nargs="*")
     p.set_defaults(fn=_cmd_claims)
+
+    p = sub.add_parser("lint", help="run the repro-lint static analysis")
+    p.add_argument("paths", nargs="*", default=["src", "tests"])
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

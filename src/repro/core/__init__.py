@@ -1,5 +1,20 @@
-"""The paper-level public API: certified bounds and the claim registry."""
+"""The paper-level public API: certified bounds and the claim registry.
 
+Everything here certifies a numbered statement of the paper — the headline
+rows of DESIGN.md (Theorem 2.20, Lemmas 2.17/2.19, Lemmas 3.1–3.3, the
+Section 4.3 tables) plus the Section 1.2 corollaries; the claim ids come
+from the machine-readable table in :mod:`repro.core.claims`.
+"""
+
+from .claims import (
+    ClaimRow,
+    CLAIM_TABLE,
+    CITABLE_REFERENCES,
+    DESIGN_COVERAGE,
+    parse_references,
+    known_reference_keys,
+    resolve_reference,
+)
 from .results import BoundCertificate
 from .bisection import (
     bisection_width,
@@ -19,6 +34,13 @@ from .vlsi import (
 )
 
 __all__ = [
+    "ClaimRow",
+    "CLAIM_TABLE",
+    "CITABLE_REFERENCES",
+    "DESIGN_COVERAGE",
+    "parse_references",
+    "known_reference_keys",
+    "resolve_reference",
     "BoundCertificate",
     "bisection_width",
     "butterfly_bisection_width",

@@ -6,6 +6,12 @@ instances, returning a :class:`ClaimResult` with the measured numbers.
 The test suite asserts every registered claim passes at its default
 parameters; the benchmarks sweep the interesting ones over sizes.
 
+The claim ids, references and statements themselves live in the
+machine-readable table :data:`repro.core.claims.CLAIM_TABLE` (Sections 1–4
+of the paper); this module contributes only the checkers, and
+``_register`` refuses ids that are not in the table — so the registry, the
+linter (RL001) and the docs all consume one source of truth.
+
 This module is intentionally the *index* of the reproduction: reading it
 top to bottom recovers the paper's logical skeleton, and every entry
 points into the module that implements the mathematics.
@@ -18,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+from .claims import CLAIM_TABLE
 
 __all__ = ["Claim", "ClaimResult", "REGISTRY", "check", "all_claim_ids"]
 
@@ -47,9 +55,11 @@ class Claim:
 REGISTRY: dict[str, Claim] = {}
 
 
-def _register(claim_id: str, reference: str, statement: str):
+def _register(claim_id: str):
+    row = CLAIM_TABLE[claim_id]  # KeyError = checker for an untabled claim
+
     def deco(fn):
-        REGISTRY[claim_id] = Claim(claim_id, reference, statement, fn)
+        REGISTRY[claim_id] = Claim(claim_id, row.reference, row.statement, fn)
         return fn
 
     return deco
@@ -68,12 +78,7 @@ def all_claim_ids() -> list[str]:
 # --------------------------------------------------------------------- #
 # Section 1.1: structure
 # --------------------------------------------------------------------- #
-@_register(
-    "structure",
-    "Section 1.1 / Figure 1",
-    "Bn has n(log n + 1) nodes in log n + 1 levels; Wn has n log n nodes, "
-    "4-regular; diameters are 2 log n and floor(3 log n / 2)",
-)
+@_register("structure")
 def _check_structure(cid: str, n: int = 8) -> ClaimResult:
     from ..topology import (
         butterfly, wrapped_butterfly, degree_census, butterfly_degree_census,
@@ -101,11 +106,7 @@ def _check_structure(cid: str, n: int = 8) -> ClaimResult:
     return ClaimResult(cid, ok, details)
 
 
-@_register(
-    "lemma-2.1",
-    "Lemma 2.1",
-    "There is an automorphism of Bn mapping each level L_i onto L_{log n - i}",
-)
+@_register("lemma-2.1")
 def _check_l21(cid: str, n: int = 16) -> ClaimResult:
     from ..topology import butterfly, is_automorphism, level_reversal_permutation
 
@@ -118,12 +119,7 @@ def _check_l21(cid: str, n: int = 16) -> ClaimResult:
     return ClaimResult(cid, ok, {"n": n})
 
 
-@_register(
-    "lemma-2.2",
-    "Lemma 2.2",
-    "Level-preserving automorphisms act transitively on adjacent edge pairs "
-    "with prescribed levels",
-)
+@_register("lemma-2.2")
 def _check_l22(cid: str, n: int = 8, samples: int = 40, seed: int = 0) -> ClaimResult:
     from ..topology import butterfly, is_automorphism
     from ..topology.automorphism import edge_pair_automorphism
@@ -144,11 +140,7 @@ def _check_l22(cid: str, n: int = 8, samples: int = 40, seed: int = 0) -> ClaimR
     return ClaimResult(cid, bool(ok), {"n": n, "samples": samples})
 
 
-@_register(
-    "lemma-2.3",
-    "Lemma 2.3",
-    "Exactly one monotonic path links each input to each output of Bn",
-)
+@_register("lemma-2.3")
 def _check_l23(cid: str, n: int = 16) -> ClaimResult:
     from ..topology import butterfly
     from ..routing import count_monotonic_paths, monotonic_path
@@ -163,11 +155,7 @@ def _check_l23(cid: str, n: int = 16) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"n": n})
 
 
-@_register(
-    "lemma-2.4",
-    "Lemma 2.4",
-    "Bn[i, j] has n/2^{j-i} components, each isomorphic to B_{2^{j-i}}",
-)
+@_register("lemma-2.4")
 def _check_l24(cid: str, n: int = 16) -> ClaimResult:
     from ..topology import butterfly, level_range_components, component_isomorphism
 
@@ -188,13 +176,7 @@ def _check_l24(cid: str, n: int = 16) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "lemma-2.5",
-    "Lemma 2.5",
-    "A (log n - 1)-dimensional Beneš network embeds in Bn with load 1, "
-    "congestion 1, dilation 3, I/O on level 0; Bn is rearrangeable between "
-    "the I and O port sets",
-)
+@_register("lemma-2.5")
 def _check_l25(cid: str, n: int = 16, perms: int = 3, seed: int = 0) -> ClaimResult:
     from ..embeddings import benes_into_butterfly
     from ..routing import route_permutation
@@ -223,11 +205,7 @@ def _check_l25(cid: str, n: int = 16, perms: int = 3, seed: int = 0) -> ClaimRes
     return ClaimResult(cid, bool(ok), s)
 
 
-@_register(
-    "lemma-2.8",
-    "Lemma 2.8",
-    "U = L_1 ∪ ... ∪ L_{log n} is compact in Bn",
-)
+@_register("lemma-2.8")
 def _check_l28(cid: str, n: int = 8, trials: int = 200, seed: int = 0) -> ClaimResult:
     from ..topology import butterfly
     from ..cuts import Cut, collapse_above_inputs
@@ -242,11 +220,7 @@ def _check_l28(cid: str, n: int = 8, trials: int = 200, seed: int = 0) -> ClaimR
     return ClaimResult(cid, worst <= 0, {"n": n, "worst_delta": worst})
 
 
-@_register(
-    "lemma-2.9",
-    "Lemma 2.9",
-    "Each component of Bn[i, log n] is compact in Bn",
-)
+@_register("lemma-2.9")
 def _check_l29(cid: str, n: int = 8, trials: int = 100, seed: int = 0) -> ClaimResult:
     from ..topology import butterfly, level_range_components
     from ..cuts import Cut, component_collapse
@@ -263,12 +237,7 @@ def _check_l29(cid: str, n: int = 8, trials: int = 100, seed: int = 0) -> ClaimR
     return ClaimResult(cid, worst <= 0, {"n": n, "worst_delta": worst})
 
 
-@_register(
-    "lemma-2.10",
-    "Lemma 2.10",
-    "B_{n 2^j} embeds in Bn with dilation 1, congestion exactly 2^j and the "
-    "stated level loads",
-)
+@_register("lemma-2.10")
 def _check_l210(cid: str, n: int = 8, j: int = 2, i: int = 1) -> ClaimResult:
     from ..embeddings import butterfly_into_butterfly
 
@@ -286,12 +255,7 @@ def _check_l210(cid: str, n: int = 8, j: int = 2, i: int = 1) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"congestions": sorted(cong)})
 
 
-@_register(
-    "lemma-2.11",
-    "Lemma 2.11",
-    "Bn embeds in MOS_{j,k} with dilation 1, edge congestion exactly 2n/jk "
-    "and uniform level loads",
-)
+@_register("lemma-2.11")
 def _check_l211(cid: str, n: int = 64, j: int = 4, k: int = 8) -> ClaimResult:
     from ..embeddings import butterfly_into_mos
     from ..topology import butterfly
@@ -314,12 +278,7 @@ def _check_l211(cid: str, n: int = 64, j: int = 4, k: int = 8) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"congestions": sorted(cong)})
 
 
-@_register(
-    "lemma-2.12",
-    "Lemma 2.12",
-    "Some level of Bn has BW(Bn, L_i) <= BW(Bn), and "
-    "BW(B_{n^2}, L_log n)/n^2 <= BW(Bn)/n",
-)
+@_register("lemma-2.12")
 def _check_l212(cid: str, n: int = 4) -> ClaimResult:
     from ..topology import butterfly
     from ..cuts import layered_cut_profile, layered_u_bisection_width
@@ -337,11 +296,7 @@ def _check_l212(cid: str, n: int = 4) -> ClaimResult:
     return ClaimResult(cid, bool(part1 and part2), {"bw": bw})
 
 
-@_register(
-    "lemma-2.13",
-    "Lemma 2.13",
-    "2 BW(MOS_{n,n}, M2) / n^2 <= BW(Bn) / n",
-)
+@_register("lemma-2.13")
 def _check_l213(cid: str, sizes: tuple = (2, 4, 8)) -> ClaimResult:
     from ..topology import butterfly
     from ..cuts import layered_cut_profile, mos_m2_bisection_width
@@ -356,12 +311,7 @@ def _check_l213(cid: str, sizes: tuple = (2, 4, 8)) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "lemma-2.15",
-    "Lemma 2.15",
-    "A mixed middle component is amenable: any k of its nodes can sit in S "
-    "under a level-threshold cut without capacity increase",
-)
+@_register("lemma-2.15")
 def _check_l215(cid: str, n: int = 16) -> ClaimResult:
     from ..topology import butterfly, level_range_components
     from ..cuts import Cut, check_amenable_for_cut
@@ -376,12 +326,7 @@ def _check_l215(cid: str, n: int = 16) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"n": n, "component_size": comp.num_nodes})
 
 
-@_register(
-    "lemma-2.17",
-    "Lemma 2.17",
-    "min capacity over M2-bisecting cuts with |A∩M1| = xj, |A∩M3| = yj "
-    "equals f(x, y) j^2",
-)
+@_register("lemma-2.17")
 def _check_l217(cid: str, j: int = 4) -> ClaimResult:
     from ..cuts import mos_m2_capacity, f_xy
 
@@ -401,12 +346,7 @@ def _check_l217(cid: str, j: int = 4) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"j": j})
 
 
-@_register(
-    "lemma-2.18",
-    "Lemma 2.18",
-    "f(x,y) = x + y - min(1, 2xy) attains its minimum sqrt(2) - 1 at "
-    "x = y = sqrt(1/2)",
-)
+@_register("lemma-2.18")
 def _check_l218(cid: str, grid: int = 400) -> ClaimResult:
     from ..cuts import f_xy, f_minimum
 
@@ -423,11 +363,7 @@ def _check_l218(cid: str, grid: int = 400) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"grid_min": best, "fmin": fmin})
 
 
-@_register(
-    "lemma-2.19",
-    "Lemma 2.19",
-    "sqrt(2) - 1 < BW(MOS_{j,j}, M2)/j^2 <= sqrt(2) - 1 + o(1)",
-)
+@_register("lemma-2.19")
 def _check_l219(cid: str, js: tuple = (2, 4, 8, 16, 32, 64, 128, 256)) -> ClaimResult:
     from ..cuts import mos_m2_bisection_width
 
@@ -438,12 +374,7 @@ def _check_l219(cid: str, js: tuple = (2, 4, 8, 16, 32, 64, 128, 256)) -> ClaimR
     return ClaimResult(cid, bool(ok), {"ratios": ratios, "limit": lim})
 
 
-@_register(
-    "theorem-2.20",
-    "Theorem 2.20",
-    "2(sqrt 2 - 1) n < BW(Bn) <= 2(sqrt 2 - 1) n + o(n); in particular the "
-    "folklore BW(Bn) = n fails for large n",
-)
+@_register("theorem-2.20")
 def _check_t220(cid: str) -> ClaimResult:
     from ..topology import butterfly
     from ..cuts import layered_cut_profile, best_plan, build_planned_bisection
@@ -465,12 +396,7 @@ def _check_t220(cid: str) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "lemma-3.1",
-    "Lemma 3.1",
-    "Any cut of Bn bisecting its inputs, outputs, or inputs+outputs has "
-    "capacity >= n",
-)
+@_register("lemma-3.1")
 def _check_l31(cid: str, sizes: tuple = (4, 8)) -> ClaimResult:
     from ..topology import butterfly
     from ..cuts import layered_u_bisection_width
@@ -491,11 +417,7 @@ def _check_l31(cid: str, sizes: tuple = (4, 8)) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "lemma-3.2",
-    "Lemma 3.2",
-    "BW(Wn) = n",
-)
+@_register("lemma-3.2")
 def _check_l32(cid: str) -> ClaimResult:
     from ..topology import wrapped_butterfly
     from ..cuts import layered_cut_profile, column_prefix_cut
@@ -513,11 +435,7 @@ def _check_l32(cid: str) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "lemma-3.3",
-    "Lemma 3.3",
-    "BW(CCCn) = n/2",
-)
+@_register("lemma-3.3")
 def _check_l33(cid: str) -> ClaimResult:
     from ..topology import cube_connected_cycles
     from ..cuts import layered_cut_profile, ccc_dimension_cut
@@ -542,13 +460,7 @@ def _check_l33(cid: str) -> ClaimResult:
 # --------------------------------------------------------------------- #
 # Section 4: expansion
 # --------------------------------------------------------------------- #
-@_register(
-    "section-4.3-lower",
-    "Section 4.3 (lower-bound table)",
-    "EE(Wn,k) >= (4-o(1))k/log k, NE(Wn,k) >= (1-o(1))k/log k, "
-    "EE(Bn,k) >= (2-o(1))k/log k, NE(Bn,k) >= (1/2-o(1))k/log k, "
-    "in their stated small-k regimes",
-)
+@_register("section-4.3-lower")
 def _check_table_lower(cid: str, n: int = 8) -> ClaimResult:
     from ..topology import butterfly, wrapped_butterfly
     from ..expansion import (
@@ -574,12 +486,7 @@ def _check_table_lower(cid: str, n: int = 8) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "section-4.3-upper",
-    "Section 4.3 (upper-bound table)",
-    "Witness sets achieve EE(Wn) <= (4+o(1))k/log k, NE(Wn) <= (3+o(1))k/log k, "
-    "EE(Bn) <= (2+o(1))k/log k, NE(Bn) <= (1+o(1))k/log k",
-)
+@_register("section-4.3-upper")
 def _check_table_upper(cid: str, n: int = 64, d: int = 3) -> ClaimResult:
     from ..topology import butterfly, wrapped_butterfly
     from ..expansion import (
@@ -604,12 +511,7 @@ def _check_table_upper(cid: str, n: int = 64, d: int = 3) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "credit-schemes",
-    "Lemmas 4.2, 4.5, 4.8, 4.11",
-    "The credit-distribution accounting: conservation, per-target caps, and "
-    "certified lower bounds never exceed the true values",
-)
+@_register("credit-schemes")
 def _check_credit(cid: str, n: int = 64, trials: int = 10, seed: int = 0) -> ClaimResult:
     from ..topology import butterfly, wrapped_butterfly
     from ..expansion import edge_credit_report, node_credit_report
@@ -631,12 +533,7 @@ def _check_credit(cid: str, n: int = 64, trials: int = 10, seed: int = 0) -> Cla
 # --------------------------------------------------------------------- #
 # Sections 1.2 and 1.5: the surrounding relationships
 # --------------------------------------------------------------------- #
-@_register(
-    "routing-bound",
-    "Section 1.2",
-    "Random-destination routing takes at least N/(4 BW(G)) steps in the "
-    "one-message-per-edge-per-step model",
-)
+@_register("routing-bound")
 def _check_routing_bound(cid: str, n: int = 16, seed: int = 3) -> ClaimResult:
     from ..routing import random_destinations_experiment
     from ..topology import butterfly, wrapped_butterfly
@@ -650,12 +547,7 @@ def _check_routing_bound(cid: str, n: int = 16, seed: int = 3) -> ClaimResult:
     return ClaimResult(cid, bool(ok), details)
 
 
-@_register(
-    "menger-io",
-    "Sections 1.2/3 (cross-validation)",
-    "Max edge-disjoint path counts match the minimum separating cuts: 2n "
-    "between the full I/O levels, n between the two input halves",
-)
+@_register("menger-io")
 def _check_menger(cid: str, n: int = 8) -> ClaimResult:
     from ..routing import max_edge_disjoint_paths
     from ..topology import butterfly
@@ -671,12 +563,7 @@ def _check_menger(cid: str, n: int = 8) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"io_flow": io_flow, "half_flow": half_flow})
 
 
-@_register(
-    "related-networks",
-    "Section 1.5",
-    "Bn embeds in the hypercube with constant load/congestion/dilation; "
-    "CCCn emulates Wn with constant slowdown",
-)
+@_register("related-networks")
 def _check_related(cid: str, n: int = 8) -> ClaimResult:
     from ..embeddings import butterfly_into_hypercube, wrapped_into_ccc
     from ..routing.emulation import emulate_round
@@ -693,12 +580,7 @@ def _check_related(cid: str, n: int = 8) -> ClaimResult:
     )
 
 
-@_register(
-    "section-1.6-snir",
-    "Section 1.6 ([27])",
-    "Snir: for Ω_n (ports counted) every k-set satisfies C log₂ C >= 4k, "
-    "for all k — unlike the Wn bound, which degrades at k = Θ(n)",
-)
+@_register("section-1.6-snir")
 def _check_snir(cid: str, n: int = 8) -> ClaimResult:
     from ..expansion import omega_expansion_profile, omega_network, snir_inequality_holds
 
@@ -710,12 +592,7 @@ def _check_snir(cid: str, n: int = 8) -> ClaimResult:
     return ClaimResult(cid, bool(ok), {"profile": prof.tolist()})
 
 
-@_register(
-    "section-1.6-hong-kung",
-    "Section 1.6 ([11])",
-    "Hong–Kung: any set S of k nodes of FFT_n dominated from the inputs by "
-    "D satisfies k <= 2 |D| log |D| (checked with exact minimum dominators)",
-)
+@_register("section-1.6-hong-kung")
 def _check_hong_kung(cid: str, n: int = 8, trials: int = 25, seed: int = 0) -> ClaimResult:
     from ..expansion import check_hong_kung
     from ..topology import butterfly

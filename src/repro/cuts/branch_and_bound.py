@@ -1,5 +1,7 @@
 """Exact minimum bisection by branch and bound.
 
+Solves the minimum-bisection problem of Section 2.1 (``BW(G)`` and the
+``U``-bisection variant ``BW(G, U)``) exactly on general graphs.
 Completes the exact-solver trio: plain enumeration handles ~26 nodes, the
 layered DP handles layered networks of width <= 12, and this solver covers
 *general* graphs in between (hypercubes, de Bruijn graphs, ad-hoc

@@ -9,7 +9,9 @@ exhaustive kernels.
 
 Feasible to roughly 26 nodes; beyond that use the layered dynamic program
 (:mod:`repro.cuts.layered_dp`) when the network is layered, or the
-heuristics for upper bounds.
+heuristics for upper bounds.  This is the ground truth that anchors the
+Section 2.1 quantities — ``BW(G)``, ``BW(G, U)`` and the full cut profile —
+at the sizes where Theorem 2.20's ratio can be checked directly.
 
 The central artifact is the *cut profile*: ``profile[c]`` is the minimum
 capacity over all cuts with exactly ``c`` counted nodes in ``S``.  The

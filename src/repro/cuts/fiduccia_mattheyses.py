@@ -7,7 +7,9 @@ value so the best admissible move is O(1) to find and O(degree) to update —
 the structure that made FM linear-time per pass.
 
 Used as the cheap refinement stage in the solver ablation (DESIGN.md, ABL)
-and by the certified-bound API for upper bounds on mid-size instances.
+and by the certified-bound API for upper bounds on mid-size instances —
+constructed cuts that bound the Section 1.2 bisection widths from above
+where the exact solvers cannot reach.
 """
 
 from __future__ import annotations

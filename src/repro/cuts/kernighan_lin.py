@@ -6,8 +6,8 @@ cut with the largest swap gain ``D[a] + D[b] - 2 w(a, b)``, lock it, and
 after exhausting all pairs commit the prefix of swaps with the best
 cumulative gain.  Passes repeat until no positive-gain prefix exists.
 
-This provides upper bounds on bisection width for networks beyond the exact
-solvers' reach (``B16``, ``B32``, ``W16``...), and serves as the refinement
+This provides upper bounds on the Section 1.2 bisection widths for networks
+beyond the exact solvers' reach (``B16``, ``B32``, ``W16``...), and serves as the refinement
 stage after spectral initialization.  The per-pass bottleneck (the gain
 matrix between boundary candidates) is evaluated with dense NumPy blocks.
 """

@@ -66,24 +66,42 @@ def _classify_edges(
     layer ``l`` and layer ``l+1`` (mod ``L`` when cyclic).
     """
     L = len(layers)
-    intra: list[list[tuple[int, int]]] = [[] for _ in range(L)]
-    inter: list[list[tuple[int, int]]] = [[] for _ in range(L if cyclic else L - 1)]
-    for u, v in net.edges:
-        lu, lv = int(layer_id[u]), int(layer_id[v])
-        pu, pv = int(position[u]), int(position[v])
-        if lu == lv:
-            intra[lu].append((pu, pv))
-        elif (lu + 1) % L == lv and (cyclic or lu + 1 == lv):
-            inter[lu].append((pu, pv))
-        elif (lv + 1) % L == lu and (cyclic or lv + 1 == lu):
-            inter[lv].append((pv, pu))
-        else:
-            raise ValueError(
-                f"edge ({u}, {v}) spans non-consecutive layers {lu}, {lv}; "
-                "network is not layered under the given layering"
+    edges = np.asarray(net.edges, dtype=np.int64).reshape(-1, 2)
+    lu, lv = layer_id[edges[:, 0]], layer_id[edges[:, 1]]
+    pu, pv = position[edges[:, 0]], position[edges[:, 1]]
+    same = lu == lv
+    if cyclic:
+        # In a 2-layer cycle both directions satisfy the mod test; the
+        # forward orientation wins, matching the wrap edge bookkeeping.
+        fwd = ~same & ((lu + 1) % L == lv)
+        bwd = ~same & ~fwd & ((lv + 1) % L == lu)
+    else:
+        fwd = lu + 1 == lv
+        bwd = lv + 1 == lu
+    bad = ~(same | fwd | bwd)
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        raise ValueError(
+            f"edge ({edges[i, 0]}, {edges[i, 1]}) spans non-consecutive "
+            f"layers {lu[i]}, {lv[i]}; "
+            "network is not layered under the given layering"
+        )
+    intra_arr = []
+    for l in range(L):
+        m = same & (lu == l)
+        intra_arr.append(np.column_stack([pu[m], pv[m]]))
+    inter_arr = []
+    for l in range(L if cyclic else L - 1):
+        mf = fwd & (lu == l)
+        mb = bwd & (lv == l)
+        inter_arr.append(
+            np.concatenate(
+                [
+                    np.column_stack([pu[mf], pv[mf]]),
+                    np.column_stack([pv[mb], pu[mb]]),
+                ]
             )
-    intra_arr = [np.asarray(lst, dtype=np.int64).reshape(-1, 2) for lst in intra]
-    inter_arr = [np.asarray(lst, dtype=np.int64).reshape(-1, 2) for lst in inter]
+        )
     return intra_arr, inter_arr
 
 

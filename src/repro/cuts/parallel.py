@@ -1,6 +1,8 @@
 """Process-parallel layered DP for cyclic networks.
 
-The cyclic case of :mod:`repro.cuts.layered_dp` pins the first layer's
+The Section 3 networks — wrapped butterflies and cube-connected cycles,
+whose exact widths are Lemmas 3.1–3.3 — have cyclic layerings, and the
+cyclic case of :mod:`repro.cuts.layered_dp` pins the first layer's
 mask and sweeps once per pin — ``2^w`` completely independent sweeps, the
 textbook embarrassingly parallel loop (the mpi4py guide's pattern, realized
 with :mod:`multiprocessing` since this environment ships no MPI).  The

@@ -4,8 +4,8 @@ Computes the eigenvector of the graph Laplacian for the second-smallest
 eigenvalue and splits the nodes at its median value.  Spectral splits are
 the standard strong initializer for local refinement (Kernighan–Lin /
 Fiduccia–Mattheyses) and give surprisingly good bisections of butterflies —
-the solver-ablation benchmark (DESIGN.md, ABL) quantifies exactly how good
-against the exact DP values.
+upper bounds on the Section 1.2 widths whose quality the solver-ablation
+benchmark (DESIGN.md, ABL) quantifies against the exact DP values.
 """
 
 from __future__ import annotations

@@ -118,7 +118,7 @@ def _propagate_edge_scheme(
         for p, c, amt, cross, keep in zip(
             parents, children, arriving, crossing, retain_mask
         ):
-            if not keep or amt == 0.0:
+            if not keep or amt == 0.0:  # repro-lint: disable=RL004 -- exact-zero sentinel: halving credit never denormalizes to a false zero
                 continue
             if cross:
                 key = (int(min(p, c)), int(max(p, c)))
@@ -147,7 +147,7 @@ def _propagate_node_scheme(
         is_last = d == depth
         retain_mask = outside | is_last
         for c, amt, out, keep in zip(children, arriving, outside, retain_mask):
-            if not keep or amt == 0.0:
+            if not keep or amt == 0.0:  # repro-lint: disable=RL004 -- exact-zero sentinel: halving credit never denormalizes to a false zero
                 continue
             if out:
                 retained[int(c)] = retained.get(int(c), 0.0) + float(amt)

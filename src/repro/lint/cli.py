@@ -1,0 +1,81 @@
+"""Command-line front end: ``repro-lint`` / ``python -m repro.lint``.
+
+Exit status is 0 when no ERROR-severity finding survives suppression, 1
+otherwise, 2 for usage errors — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import LintConfig
+from .findings import Severity
+from .registry import all_rules
+from .reporters import render_json, render_text
+from .runner import lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for the butterfly-reproduction invariants: "
+            "claim citations, layer order, hot-path vectorization, float "
+            "comparison, frozen state."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rid, rule in all_rules().items():
+            print(f"{rid}  {rule.name}: {rule.description}")
+        return 0
+
+    overrides = {}
+    if args.select:
+        overrides["select"] = frozenset(
+            r.strip() for r in args.select.split(",") if r.strip()
+        )
+    if args.disable:
+        overrides["disable"] = frozenset(
+            r.strip() for r in args.disable.split(",") if r.strip()
+        )
+    config = LintConfig.load(Path.cwd(), **overrides)
+
+    findings = lint_paths(args.paths, config)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Lint configuration: rule selection and the repo's declared invariants.
+
+The layer DAG, hot-path module set and claim-citation scope are *data*, so
+adding a package or promoting a module to the hot path is a config change
+here (plus a ``[tool.repro-lint]`` override in ``pyproject.toml`` for rule
+selection), not a rule rewrite.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+__all__ = ["LintConfig", "DEFAULT_LAYER_DAG", "DEFAULT_LAYER_EXCEPTIONS"]
+
+
+#: Allowed package→package imports inside ``repro`` (the layer DAG).
+#: Top-level modules (``cli``, ``io``, ``__init__``, ``__main__``) are
+#: treated as single-module layers.  A package absent from this map is an
+#: RL002 finding itself — new packages must declare their layer.
+DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
+    "topology": frozenset(),
+    "cuts": frozenset({"topology"}),
+    "embeddings": frozenset({"topology"}),
+    "routing": frozenset({"topology"}),
+    "expansion": frozenset({"topology", "cuts", "routing"}),
+    "analysis": frozenset({"topology", "cuts", "embeddings", "expansion"}),
+    "core": frozenset(
+        {"topology", "cuts", "embeddings", "expansion", "routing", "analysis"}
+    ),
+    "io": frozenset({"topology", "cuts", "core"}),
+    "lint": frozenset(),  # stdlib-only by design: must not import the package
+    "cli": frozenset(
+        {
+            "topology", "cuts", "embeddings", "expansion", "routing",
+            "analysis", "core", "io", "lint",
+        }
+    ),
+    "__init__": frozenset({"topology", "core"}),
+    "__main__": frozenset({"cli"}),
+}
+
+#: Module-granular exceptions to the package DAG, as (importer prefix,
+#: imported-module prefix) dotted pairs.  The routing↔embeddings pair is
+#: mutually dependent at package level but acyclic at module level; these
+#: two entries pin exactly the module edges that keep it so.
+DEFAULT_LAYER_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("repro.embeddings", "repro.routing.paths"),
+        ("repro.routing.emulation", "repro.embeddings.embedding"),
+    }
+)
+
+#: Hot-path modules (repo-relative inside ``repro``): the "no Python loop
+#: ever touches edges" promise of ``topology/base.py`` and the cut solvers.
+DEFAULT_HOT_PATHS: tuple[str, ...] = ("topology/base.py", "cuts/*.py")
+
+#: Packages whose modules must cite paper claims (RL001).
+DEFAULT_CLAIM_PACKAGES: tuple[str, ...] = ("cuts", "embeddings", "expansion", "core")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable configuration for one lint run."""
+
+    select: frozenset[str] | None = None  # None = all registered rules
+    disable: frozenset[str] = frozenset()
+    layer_dag: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYER_DAG)
+    )
+    layer_exceptions: frozenset[tuple[str, str]] = DEFAULT_LAYER_EXCEPTIONS
+    hot_paths: tuple[str, ...] = DEFAULT_HOT_PATHS
+    claim_packages: tuple[str, ...] = DEFAULT_CLAIM_PACKAGES
+    #: rules whose inline suppression must carry a ``-- justification``
+    justification_required: frozenset[str] = frozenset({"RL003"})
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.disable:
+            return False
+        return self.select is None or rule_id in self.select
+
+    def is_hot_path(self, repro_relpath: str) -> bool:
+        """Whether a path like ``cuts/layered_dp.py`` is declared hot."""
+        return any(fnmatch.fnmatch(repro_relpath, pat) for pat in self.hot_paths)
+
+    @classmethod
+    def load(cls, root: Path | None = None, **overrides) -> "LintConfig":
+        """Build a config, merging ``[tool.repro-lint]`` from pyproject.toml.
+
+        Only rule selection is file-configurable (``select``/``disable``
+        lists); the structural invariants stay in code so they are
+        reviewed like code.  Silently skips when tomllib or the file is
+        unavailable (Python 3.10 / bare checkouts).
+        """
+        cfg = cls()
+        pyproject = (root or Path.cwd()) / "pyproject.toml"
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python 3.10
+            tomllib = None
+        if tomllib is not None and pyproject.is_file():
+            try:
+                data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+            except (OSError, ValueError):  # pragma: no cover - malformed file
+                data = {}
+            section = data.get("tool", {}).get("repro-lint", {})
+            if section.get("select"):
+                cfg = replace(cfg, select=frozenset(section["select"]))
+            if section.get("disable"):
+                cfg = replace(cfg, disable=frozenset(section["disable"]))
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        return cfg

@@ -1,0 +1,78 @@
+"""Parsed-module and run-context models handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import LintConfig
+
+__all__ = ["ModuleInfo", "LintContext"]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the repo coordinates the rules need."""
+
+    path: Path            # as given on the command line (report key)
+    source: str
+    tree: ast.Module
+    repro_parts: tuple[str, ...] | None  # ("cuts", "layered_dp") or None
+
+    @classmethod
+    def from_source(cls, path: Path | str, source: str) -> "ModuleInfo":
+        path = Path(path)
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            repro_parts=_repro_parts(path),
+        )
+
+    @property
+    def dotted_name(self) -> str | None:
+        """``repro.cuts.layered_dp``-style name, None outside the package."""
+        if self.repro_parts is None:
+            return None
+        return ".".join(("repro",) + self.repro_parts)
+
+    @property
+    def package(self) -> str | None:
+        """Top-level layer: subpackage name, or the module name itself for
+        top-level modules (``cli``, ``io``, ``__init__``, ``__main__``)."""
+        if not self.repro_parts:
+            return None
+        return self.repro_parts[0]
+
+    @property
+    def repro_relpath(self) -> str | None:
+        """Path relative to the ``repro`` package root, e.g. ``cuts/cut.py``."""
+        if self.repro_parts is None:
+            return None
+        return "/".join(self.repro_parts) + ".py"
+
+
+def _repro_parts(path: Path) -> tuple[str, ...] | None:
+    """Locate ``path`` inside a ``repro`` package tree, if it is in one."""
+    parts = path.parts
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts) and parts[-1].endswith(".py"):
+            inner = parts[i + 1:]
+            module = inner[-1][:-3]  # strip .py; __init__ stays literal
+            return tuple(inner[:-1]) + (module,)
+    return None
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult beyond its own module."""
+
+    config: LintConfig
+    modules: list[ModuleInfo] = field(default_factory=list)
+
+    def module_by_dotted(self, dotted: str) -> ModuleInfo | None:
+        for mod in self.modules:
+            if mod.dotted_name == dotted:
+                return mod
+        return None

@@ -1,0 +1,62 @@
+"""The rule registry: subclass :class:`Rule`, decorate with ``@register``.
+
+A rule sees one parsed module at a time through :meth:`Rule.check` and may
+additionally implement :meth:`Rule.check_project` for cross-file
+invariants (RL001 uses it for the registry-gap check).  Rules yield
+:class:`~repro.lint.findings.Finding` objects; enablement, suppression
+and reporting are the runner's job, so rules stay pure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from .findings import Finding
+from .model import LintContext, ModuleInfo
+
+__all__ = ["Rule", "register", "all_rules", "get_rule"]
+
+_RULES: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        return iter(())
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield cross-module findings, called once per run."""
+        return iter(())
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its ``rule_id``) to the registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _RULES[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """All registered rules by id (importing the rules package on demand)."""
+    from . import rules  # noqa: F401  - registration side effect
+
+    return dict(sorted(_RULES.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id."""
+    return all_rules()[rule_id]
+
+
+def iter_enabled(config) -> Iterable[Rule]:
+    """The rules enabled under ``config``, in id order."""
+    return [r for rid, r in all_rules().items() if config.rule_enabled(rid)]

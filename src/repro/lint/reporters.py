@@ -1,0 +1,47 @@
+"""Text and JSON renderings of a finding list.
+
+The JSON shape is versioned and consumed by CI: ``{"version": 1,
+"findings": [{rule, path, line, col, message, severity}, ...],
+"summary": {total, by_rule, by_severity}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One line per finding plus a per-rule summary footer."""
+    findings = sorted(findings)
+    if not findings:
+        return "repro-lint: no findings"
+    lines = [f.render() for f in findings]
+    by_rule = Counter(f.rule_id for f in findings)
+    summary = ", ".join(f"{rid}×{n}" for rid, n in sorted(by_rule.items()))
+    lines.append(f"repro-lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report (stable key order, trailing newline-free)."""
+    findings = sorted(findings)
+    by_rule = Counter(f.rule_id for f in findings)
+    by_severity = Counter(f.severity.value for f in findings)
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [f.to_dict() for f in findings],
+            "summary": {
+                "total": len(findings),
+                "by_rule": dict(sorted(by_rule.items())),
+                "by_severity": dict(sorted(by_severity.items())),
+            },
+        },
+        indent=2,
+    )

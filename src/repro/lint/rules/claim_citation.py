@@ -1,0 +1,202 @@
+"""RL001 claim-citation: docstrings must cite real rows of the claim table.
+
+The reproduction's contract is that every module of ``cuts``,
+``embeddings``, ``expansion`` and ``core`` says *which* paper statement it
+implements, and that the DESIGN.md headline claims all have checkers in
+the registry.  This rule enforces three things statically:
+
+* every module in those packages cites at least one reference resolvable
+  against :mod:`repro.core.claims` (``__init__`` re-export shims are
+  exempt), and every public top-level function/class either cites one
+  itself or lives in a citing module;
+* any reference that *looks* like a paper citation but resolves to
+  nothing (``Lemma 9.9``) is flagged wherever it appears — stale
+  citations rot silently otherwise;
+* the claim table, the ``_register`` calls in ``core/theorems.py`` and
+  the DESIGN.md coverage map agree (the "registry gap" check).
+
+The claim table is loaded by *file path* with :mod:`importlib.util`, so
+the linter never imports the NumPy-backed package itself and stays pure
+stdlib.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+
+__all__ = ["ClaimCitationRule"]
+
+
+def _load_claims_module(path: Path):
+    """Load ``core/claims.py`` in isolation (no package import, stdlib only)."""
+    spec = importlib.util.spec_from_file_location("_repro_lint_claims", path)
+    module = importlib.util.module_from_spec(spec)
+    # dataclass decorators resolve cls.__module__ through sys.modules.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@register
+class ClaimCitationRule(Rule):
+    rule_id = "RL001"
+    name = "claim-citation"
+    description = (
+        "modules and public defs in cuts/embeddings/expansion/core must cite "
+        "claims that exist in repro.core.claims; registry must cover DESIGN.md"
+    )
+
+    def __init__(self) -> None:
+        self._claims_cache: dict[Path, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Claim-table access
+    # ------------------------------------------------------------------ #
+    def _claims_path(self, ctx: LintContext) -> Path:
+        mod = ctx.module_by_dotted("repro.core.claims")
+        if mod is not None:
+            return Path(mod.path)
+        # Fall back to the table shipped next to this linter.
+        return Path(__file__).resolve().parents[2] / "core" / "claims.py"
+
+    def _claims(self, ctx: LintContext):
+        path = self._claims_path(ctx).resolve()
+        if path not in self._claims_cache:
+            self._claims_cache[path] = _load_claims_module(path)
+        return self._claims_cache[path]
+
+    # ------------------------------------------------------------------ #
+    # Per-module pass
+    # ------------------------------------------------------------------ #
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        parts = module.repro_parts
+        if not parts or parts[0] not in ctx.config.claim_packages:
+            return
+        claims = self._claims(ctx)
+        known = claims.known_reference_keys()
+        path = str(module.path)
+
+        def _unknown(doc: str, line: int, where: str) -> Iterator[Finding]:
+            for ref in claims.parse_references(doc):
+                if ref.key not in known:
+                    yield Finding(
+                        path, line, 0, self.rule_id,
+                        f"{where} cites {ref.text!r}, which resolves to no "
+                        f"entry of the claim table (repro.core.claims)",
+                    )
+
+        mod_doc = ast.get_docstring(module.tree) or ""
+        yield from _unknown(mod_doc, 1, "module docstring")
+        module_cited = any(
+            r.key in known for r in claims.parse_references(mod_doc)
+        )
+        is_init = parts[-1] == "__init__"
+        if not module_cited and not is_init:
+            yield Finding(
+                str(module.path), 1, 0, self.rule_id,
+                "module docstring cites no paper claim; add a reference "
+                "resolvable in repro.core.claims (e.g. 'Lemma 2.17', "
+                "'Section 1.2')",
+            )
+
+        top_level = set()
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            top_level.add(node)
+            if node.name.startswith("_"):
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            doc = ast.get_docstring(node)
+            if doc is None:
+                yield Finding(
+                    path, node.lineno, node.col_offset, self.rule_id,
+                    f"public {kind} '{node.name}' has no docstring to carry "
+                    f"a claim citation",
+                )
+                continue
+            yield from _unknown(doc, node.lineno, f"{kind} '{node.name}'")
+            def_cited = any(
+                r.key in known for r in claims.parse_references(doc)
+            )
+            if not module_cited and not def_cited:
+                yield Finding(
+                    path, node.lineno, node.col_offset, self.rule_id,
+                    f"public {kind} '{node.name}' cites no paper claim and "
+                    f"neither does its module docstring",
+                )
+
+        # Stale-reference sweep over nested defs (methods, helpers).
+        for node in ast.walk(module.tree):
+            if node in top_level or not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            doc = ast.get_docstring(node)
+            if doc:
+                yield from _unknown(doc, node.lineno, f"'{node.name}'")
+
+    # ------------------------------------------------------------------ #
+    # Project pass: the registry-gap check
+    # ------------------------------------------------------------------ #
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        theorems = ctx.module_by_dotted("repro.core.theorems")
+        claims_mod = ctx.module_by_dotted("repro.core.claims")
+        if theorems is None and claims_mod is None:
+            return  # not linting the core package at all
+        claims = self._claims(ctx)
+        if theorems is not None:
+            tree, path = theorems.tree, str(theorems.path)
+        else:
+            tpath = self._claims_path(ctx).with_name("theorems.py")
+            if not tpath.is_file():
+                return
+            tree, path = ast.parse(tpath.read_text(encoding="utf-8")), str(tpath)
+
+        registered: dict[str, int] = {}
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "_register"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                registered[node.args[0].value] = node.lineno
+
+        for cid in claims.CLAIM_TABLE:
+            if cid not in registered:
+                yield Finding(
+                    path, 1, 0, self.rule_id,
+                    f"claim '{cid}' is in CLAIM_TABLE but has no registered "
+                    f"checker in core/theorems.py",
+                )
+        for cid, line in registered.items():
+            if cid not in claims.CLAIM_TABLE:
+                yield Finding(
+                    path, line, 0, self.rule_id,
+                    f"checker registers claim id '{cid}' which is not a row "
+                    f"of CLAIM_TABLE",
+                )
+        for design_row, checker_ids in claims.DESIGN_COVERAGE.items():
+            for cid in checker_ids:
+                if cid not in registered:
+                    yield Finding(
+                        path, 1, 0, self.rule_id,
+                        f"DESIGN.md claim row '{design_row}' expects checker "
+                        f"'{cid}', which is not registered — registry gap",
+                    )

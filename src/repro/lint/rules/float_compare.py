@@ -1,0 +1,93 @@
+"""RL004 float-compare: no ``==``/``!=`` on float-valued expressions.
+
+The paper's constants are irrational — ``sqrt(2) - 1`` (Lemma 2.18's
+minimum), ``2(sqrt 2 - 1)`` (Theorem 2.20's ratio) — so exact equality
+against them is almost always a latent bug; claim checkers compare via
+``math.isclose``/``np.isclose`` with explicit tolerances instead.  This
+rule flags ``==`` and ``!=`` whenever either operand is syntactically
+float-valued: a float literal, an arithmetic expression containing one, a
+``math.``/``np.`` transcendental call, or a float constant attribute
+(``math.pi`` …).
+
+Comparisons already wrapped in a tolerance helper (``isclose``,
+``allclose``, ``pytest.approx``) are exempt.  A deliberate exact-zero
+check (e.g. testing "no credit arrived at all" rather than a tolerance)
+can be suppressed inline with its reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+
+__all__ = ["FloatCompareRule"]
+
+_FLOAT_CALLS = frozenset(
+    {"sqrt", "log", "log2", "log10", "log1p", "exp", "pow", "sin", "cos",
+     "tan", "hypot", "atan2", "mean", "std", "var"}
+)
+_FLOAT_ATTRS = frozenset({"pi", "e", "tau", "inf", "nan"})
+_TOLERANT_CALLS = frozenset({"approx", "isclose", "allclose"})
+
+
+def _is_float_valued(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_valued(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_float_valued(node.left) or _is_float_valued(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name in _FLOAT_CALLS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _FLOAT_ATTRS
+    return False
+
+
+def _is_tolerant(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name in _TOLERANT_CALLS
+
+
+@register
+class FloatCompareRule(Rule):
+    rule_id = "RL004"
+    name = "float-compare"
+    description = (
+        "no ==/!= against float expressions or paper constants like "
+        "math.sqrt(2) - 1; compare with math.isclose/np.isclose"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        path = str(module.path)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_tolerant(op) for op in operands):
+                continue
+            for left, op, right in zip(operands, node.ops, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_valued(left) or _is_float_valued(right):
+                    side = left if _is_float_valued(left) else right
+                    yield Finding(
+                        path, node.lineno, node.col_offset, self.rule_id,
+                        f"exact float comparison against "
+                        f"'{ast.unparse(side)}'; use math.isclose/np.isclose "
+                        f"with an explicit tolerance",
+                    )
+                    break

@@ -1,0 +1,103 @@
+"""RL005 frozen-mutation: private ``Network``/``Cut`` state has one writer.
+
+``Network`` and ``Cut`` freeze their arrays (``setflags(write=False)``)
+and memoize derived quantities with ``cached_property`` — ``degrees``,
+``edge_multiset``, ``capacity`` and friends are only correct because
+``._edges``, ``._labels``, ``._index`` and ``._side`` never change after
+``__init__``.  A write from outside the defining class would silently
+desynchronize those caches (a stale ``capacity`` on a mutated side array
+is exactly the kind of bug no claim checker would catch).
+
+This rule flags any assignment, augmented assignment, deletion or
+subscript-store whose target is one of the protected attributes, unless
+it happens lexically inside the owning class body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+
+__all__ = ["FrozenMutationRule"]
+
+#: protected attribute → the only class allowed to write it
+_OWNERS = {
+    "_edges": "Network",
+    "_labels": "Network",
+    "_index": "Network",
+    "_side": "Cut",
+    "side": "Cut",
+}
+
+
+def _protected_attr(target: ast.AST) -> str | None:
+    """The protected attribute written by this assignment target, if any."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in _OWNERS:
+        return node.attr
+    return None
+
+
+@register
+class FrozenMutationRule(Rule):
+    rule_id = "RL005"
+    name = "frozen-mutation"
+    description = (
+        "no writes to Network/Cut private state (._edges, ._labels, ._index, "
+        "._side, .side) outside the defining class"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        path = str(module.path)
+        yield from self._visit(module.tree.body, None, path)
+
+    def _visit(
+        self, body: list[ast.stmt], class_name: str | None, path: str
+    ) -> Iterator[Finding]:
+        for node in body:
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if not (isinstance(node, ast.AnnAssign) and node.value is None):
+                    targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+
+            for target in targets:
+                flat = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for t in flat:
+                    attr = _protected_attr(t)
+                    if attr is not None and class_name != _OWNERS[attr]:
+                        yield Finding(
+                            path, node.lineno, node.col_offset, self.rule_id,
+                            f"write to protected attribute '.{attr}' outside "
+                            f"class {_OWNERS[attr]}; it is frozen after "
+                            f"__init__ and backs cached_property caches",
+                        )
+
+            inner = class_name
+            if isinstance(node, ast.ClassDef):
+                inner = node.name
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = class_name  # methods write on behalf of their class
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(node, field, None)
+                if not children:
+                    continue
+                for child in children:
+                    if isinstance(child, ast.ExceptHandler):
+                        yield from self._visit(child.body, inner, path)
+                stmts = [c for c in children if isinstance(c, ast.stmt)]
+                if stmts:
+                    yield from self._visit(stmts, inner, path)

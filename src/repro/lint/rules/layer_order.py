@@ -1,0 +1,129 @@
+"""RL002 layer-order: imports must respect the package layer DAG.
+
+The package has an implicit architecture — ``topology`` at the bottom,
+``cuts``/``embeddings``/``routing`` above it, then ``expansion``,
+``analysis``, ``core``, with ``cli`` on top and ``lint`` importing nothing
+from the package at all (it must stay loadable stdlib-only).  The DAG
+lives in :data:`repro.lint.config.DEFAULT_LAYER_DAG`; the two
+module-granular exceptions that keep routing↔embeddings acyclic live in
+:data:`repro.lint.config.DEFAULT_LAYER_EXCEPTIONS`.
+
+Both module-level and function-level imports are checked (the registry in
+``core/theorems.py`` imports inside checkers; those still must respect
+the DAG).  Importing a package that is missing from the DAG is itself a
+finding: new packages must declare their layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+
+__all__ = ["LayerOrderRule"]
+
+#: Packages that must import only the stdlib (and themselves).
+_STDLIB_ONLY = frozenset({"lint"})
+
+
+def _prefix_match(dotted: str, prefix: str) -> bool:
+    return dotted == prefix or dotted.startswith(prefix + ".")
+
+
+@register
+class LayerOrderRule(Rule):
+    rule_id = "RL002"
+    name = "layer-order"
+    description = (
+        "imports must follow the layer DAG: topology → cuts/embeddings/"
+        "routing → expansion → analysis → core → io/cli; lint is stdlib-only"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        parts = module.repro_parts
+        if not parts:
+            return  # outside the repro package (tests, scripts): unrestricted
+        importer_pkg = parts[0]
+        importer_dotted = module.dotted_name
+        # The package context relative imports resolve against.
+        pkg_parts = ("repro",) + (parts[:-1] if parts[-1] != "__init__" else parts[:-1])
+        if parts[-1] == "__init__":
+            pkg_parts = ("repro",) + parts[:-1]
+        dag = ctx.config.layer_dag
+
+        for node in ast.walk(module.tree):
+            targets: list[tuple[str, int]] = []
+            if isinstance(node, ast.Import):
+                targets = [(alias.name, node.lineno) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                    if not base:
+                        continue  # beyond the top; a runtime error anyway
+                    dotted = ".".join(base)
+                else:
+                    dotted = ""
+                if node.module:
+                    dotted = f"{dotted}.{node.module}" if dotted else node.module
+                if dotted in ("", "repro"):
+                    # ``from .. import cuts``: the aliases are subpackages.
+                    targets = [
+                        (f"repro.{alias.name}", node.lineno)
+                        for alias in node.names
+                    ]
+                else:
+                    targets = [(dotted, node.lineno)]
+            else:
+                continue
+
+            for target, lineno in targets:
+                yield from self._check_target(
+                    module, importer_pkg, importer_dotted, target, lineno, dag, ctx
+                )
+
+    def _check_target(
+        self, module, importer_pkg, importer_dotted, target, lineno, dag, ctx
+    ) -> Iterator[Finding]:
+        path = str(module.path)
+        top = target.split(".", 1)[0]
+        if top != "repro":
+            if (
+                importer_pkg in _STDLIB_ONLY
+                and top not in sys.stdlib_module_names
+            ):
+                yield Finding(
+                    path, lineno, 0, self.rule_id,
+                    f"'{importer_pkg}' is declared stdlib-only but imports "
+                    f"third-party module '{target}'",
+                )
+            return
+        target_parts = target.split(".")
+        target_pkg = target_parts[1] if len(target_parts) > 1 else "__init__"
+        if target_pkg == importer_pkg:
+            return
+        if importer_pkg not in dag:
+            yield Finding(
+                path, lineno, 0, self.rule_id,
+                f"package '{importer_pkg}' is not declared in the layer DAG "
+                f"(repro.lint.config); declare its layer before importing "
+                f"'{target}'",
+            )
+            return
+        if target_pkg in dag[importer_pkg]:
+            return
+        for imp_prefix, tgt_prefix in ctx.config.layer_exceptions:
+            if _prefix_match(importer_dotted, imp_prefix) and _prefix_match(
+                target, tgt_prefix
+            ):
+                return
+        allowed = ", ".join(sorted(dag[importer_pkg])) or "(nothing)"
+        yield Finding(
+            path, lineno, 0, self.rule_id,
+            f"layer violation: '{importer_dotted}' (layer '{importer_pkg}') "
+            f"imports '{target}' (layer '{target_pkg}'); this layer may only "
+            f"import: {allowed}",
+        )

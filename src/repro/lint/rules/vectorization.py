@@ -1,0 +1,70 @@
+"""RL003 vectorization: no Python loops over edge arrays on hot paths.
+
+``topology/base.py`` promises that "no Python loop ever touches edges on a
+hot path" (its cut primitives are single vectorized comparisons over the
+``(E, 2)`` edge array), and the ``cuts`` solvers inherit that discipline —
+it is what makes the Theorem 2.20 sweeps and the layered DP of Lemma 2.12
+feasible at size.  This rule flags any ``for`` statement or comprehension
+in a declared hot-path module whose iterable touches ``.edges`` or
+``._edges``.
+
+A genuine cold path (a one-off export, a setup routine measured to be
+irrelevant) may be waived, but only with a reason:
+``# repro-lint: disable=RL003 -- <justification>`` — the runner rejects
+justification-free suppressions of this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+
+__all__ = ["VectorizationRule"]
+
+_EDGE_ATTRS = frozenset({"edges", "_edges", "edge"})
+
+
+def _touches_edges(expr: ast.AST) -> str | None:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in _EDGE_ATTRS:
+            return node.attr
+    return None
+
+
+@register
+class VectorizationRule(Rule):
+    rule_id = "RL003"
+    name = "vectorization"
+    description = (
+        "hot-path modules (topology/base.py, cuts/*) must not run Python "
+        "loops over .edges arrays; vectorize or justify a suppression"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        relpath = module.repro_relpath
+        if relpath is None or not ctx.config.is_hot_path(relpath):
+            return
+        path = str(module.path)
+        for node in ast.walk(module.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                attr = _touches_edges(it)
+                if attr is not None:
+                    yield Finding(
+                        path, node.lineno, node.col_offset, self.rule_id,
+                        f"Python loop over '.{attr}' in hot-path module "
+                        f"{relpath}; vectorize with NumPy indexing, or "
+                        f"suppress with '# repro-lint: disable=RL003 -- "
+                        f"<why this is not hot>'",
+                    )
+                    break

@@ -1,0 +1,106 @@
+"""Run the enabled rules over sources, apply suppressions, sort findings.
+
+The runner is the only place that knows about files, suppressions and
+enablement; rules stay pure (module in, findings out).  Unparseable files
+become unconditional ``RL000`` findings rather than crashes, so a syntax
+error in one module never hides findings in the rest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .config import LintConfig
+from .findings import Finding
+from .model import LintContext, ModuleInfo
+from .registry import iter_enabled
+from .suppressions import collect_suppressions, find_suppression
+
+__all__ = ["collect_files", "lint_sources", "lint_paths"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+
+
+def collect_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for f in p.rglob("*.py"):
+                if not any(
+                    part in _SKIP_DIRS or part.endswith(".egg-info")
+                    for part in f.parts
+                ):
+                    out.add(f)
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_sources(
+    sources: dict[str, str], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint in-memory ``{path: source}`` pairs (the test-fixture entry point)."""
+    config = config or LintConfig()
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    for path, source in sources.items():
+        try:
+            modules.append(ModuleInfo.from_source(Path(path), source))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    str(path), exc.lineno or 1, (exc.offset or 1) - 1, "RL000",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+    ctx = LintContext(config=config, modules=modules)
+
+    raw: list[Finding] = []
+    rules = list(iter_enabled(config))
+    for module in modules:
+        for rule in rules:
+            raw.extend(rule.check(module, ctx))
+    for rule in rules:
+        raw.extend(rule.check_project(ctx))
+
+    suppressions = {
+        str(m.path): collect_suppressions(m.source) for m in modules
+    }
+    for finding in raw:
+        sup = find_suppression(
+            suppressions.get(finding.path, []), finding.line, finding.rule_id
+        )
+        if sup is None:
+            findings.append(finding)
+        elif (
+            finding.rule_id in config.justification_required
+            and not sup.justification
+        ):
+            findings.append(
+                Finding(
+                    finding.path, finding.line, finding.col, finding.rule_id,
+                    finding.message
+                    + " (suppression of this rule requires a '-- justification')",
+                    finding.severity,
+                )
+            )
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[Path | str], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint files and directories from disk."""
+    files = collect_files(paths)
+    sources: dict[str, str] = {}
+    findings: list[Finding] = []
+    for f in files:
+        try:
+            sources[str(f)] = f.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(Finding(str(f), 1, 0, "RL000", f"unreadable: {exc}"))
+    findings.extend(lint_sources(sources, config))
+    return sorted(findings)

@@ -1,0 +1,94 @@
+"""Inline suppression comments: ``# repro-lint: disable=RL003 -- why``.
+
+Grammar
+-------
+``# repro-lint: disable=RL001[,RL002...][ -- justification]``
+
+* On a line that also holds code: suppresses matching findings on that
+  line.
+* On a standalone comment line: suppresses matching findings on the next
+  line (so multi-line statements are annotated above their first line).
+* ``disable=all`` matches every rule.
+
+Rules listed in ``LintConfig.justification_required`` (RL003 by default)
+are only suppressed when a non-empty justification follows ``--``; a bare
+disable of such a rule is itself reported, so hot-path waivers always
+carry their reason in the diff.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "collect_suppressions", "find_suppression"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: frozenset[str]
+    justification: str
+    standalone: bool  # comment-only line: applies to the *next* line
+
+    def matches(self, rule_id: str) -> bool:
+        return "all" in self.rules or rule_id in self.rules
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Scan ``source`` for suppression comments via the token stream.
+
+    Tokenizing (rather than regexing raw lines) means a ``# repro-lint:``
+    inside a string literal is never treated as a suppression.
+    """
+    out: list[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
+        if not m:
+            continue
+        rules = frozenset(
+            r.strip() for r in m.group("rules").split(",") if r.strip()
+        )
+        line_text = lines[tok.start[0] - 1] if tok.start[0] <= len(lines) else ""
+        standalone = line_text.strip().startswith("#")
+        out.append(
+            Suppression(
+                line=tok.start[0],
+                rules=rules,
+                justification=(m.group("why") or "").strip(),
+                standalone=standalone,
+            )
+        )
+    return out
+
+
+def find_suppression(
+    suppressions: list[Suppression], line: int, rule_id: str
+) -> Suppression | None:
+    """The suppression covering ``rule_id`` at ``line``, if any.
+
+    Same-line comments win; otherwise a standalone comment on the
+    directly preceding line applies.
+    """
+    for sup in suppressions:
+        if not sup.matches(rule_id):
+            continue
+        if sup.line == line or (sup.standalone and sup.line == line - 1):
+            return sup
+    return None

@@ -12,7 +12,10 @@ edge cut separating them — which makes a max-flow solver an independent
 This module implements Dinic's algorithm from scratch on unit-capacity
 undirected graphs (each undirected edge becomes a pair of arcs sharing
 capacity via the standard residual construction), plus helpers that extract
-the actual path system from an integral flow.
+the actual path system from an integral flow.  Graph construction, the BFS
+level phase and flow decoding are all vectorized over the edge array; only
+the blocking-flow DFS walks arcs one at a time (it is inherently
+sequential).
 """
 
 from __future__ import annotations
@@ -33,54 +36,85 @@ _INF = 1 << 30
 
 
 class _Dinic:
-    """Dinic's max-flow on an explicit arc list with residual pairing."""
+    """Dinic's max-flow on a bulk arc list with residual pairing.
+
+    Arcs are appended in *pairs* — arc ``e`` and its residual partner
+    ``e ^ 1`` always occupy consecutive even/odd slots, which is what lets
+    :func:`extract_paths` decode net edge flows by slicing.  Per-node arc
+    lists are a CSR view built with one stable argsort, so each node scans
+    its arcs in insertion order exactly as a list-of-lists build would.
+    """
 
     def __init__(self, num_nodes: int) -> None:
         self.n = num_nodes
-        self.head: list[list[int]] = [[] for _ in range(num_nodes)]
-        self.to: list[int] = []
-        self.cap: list[int] = []
+        self._owner_chunks: list[np.ndarray] = []
+        self._to_chunks: list[np.ndarray] = []
+        self._cap_chunks: list[np.ndarray] = []
+        self.to: np.ndarray | None = None
+        self.cap: np.ndarray | None = None
 
-    def add_arc(self, u: int, v: int, capacity: int) -> None:
-        self.head[u].append(len(self.to))
-        self.to.append(v)
-        self.cap.append(capacity)
-        self.head[v].append(len(self.to))
-        self.to.append(u)
-        self.cap.append(0)
+    def add_arc_pairs(self, us, vs, cap_fwd, cap_rev) -> None:
+        """Bulk-append arc pairs ``u→v`` (capacity ``cap_fwd``) and their
+        partners ``v→u`` (``cap_rev``; 0 for directed arcs, equal for the
+        shared-capacity undirected construction)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        m = us.size
+        owners = np.empty(2 * m, dtype=np.int64)
+        owners[0::2] = us
+        owners[1::2] = vs
+        tos = np.empty(2 * m, dtype=np.int64)
+        tos[0::2] = vs
+        tos[1::2] = us
+        caps = np.empty(2 * m, dtype=np.int64)
+        caps[0::2] = cap_fwd
+        caps[1::2] = cap_rev
+        self._owner_chunks.append(owners)
+        self._to_chunks.append(tos)
+        self._cap_chunks.append(caps)
 
-    def add_undirected(self, u: int, v: int, capacity: int) -> None:
-        """An undirected unit edge: capacity each way, shared residually."""
-        self.head[u].append(len(self.to))
-        self.to.append(v)
-        self.cap.append(capacity)
-        self.head[v].append(len(self.to))
-        self.to.append(u)
-        self.cap.append(capacity)
+    def _finalize(self) -> None:
+        if self.to is not None:
+            return
+        empty = np.empty(0, dtype=np.int64)
+        owner = np.concatenate(self._owner_chunks) if self._owner_chunks else empty
+        self.to = np.concatenate(self._to_chunks) if self._to_chunks else empty
+        self.cap = np.concatenate(self._cap_chunks) if self._cap_chunks else empty
+        # CSR: node u's arcs are _arcs[_start[u]:_start[u+1]], in append order.
+        self._arcs = np.argsort(owner, kind="stable")
+        counts = np.bincount(owner, minlength=self.n)
+        self._start = np.concatenate(([0], np.cumsum(counts)))
 
     def _bfs(self, s: int, t: int) -> np.ndarray | None:
         level = np.full(self.n, -1, dtype=np.int64)
         level[s] = 0
-        queue = [s]
-        while queue:
-            nxt = []
-            for u in queue:
-                for e in self.head[u]:
-                    v = self.to[e]
-                    if self.cap[e] > 0 and level[v] < 0:
-                        level[v] = level[u] + 1
-                        nxt.append(v)
-            queue = nxt
+        frontier = np.array([s], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            starts = self._start[frontier]
+            counts = self._start[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            idx = np.repeat(starts - offsets, counts) + np.arange(total)
+            arcs = self._arcs[idx]
+            vs = self.to[arcs]
+            reachable = vs[(self.cap[arcs] > 0) & (level[vs] < 0)]
+            frontier = np.unique(reachable)
+            level[frontier] = depth
         return level if level[t] >= 0 else None
 
     def _dfs(self, u: int, t: int, pushed: int, level: np.ndarray, it: list[int]) -> int:
         if u == t:
             return pushed
-        while it[u] < len(self.head[u]):
-            e = self.head[u][it[u]]
-            v = self.to[e]
+        start, end = int(self._start[u]), int(self._start[u + 1])
+        while start + it[u] < end:
+            e = int(self._arcs[start + it[u]])
+            v = int(self.to[e])
             if self.cap[e] > 0 and level[v] == level[u] + 1:
-                got = self._dfs(v, t, min(pushed, self.cap[e]), level, it)
+                got = self._dfs(v, t, min(pushed, int(self.cap[e])), level, it)
                 if got:
                     self.cap[e] -= got
                     self.cap[e ^ 1] += got
@@ -89,6 +123,7 @@ class _Dinic:
         return 0
 
     def max_flow(self, s: int, t: int) -> int:
+        self._finalize()
         flow = 0
         while True:
             level = self._bfs(s, t)
@@ -110,12 +145,10 @@ def _build(net: Network, sources, sinks):
     n = net.num_nodes
     d = _Dinic(n + 2)
     s, t = n, n + 1
-    for u, v in net.edges:
-        d.add_undirected(int(u), int(v), 1)
-    for u in sources:
-        d.add_arc(s, int(u), _INF)
-    for v in sinks:
-        d.add_arc(int(v), t, _INF)
+    edges = np.asarray(net.edges, dtype=np.int64).reshape(-1, 2)
+    d.add_arc_pairs(edges[:, 0], edges[:, 1], 1, 1)
+    d.add_arc_pairs(np.full(sources.size, s, dtype=np.int64), sources, _INF, 0)
+    d.add_arc_pairs(sinks, np.full(sinks.size, t, dtype=np.int64), _INF, 0)
     return d, s, t
 
 
@@ -142,21 +175,25 @@ def extract_paths(net: Network, sources, sinks) -> list[np.ndarray]:
     """
     d, s, t = _build(net, sources, sinks)
     total = d.max_flow(s, t)
-    # Net flow used per arc: for the undirected construction, arc e carries
-    # flow when its capacity dropped below its partner's gain.
-    used: dict[tuple[int, int], int] = {}
-    E = len(net.edges)
-    for idx, (u, v) in enumerate(net.edges):
-        e = 2 * idx  # arcs were added in order: undirected edges first
-        fwd = d.cap[e ^ 1] - 1  # started at 1 each way; net flow u->v
-        if fwd > 0:
-            used[(int(u), int(v))] = used.get((int(u), int(v)), 0) + fwd
-        elif fwd < 0:
-            used[(int(v), int(u))] = used.get((int(v), int(u)), 0) - fwd
-    out_arcs: dict[int, list[int]] = {}
-    for (u, v), c in used.items():
-        for _ in range(c):
-            out_arcs.setdefault(u, []).append(v)
+    edges = np.asarray(net.edges, dtype=np.int64).reshape(-1, 2)
+    E = len(edges)
+    # Undirected edge idx became the arc pair (2*idx, 2*idx+1), both with
+    # capacity 1; the partner's capacity gain is the net u->v flow.
+    fwd = d.cap[1 : 2 * E : 2] - 1
+    pos, neg = fwd > 0, fwd < 0
+    heads = np.concatenate(
+        [np.repeat(edges[pos, 0], fwd[pos]), np.repeat(edges[neg, 1], -fwd[neg])]
+    )
+    tails = np.concatenate(
+        [np.repeat(edges[pos, 1], fwd[pos]), np.repeat(edges[neg, 0], -fwd[neg])]
+    )
+    order = np.argsort(heads, kind="stable")
+    heads, tails = heads[order], tails[order]
+    uniq, starts = np.unique(heads, return_index=True)
+    out_arcs = {
+        int(u): [int(v) for v in chunk]
+        for u, chunk in zip(uniq, np.split(tails, starts[1:]))
+    }
     paths = []
     sink_set = set(int(v) for v in sinks)
     for src in sources:
@@ -194,21 +231,15 @@ def max_vertex_disjoint_paths(net: Network, sources, sinks) -> int:
     d = _Dinic(2 * n + 2)
     s, t = 2 * n, 2 * n + 1
 
-    def v_in(v: int) -> int:
-        return 2 * v
-
-    def v_out(v: int) -> int:
-        return 2 * v + 1
-
-    for v in range(n):
-        d.add_arc(v_in(v), v_out(v), 1)
-    for u, v in net.edges:
-        d.add_arc(v_out(int(u)), v_in(int(v)), 1)
-        d.add_arc(v_out(int(v)), v_in(int(u)), 1)
-    for u in sources:
-        d.add_arc(s, v_in(int(u)), 1)
-    for v in sinks:
-        d.add_arc(v_out(int(v)), t, 1)
+    # Node v splits into in-half 2v and out-half 2v+1.
+    nodes = np.arange(n, dtype=np.int64)
+    d.add_arc_pairs(2 * nodes, 2 * nodes + 1, 1, 0)
+    edges = np.asarray(net.edges, dtype=np.int64).reshape(-1, 2)
+    us, vs = edges[:, 0], edges[:, 1]
+    d.add_arc_pairs(2 * us + 1, 2 * vs, 1, 0)
+    d.add_arc_pairs(2 * vs + 1, 2 * us, 1, 0)
+    d.add_arc_pairs(np.full(sources.size, s, dtype=np.int64), 2 * sources, 1, 0)
+    d.add_arc_pairs(2 * sinks + 1, np.full(sinks.size, t, dtype=np.int64), 1, 0)
     return d.max_flow(s, t)
 
 

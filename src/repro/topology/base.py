@@ -131,11 +131,12 @@ class Network:
 
     @cached_property
     def _adjacency(self) -> list[np.ndarray]:
-        adj: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        for u, v in self._edges:
-            adj[u].append(v)
-            adj[v].append(u)
-        return [np.asarray(sorted(a), dtype=np.int64) for a in adj]
+        e = self._edges
+        owners = np.concatenate([e[:, 0], e[:, 1]])
+        neighbors = np.concatenate([e[:, 1], e[:, 0]])
+        order = np.lexsort((neighbors, owners))
+        counts = np.bincount(owners, minlength=self.num_nodes)
+        return np.split(neighbors[order], np.cumsum(counts)[:-1])
 
     def neighbors(self, index: int) -> np.ndarray:
         """Sorted neighbor indices of node ``index`` (duplicates kept)."""
@@ -208,6 +209,7 @@ class Network:
 
         g = nx.Graph() if self.is_simple else nx.MultiGraph()
         g.add_nodes_from(self._labels)
+        # repro-lint: disable=RL003 -- one-off export for interop/plotting, never on a solver path
         for u, v in self._edges:
             g.add_edge(self._labels[u], self._labels[v])
         return g

@@ -42,7 +42,7 @@ class TestButterfly:
     def test_theorem_interval(self):
         lo, hi = theorem_220_interval(100)
         assert lo == pytest.approx(82.84, abs=0.01)
-        assert hi == 100.0
+        assert hi == pytest.approx(100.0)
 
 
 class TestWrapped:

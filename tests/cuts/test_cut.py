@@ -18,7 +18,7 @@ class TestConstruction:
     def test_side_is_read_only(self, b8):
         cut = Cut(b8, np.zeros(32, dtype=bool))
         with pytest.raises(ValueError):
-            cut.side[0] = True
+            cut.side[0] = True  # repro-lint: disable=RL005 -- asserts the write is rejected
 
     def test_shape_check(self, b8):
         with pytest.raises(ValueError):

@@ -1,0 +1,20 @@
+"""Shared helpers for the repro.lint test suite.
+
+Fixture sources are linted in-memory via :func:`repro.lint.lint_sources`;
+paths are chosen inside a fake ``src/repro/`` tree so the rules see them as
+package modules.
+"""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, lint_sources
+
+
+def run_lint(sources: dict[str, str], **config_overrides) -> list:
+    """Lint in-memory sources with defaults overridden as given."""
+    config = LintConfig(**config_overrides) if config_overrides else LintConfig()
+    return lint_sources(sources, config)
+
+
+def rule_ids(findings) -> set[str]:
+    return {f.rule_id for f in findings}

@@ -1,0 +1,44 @@
+"""RL004: exact equality on float expressions and paper constants."""
+
+from __future__ import annotations
+
+from .conftest import run_lint, rule_ids
+
+_SELECT = {"select": frozenset({"RL004"})}
+
+
+def _lint(body: str):
+    return run_lint({"src/repro/analysis/m.py": f'"""Doc."""\n{body}\n'}, **_SELECT)
+
+
+class TestTriggers:
+    def test_float_literal(self):
+        assert rule_ids(_lint("ok = x == 0.5")) == {"RL004"}
+
+    def test_paper_constant_expression(self):
+        assert rule_ids(_lint("import math\nok = y != math.sqrt(2) - 1")) == {"RL004"}
+
+    def test_float_attribute(self):
+        assert rule_ids(_lint("import math\nok = z == math.pi")) == {"RL004"}
+
+    def test_not_equals(self):
+        assert rule_ids(_lint("ok = 2.0 != w")) == {"RL004"}
+
+
+class TestClean:
+    def test_integer_compare_fine(self):
+        assert _lint("ok = x == 1") == []
+
+    def test_isclose_fine(self):
+        assert _lint("import math\nok = math.isclose(x, 0.5)") == []
+
+    def test_approx_comparator_fine(self):
+        assert _lint("ok = x == approx(1.0)") == []
+
+    def test_ordering_comparisons_fine(self):
+        assert _lint("ok = x >= 0.5") == []
+
+    def test_suppression(self):
+        assert _lint(
+            "ok = x == 0.0  # repro-lint: disable=RL004 -- exact-zero sentinel"
+        ) == []

@@ -1,0 +1,56 @@
+"""RL005: writes to Network/Cut private state outside the owner class."""
+
+from __future__ import annotations
+
+from .conftest import run_lint, rule_ids
+
+_SELECT = {"select": frozenset({"RL005"})}
+
+
+def _lint(body: str):
+    return run_lint({"src/repro/analysis/m.py": f'"""Doc."""\n{body}\n'}, **_SELECT)
+
+
+class TestTriggers:
+    def test_module_level_write(self):
+        assert rule_ids(_lint("net._edges = new_edges")) == {"RL005"}
+
+    def test_subscript_store(self):
+        assert rule_ids(_lint("def f(cut):\n    cut.side[0] = True")) == {"RL005"}
+
+    def test_augmented_assignment(self):
+        assert rule_ids(_lint("def f(net):\n    net._labels += ['x']")) == {"RL005"}
+
+    def test_write_from_wrong_class(self):
+        src = "class Flipper:\n    def flip(self, cut):\n        cut._side = ~cut._side"
+        assert rule_ids(_lint(src)) == {"RL005"}
+
+    def test_delete(self):
+        assert rule_ids(_lint("def f(net):\n    del net._index")) == {"RL005"}
+
+
+class TestClean:
+    def test_owner_class_may_write(self):
+        src = (
+            "class Network:\n"
+            "    def __init__(self, edges):\n"
+            "        self._edges = edges\n"
+            "        self._index = {}\n"
+        )
+        assert _lint(src) == []
+
+    def test_cut_owns_side(self):
+        src = (
+            "class Cut:\n"
+            "    def __init__(self, side):\n"
+            "        self._side = side\n"
+        )
+        assert _lint(src) == []
+
+    def test_unrelated_attributes_fine(self):
+        assert _lint("def f(net):\n    net.name = 'x'") == []
+
+    def test_suppression(self):
+        assert _lint(
+            "cut.side[0] = True  # repro-lint: disable=RL005 -- negative test"
+        ) == []

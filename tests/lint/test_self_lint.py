@@ -1,0 +1,14 @@
+"""The repo must be clean under its own linter (the merge invariant)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_lint_clean():
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert findings == [], "\n".join(f.render() for f in findings)

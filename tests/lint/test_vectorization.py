@@ -1,0 +1,70 @@
+"""RL003: edge loops on hot paths, and justification-gated suppression."""
+
+from __future__ import annotations
+
+from .conftest import run_lint, rule_ids
+
+_SELECT = {"select": frozenset({"RL003"})}
+
+LOOP = '''
+"""Doc."""
+
+def capacity(net, side):
+    """Doc."""
+    total = 0
+    for u, v in net.edges:
+        total += side[u] != side[v]
+    return total
+'''
+
+COMPREHENSION = '''
+"""Doc."""
+
+def endpoints(net):
+    """Doc."""
+    return [u for u, v in net.edges]
+'''
+
+
+class TestHotPath:
+    def test_loop_in_hot_module_flagged(self):
+        findings = run_lint({"src/repro/cuts/m.py": LOOP}, **_SELECT)
+        assert rule_ids(findings) == {"RL003"}
+
+    def test_comprehension_flagged(self):
+        findings = run_lint({"src/repro/cuts/m.py": COMPREHENSION}, **_SELECT)
+        assert rule_ids(findings) == {"RL003"}
+
+    def test_cold_module_unrestricted(self):
+        assert run_lint({"src/repro/routing/m.py": LOOP}, **_SELECT) == []
+
+    def test_topology_base_is_hot(self):
+        findings = run_lint({"src/repro/topology/base.py": LOOP}, **_SELECT)
+        assert rule_ids(findings) == {"RL003"}
+
+
+class TestSuppression:
+    def test_justified_suppression_accepted(self):
+        src = LOOP.replace(
+            "for u, v in net.edges:",
+            "for u, v in net.edges:  "
+            "# repro-lint: disable=RL003 -- cold export path",
+        )
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
+
+    def test_bare_suppression_rejected(self):
+        src = LOOP.replace(
+            "for u, v in net.edges:",
+            "for u, v in net.edges:  # repro-lint: disable=RL003",
+        )
+        findings = run_lint({"src/repro/cuts/m.py": src}, **_SELECT)
+        assert len(findings) == 1
+        assert "justification" in findings[0].message
+
+    def test_standalone_comment_covers_next_line(self):
+        src = LOOP.replace(
+            "    for u, v in net.edges:",
+            "    # repro-lint: disable=RL003 -- cold export path\n"
+            "    for u, v in net.edges:",
+        )
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
