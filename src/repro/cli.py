@@ -11,6 +11,10 @@ Subcommands
 ``folklore N``
     The Theorem 2.20 construction: plan and, when feasible, a built and
     verified balanced bisection of ``Bn`` with capacity below ``n``.
+``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH]``
+    Certified ``BW`` interval by the degradation cascade
+    (:func:`repro.core.fallback.solve_with_fallback`): exact solvers under
+    a wall-clock budget, heuristics as fallback, always a valid bound.
 ``claims [IDS...]``
     Check registered paper claims (all by default).
 ``lint [PATHS...]``
@@ -81,6 +85,22 @@ def _cmd_folklore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .core import solve_with_fallback
+    from .resilience import Budget
+    from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
+
+    net = {
+        "bn": butterfly,
+        "wn": wrapped_butterfly,
+        "ccc": cube_connected_cycles,
+    }[args.family](args.n)
+    budget = Budget(args.timeout) if args.timeout is not None else None
+    cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint)
+    print(cert)
+    return 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     from .core import REGISTRY
 
@@ -138,6 +158,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("n", type=int)
     p.add_argument("--plan-only", action="store_true")
     p.set_defaults(fn=_cmd_folklore)
+
+    p = sub.add_parser(
+        "solve", help="certified BW by the budgeted degradation cascade"
+    )
+    p.add_argument("family", choices=["bn", "wn", "ccc"])
+    p.add_argument("n", type=int)
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; expiry degrades, never fails")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="checkpoint file for the enumeration sweep")
+    p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser("claims", help="check paper claims")
     p.add_argument("ids", nargs="*")

@@ -24,6 +24,7 @@ from .bisection import (
     theorem_220_interval,
 )
 from .expansion_api import edge_expansion, node_expansion
+from .fallback import solve_with_fallback
 from .theorems import Claim, ClaimResult, REGISTRY, check, all_claim_ids
 from .vlsi import (
     thompson_area_lower_bound,
@@ -49,6 +50,7 @@ __all__ = [
     "theorem_220_interval",
     "edge_expansion",
     "node_expansion",
+    "solve_with_fallback",
     "Claim",
     "ClaimResult",
     "REGISTRY",

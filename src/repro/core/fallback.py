@@ -1,0 +1,207 @@
+"""A degradation cascade that always returns a certified bound.
+
+The Section 2.1 quantities — ``BW(G)`` above all — admit a ladder of
+solvers of decreasing exactness and cost: exhaustive enumeration, the
+layered min-plus DP, branch and bound, and the KL/FM/spectral heuristics.
+:func:`solve_with_fallback` runs that ladder under one shared
+:class:`~repro.resilience.budget.Budget` and *always* terminates with a
+valid :class:`~repro.core.results.BoundCertificate`, whatever expires or
+fails along the way:
+
+* a tier that **completes** exactly closes the interval and returns
+  immediately;
+* a tier **truncated** by the budget still contributes — every partial
+  profile entry and every branch-and-bound incumbent is a valid upper
+  bound — and the cascade moves on;
+* a tier that does not apply (too many nodes, no layering) is skipped
+  with a recorded reason;
+* the final tier is free: ``0 <= BW(G) <= |E|`` holds unconditionally, so
+  even a budget that expired before the call yields a sound certificate.
+
+The certificate's evidence strings name the tier that produced each side
+and why earlier tiers were skipped or truncated, so a reader can tell an
+exact answer (e.g. one usable against Theorem 2.20's interval) from a
+degraded one at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cuts.branch_and_bound import bb_min_bisection
+from ..cuts.enumerate_exact import cut_profile
+from ..cuts.fiduccia_mattheyses import fm_bisection
+from ..cuts.kernighan_lin import kernighan_lin_bisection
+from ..cuts.layered_dp import layered_cut_profile
+from ..cuts.spectral import spectral_bisection
+from ..resilience.budget import Budget
+from ..resilience.checkpoint import CheckpointStore
+from ..topology.base import Network
+from .results import BoundCertificate
+
+__all__ = ["solve_with_fallback"]
+
+_ENUM_LIMIT = 24
+_BB_LIMIT = 40
+_DP_WIDTH_LIMIT = 12
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _bisection_count(values: np.ndarray, m: int) -> int:
+    """The balanced count whose profile entry is cheaper."""
+    lo, hi = m // 2, (m + 1) // 2
+    return lo if values[lo] <= values[hi] else hi
+
+
+def solve_with_fallback(
+    net: Network,
+    budget: Budget | None = None,
+    checkpoint: str | CheckpointStore | None = None,
+    *,
+    enum_limit: int = _ENUM_LIMIT,
+    bb_limit: int = _BB_LIMIT,
+    dp_width_limit: int = _DP_WIDTH_LIMIT,
+) -> BoundCertificate:
+    """Certified ``BW(net)`` by the exact-to-heuristic degradation cascade.
+
+    Tiers, in order: (1) exhaustive enumeration, (2) layered min-plus DP,
+    (3) branch and bound, (4) KL/FM/spectral heuristics, (5) the trivial
+    interval ``[0, |E|]``.  The first tier that completes exactly wins;
+    partial tiers contribute upper bounds; tier 5 is unconditional, so a
+    valid certificate is returned even under an already-expired budget.
+
+    Parameters
+    ----------
+    budget:
+        Shared wall-clock/cancellation budget for the whole cascade;
+        ``None`` means unlimited.
+    checkpoint:
+        Optional checkpoint file for the tier-1 enumeration sweep (see
+        :func:`repro.cuts.enumerate_exact.cut_profile`).
+    enum_limit, bb_limit, dp_width_limit:
+        Applicability thresholds of tiers 1–3.
+    """
+    if budget is None:
+        budget = Budget.unlimited()
+    name = f"BW({net.name})"
+    n = net.num_nodes
+    notes: list[str] = []
+
+    lower = 0
+    lower_ev = "tier-5 trivial floor (0 <= BW always)"
+    upper = net.num_edges
+    upper_ev = "tier-5 trivial ceiling (cutting every edge)"
+    witness = None
+
+    def _certificate() -> BoundCertificate:
+        tail = ("; " + "; ".join(notes)) if notes else ""
+        return BoundCertificate(
+            name, lower, min(upper, net.num_edges),
+            lower_ev + tail, upper_ev + tail, witness,
+        )
+
+    def _exact(value: int, evidence: str, cut=None) -> BoundCertificate:
+        nonlocal lower, upper, lower_ev, upper_ev, witness
+        lower = upper = int(value)
+        lower_ev = upper_ev = evidence
+        witness = cut
+        return _certificate()
+
+    # Tier 1: exhaustive enumeration.
+    if n > enum_limit:
+        notes.append(
+            f"tier-1 exhaustive enumeration skipped: {n} > {enum_limit} nodes"
+        )
+    elif budget.expired():
+        notes.append("tier-1 exhaustive enumeration skipped: budget expired")
+    else:
+        prof = cut_profile(net, budget=budget, checkpoint=checkpoint)
+        c = _bisection_count(prof.values, n)
+        w = int(prof.values[c])
+        if prof.complete:
+            return _exact(
+                w, "tier-1 exhaustive enumeration (exact)", prof.witness_cut(c)
+            )
+        if w < _INT64_MAX and w < upper:
+            upper = w
+            upper_ev = "tier-1 exhaustive enumeration (partial profile)"
+            witness = prof.witness_cut(c)
+        notes.append(
+            "tier-1 truncated: budget expired mid-sweep; partial profile "
+            "entries kept as upper bounds only"
+        )
+
+    # Tier 2: layered min-plus DP.
+    layers = net.layers() if hasattr(net, "layers") else None
+    if layers is None:
+        notes.append("tier-2 layered DP skipped: network has no layering")
+    elif max(len(l) for l in layers) > dp_width_limit:
+        notes.append(
+            f"tier-2 layered DP skipped: layer width "
+            f"{max(len(l) for l in layers)} > {dp_width_limit}"
+        )
+    elif budget.expired():
+        notes.append("tier-2 layered DP skipped: budget expired")
+    else:
+        prof = layered_cut_profile(
+            net, with_witnesses=True, max_width=dp_width_limit, budget=budget
+        )
+        if prof.complete:
+            cut = prof.min_bisection()
+            return _exact(cut.capacity, "tier-2 layered min-plus DP (exact)", cut)
+        w = int(min(prof.values[n // 2], prof.values[(n + 1) // 2]))
+        if w < _INT64_MAX and w < upper:
+            upper = w
+            upper_ev = "tier-2 layered DP (partial pin sweep)"
+            witness = None
+        notes.append(
+            "tier-2 truncated: budget expired mid pin sweep; partial values "
+            "kept as upper bounds only"
+        )
+
+    # Tier 3: branch and bound.
+    if n > bb_limit:
+        notes.append(f"tier-3 branch and bound skipped: {n} > {bb_limit} nodes")
+    elif budget.expired():
+        notes.append("tier-3 branch and bound skipped: budget expired")
+    elif n == 0:
+        notes.append("tier-3 branch and bound skipped: empty network")
+    else:
+        st: dict = {}
+        cut = bb_min_bisection(net, node_limit=bb_limit, budget=budget, status=st)
+        if st.get("complete"):
+            return _exact(cut.capacity, "tier-3 branch and bound (exact)", cut)
+        if cut.capacity < upper:
+            upper = cut.capacity
+            upper_ev = "tier-3 branch and bound (truncated; incumbent cut)"
+            witness = cut
+        notes.append(
+            "tier-3 truncated: budget expired mid-search; incumbent kept as "
+            "an upper bound"
+        )
+
+    # Tier 4: heuristics (upper bounds only).
+    if budget.expired():
+        notes.append("tier-4 heuristics skipped: budget expired")
+    elif n < 2:
+        notes.append("tier-4 heuristics skipped: fewer than two nodes")
+    else:
+        cut = kernighan_lin_bisection(net, restarts=1)
+        used = ["Kernighan-Lin"]
+        for label, heuristic in (
+            ("Fiduccia-Mattheyses", fm_bisection),
+            ("spectral", spectral_bisection),
+        ):
+            if budget.expired():
+                notes.append(f"tier-4 {label} skipped: budget expired")
+                break
+            other = heuristic(net)
+            used.append(label)
+            if other.capacity < cut.capacity:
+                cut = other
+        if cut.capacity < upper:
+            upper = cut.capacity
+            upper_ev = f"tier-4 heuristics (best of {'/'.join(used)})"
+            witness = cut
+
+    return _certificate()

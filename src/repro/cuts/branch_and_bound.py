@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.budget import Budget
 from ..topology.base import Network
 from .cut import Cut
 from .kernighan_lin import kernighan_lin_bisection
@@ -32,10 +33,25 @@ from .kernighan_lin import kernighan_lin_bisection
 __all__ = ["bb_min_bisection", "bb_bisection_width"]
 
 _MAX_NODES = 48
+_BUDGET_CHECK_MASK = 0xFF  # poll the budget every 256 node expansions
 
 
-def bb_min_bisection(net: Network, node_limit: int = _MAX_NODES) -> Cut:
-    """Exact minimum bisection of a general network (witness included)."""
+def bb_min_bisection(
+    net: Network,
+    node_limit: int = _MAX_NODES,
+    *,
+    budget: Budget | None = None,
+    status: dict | None = None,
+) -> Cut:
+    """Exact minimum bisection of a general network (witness included).
+
+    With a ``budget``, the search polls for expiry every 256 node
+    expansions and unwinds; the returned cut is then the *incumbent* — the
+    KL warm start or any improvement found before the deadline — which is
+    a valid bisection and upper bound, just not certified optimal.
+    ``status["complete"]`` (when a dict is passed) records whether the
+    search ran to exhaustion, i.e. whether the capacity is certified.
+    """
     n = net.num_nodes
     if n > node_limit:
         raise ValueError(
@@ -97,8 +113,21 @@ def bb_min_bisection(net: Network, node_limit: int = _MAX_NODES) -> Cut:
                     best_v, best_score = int(v), score
         return best_v
 
+    expansions = 0
+    aborted = False
+
     def rec(cur: int) -> None:
-        nonlocal best_cap, best_side
+        nonlocal best_cap, best_side, expansions, aborted
+        if aborted:
+            return
+        expansions += 1
+        if (
+            budget is not None
+            and (expansions & _BUDGET_CHECK_MASK) == 0
+            and budget.expired()
+        ):
+            aborted = True
+            return
         if cur + lower_bound() >= best_cap:
             return
         unassigned = n - counts[0] - counts[1]
@@ -131,18 +160,32 @@ def bb_min_bisection(net: Network, node_limit: int = _MAX_NODES) -> Cut:
             rec(cur + inc)
             unassign(v, s)
 
-    # Symmetry: pin the first node of the branching order to side A.
-    v0 = int(order[0])
-    inc = assign(v0, 1)
-    rec(inc)
-    unassign(v0, 1)
+    if budget is not None and budget.expired():
+        aborted = True  # keep the KL incumbent; no certified search ran
+    else:
+        # Symmetry: pin the first node of the branching order to side A.
+        v0 = int(order[0])
+        inc = assign(v0, 1)
+        rec(inc)
+        unassign(v0, 1)
 
+    if status is not None:
+        status["complete"] = not aborted
+        status["expansions"] = expansions
     cut = Cut(net, best_side)
     assert cut.is_bisection()
     assert cut.capacity == best_cap
     return cut
 
 
-def bb_bisection_width(net: Network, node_limit: int = _MAX_NODES) -> int:
+def bb_bisection_width(
+    net: Network,
+    node_limit: int = _MAX_NODES,
+    *,
+    budget: Budget | None = None,
+    status: dict | None = None,
+) -> int:
     """Exact ``BW`` of a general network via branch and bound."""
-    return bb_min_bisection(net, node_limit=node_limit).capacity
+    return bb_min_bisection(
+        net, node_limit=node_limit, budget=budget, status=status
+    ).capacity

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..resilience.budget import Budget
+from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..topology.base import Network
 from .cut import Cut
 
@@ -54,12 +56,19 @@ class CutProfile:
     witnesses:
         ``witnesses[c]`` = a side bitmask (as Python int over node indices)
         achieving ``values[c]``.
+    complete:
+        ``True`` for an uninterrupted (or fully resumed) sweep.  A budget
+        expiry yields a *partial* profile: every finite entry of
+        ``values`` is still a valid **upper bound** on the true minimum
+        (it is the minimum over the examined assignments), and counts
+        never observed stay at the ``int64`` sentinel maximum.
     """
 
     network: Network
     counted: np.ndarray
     values: np.ndarray
     witnesses: np.ndarray
+    complete: bool = True
 
     def witness_cut(self, c: int) -> Cut:
         """Reconstruct an optimal cut with ``|S ∩ U| = c``."""
@@ -75,7 +84,22 @@ class CutProfile:
         return int(min(self.values[m // 2], self.values[(m + 1) // 2]))
 
 
-def cut_profile(net: Network, counted: np.ndarray | None = None) -> CutProfile:
+def _fingerprint(net: Network, counted: np.ndarray, batch: int) -> str:
+    """Checkpoint key: refuse to resume a different computation's file."""
+    return (
+        f"cut-profile:v1:{net.name}:{net.num_nodes}n:{net.num_edges}e:"
+        f"c{','.join(map(str, counted.tolist()))}:b{batch}"
+    )
+
+
+def cut_profile(
+    net: Network,
+    counted: np.ndarray | None = None,
+    *,
+    budget: Budget | None = None,
+    checkpoint: str | CheckpointStore | None = None,
+    batch_bits: int | None = None,
+) -> CutProfile:
     """Compute the exact cut profile of ``net`` by exhaustive enumeration.
 
     Parameters
@@ -84,12 +108,30 @@ def cut_profile(net: Network, counted: np.ndarray | None = None) -> CutProfile:
         Network with at most ``28`` nodes.
     counted:
         Node indices of the counted set ``U``; defaults to all nodes.
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`, polled once per
+        batch; on expiry the best-so-far profile is returned with
+        ``complete=False`` instead of raising.
+    checkpoint:
+        Optional checkpoint file (path or
+        :class:`~repro.resilience.checkpoint.CheckpointStore`).  Completed
+        batch ranges and the running profile are persisted atomically
+        after every batch; a rerun with the same arguments skips finished
+        ranges and is bit-identical to an uninterrupted run (the stored
+        state is pre-fold, so the complement fold happens exactly once).
+    batch_bits:
+        log2 of the batch size (default ``20``); a budget's
+        ``max_batch_bits`` memory ceiling caps it further.
     """
     n = net.num_nodes
     if n > _MAX_NODES:
         raise ValueError(
-            f"{net.name} has {n} nodes; exhaustive enumeration is limited to "
-            f"{_MAX_NODES} (use the layered DP or heuristics instead)"
+            f"exhaustive enumeration is limited to _MAX_NODES = {_MAX_NODES} "
+            f"nodes (the sweep visits 2^(N-1) side assignments) but "
+            f"{net.name} has {n}; for layered networks use "
+            f"repro.cuts.layered_dp.layered_cut_profile, for general graphs "
+            f"up to ~48 nodes use repro.cuts.branch_and_bound, and beyond "
+            f"that the KL/FM/spectral heuristics give upper bounds"
         )
     if counted is None:
         counted = np.arange(n, dtype=np.int64)
@@ -100,15 +142,35 @@ def cut_profile(net: Network, counted: np.ndarray | None = None) -> CutProfile:
     eu, ev = e[:, 0], e[:, 1]
     count_shift = counted.astype(np.uint64)
 
-    best = np.full(m + 1, np.iinfo(np.int64).max, dtype=np.int64)
+    inf = np.iinfo(np.int64).max
+    best = np.full(m + 1, inf, dtype=np.int64)
     best_mask = np.zeros(m + 1, dtype=np.uint64)
 
-    total = np.uint64(1) << np.uint64(n - 1)  # pin node n-1 to the S̄ side
-    batch = np.uint64(1) << np.uint64(min(_BATCH_BITS, n - 1))
-    start = np.uint64(0)
+    total = 1 << (n - 1)  # pin node n-1 to the S̄ side
+    bits = _BATCH_BITS if batch_bits is None else batch_bits
+    if budget is not None:
+        bits = budget.batch_bits(bits)
+    batch = 1 << min(bits, n - 1)
     one = np.uint64(1)
-    while start < total:
+
+    store = as_store(checkpoint)
+    ledger = RangeLedger()
+    key = _fingerprint(net, counted, batch) if store is not None else ""
+    if store is not None:
+        saved = store.load(key)
+        if saved is not None:
+            prev = RangeLedger.from_list(saved.get("completed"))
+            values = np.asarray(saved.get("best", ()), dtype=np.int64)
+            masks_saved = np.asarray(saved.get("best_mask", ()), dtype=np.uint64)
+            if values.shape == (m + 1,) and masks_saved.shape == (m + 1,):
+                ledger, best, best_mask = prev, values, masks_saved
+
+    for start in range(0, total, batch):
         stop = min(start + batch, total)
+        if ledger.covers(start, stop):
+            continue
+        if budget is not None and budget.expired():
+            break
         masks = np.arange(start, stop, dtype=np.uint64)
         # Capacity: per edge, xor of endpoint bits.
         cap = np.zeros(len(masks), dtype=np.int64)
@@ -132,18 +194,29 @@ def cut_profile(net: Network, counted: np.ndarray | None = None) -> CutProfile:
             if seg[am] < best[c]:
                 best[c] = seg[am]
                 best_mask[c] = masks[order[lo + am]]
-        start = stop
+        ledger.add(start, stop)
+        if store is not None:
+            # Pre-fold state: the complement fold below must run exactly
+            # once, on the final profile, for resume to be bit-identical.
+            store.save(key, {
+                "completed": ledger.to_list(),
+                "best": best.tolist(),
+                "best_mask": [int(x) for x in best_mask],
+            })
 
+    complete = ledger.total == total
     # Complement closure: pinning node n-1 to S̄ visits each unordered
     # partition once, but labels sides; a cut with c counted in S is also a
     # cut with m - c counted in S.  Fold the symmetric entry in.
+    best = best.copy()
+    best_mask = best_mask.copy()
     full = (np.uint64(1) << np.uint64(n)) - one
     for c in range(m + 1):
         cc = m - c
         if best[cc] < best[c]:
             best[c] = best[cc]
             best_mask[c] = best_mask[cc] ^ full
-    return CutProfile(net, counted, best, best_mask)
+    return CutProfile(net, counted, best, best_mask, complete)
 
 
 def min_bisection(net: Network) -> Cut:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..resilience.budget import Budget
 from ..topology.base import Network
 from .cut import Cut
 
@@ -152,6 +153,11 @@ class LayeredProfile:
     ``values[c]`` is the minimum cut capacity over side assignments with
     exactly ``c`` counted nodes in ``S``; :meth:`witness` reconstructs an
     optimal cut for any ``c``.
+
+    ``complete`` is ``False`` when a budget expired before every pin of a
+    cyclic sweep was examined; finite ``values`` entries are then valid
+    upper bounds (minima over the pins actually swept), not certified
+    minima.
     """
 
     network: Network
@@ -160,6 +166,7 @@ class LayeredProfile:
     counted: np.ndarray
     values: np.ndarray
     _witness_masks: list[np.ndarray]  # per count: optimal mask per layer, or empty
+    complete: bool = True
 
     def bisection_width(self) -> int:
         """Minimum capacity over cuts bisecting the counted set."""
@@ -244,6 +251,7 @@ def layered_cut_profile(
     counted: np.ndarray | None = None,
     max_width: int = 12,
     with_witnesses: bool = True,
+    budget: Budget | None = None,
 ) -> LayeredProfile:
     """Exact cut profile of a layered network.
 
@@ -259,6 +267,10 @@ def layered_cut_profile(
         Safety bound on the layer width ``w`` (state space is ``2^w``).
     with_witnesses:
         Also reconstruct one optimal cut per achievable count.
+    budget:
+        Optional budget, polled before the sweep and (for cyclic
+        layerings) before each of the ``2^{w_0}`` pins; on expiry the
+        best-so-far profile is returned with ``complete=False``.
     """
     if layers is None:
         layers = net.layers()  # type: ignore[attr-defined]
@@ -309,17 +321,26 @@ def layered_cut_profile(
                 masks[0] = mm
                 witness_masks[c] = masks
 
+    complete = True
     if not cyclic:
-        f, parents = _sweep(Ts, intras, cnts, C, pin_first=None)
-        _extract(f, parents, None, None)
+        if budget is not None and budget.expired():
+            complete = False
+        else:
+            f, parents = _sweep(Ts, intras, cnts, C, pin_first=None)
+            _extract(f, parents, None, None)
     else:
         for pin in range(1 << widths[0]):
+            if budget is not None and budget.expired():
+                complete = False
+                break
             f, parents = _sweep(Ts, intras, cnts, C, pin_first=pin)
             closure = Ts[-1][:, pin] if L > 1 else None
             _extract(f, parents, closure, pin)
 
     values = best.copy()
-    return LayeredProfile(net, layers, cyclic, counted, values, witness_masks)
+    return LayeredProfile(
+        net, layers, cyclic, counted, values, witness_masks, complete
+    )
 
 
 def layered_bisection_width(net: Network, **kwargs) -> int:

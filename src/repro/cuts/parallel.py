@@ -1,4 +1,4 @@
-"""Process-parallel layered DP for cyclic networks.
+"""Process-parallel layered DP for cyclic networks, under supervision.
 
 The Section 3 networks — wrapped butterflies and cube-connected cycles,
 whose exact widths are Lemmas 3.1–3.3 — have cyclic layerings, and the
@@ -9,6 +9,15 @@ with :mod:`multiprocessing` since this environment ships no MPI).  The
 cost tables are computed once in the parent and shipped to workers through
 a pool initializer, so each task carries only its pin range.
 
+The pool is *supervised* (:mod:`repro.resilience.supervise`): a crashed or
+hung worker is detected by a per-task timeout, its pin range is retried
+with exponential backoff, and after the retry cap the range is computed
+serially in the parent — so a killed worker costs time, never correctness.
+Completed pin ranges can be checkpointed
+(:mod:`repro.resilience.checkpoint`) and are skipped on resume; because
+the profile is a pin-order-independent elementwise minimum, a resumed run
+is bit-identical to an uninterrupted one.
+
 Exactness is unchanged: the parallel profile is asserted equal to the
 serial one in the tests.  The pin loop scales with physical cores
 (~``min(workers, cores)``×); on a single-core host it degrades gracefully
@@ -18,10 +27,13 @@ to serial speed plus a small pool-startup cost.
 from __future__ import annotations
 
 import os
-from multiprocessing import Pool
 
 import numpy as np
 
+from ..resilience.budget import Budget
+from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
+from ..resilience.faults import maybe_crash
+from ..resilience.supervise import RetryPolicy, SupervisionReport, supervised_map
 from ..topology.base import Network
 from .layered_dp import (
     _classify_edges,
@@ -38,14 +50,16 @@ __all__ = ["parallel_cyclic_profile"]
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(Ts, intras, cnts, C):
+def _init_worker(Ts, intras, cnts, C, fault_token=None):
     _WORKER_STATE["Ts"] = Ts
     _WORKER_STATE["intras"] = intras
     _WORKER_STATE["cnts"] = cnts
     _WORKER_STATE["C"] = C
+    _WORKER_STATE["fault_token"] = fault_token
 
 
 def _run_pins(pin_range: tuple[int, int]) -> np.ndarray:
+    maybe_crash(_WORKER_STATE.get("fault_token"))
     Ts = _WORKER_STATE["Ts"]
     intras = _WORKER_STATE["intras"]
     cnts = _WORKER_STATE["cnts"]
@@ -59,12 +73,27 @@ def _run_pins(pin_range: tuple[int, int]) -> np.ndarray:
     return best
 
 
+def _pin_ranges(num_pins: int, chunks: int) -> list[tuple[int, int]]:
+    bounds = np.linspace(0, num_pins, chunks + 1, dtype=np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(chunks)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
 def parallel_cyclic_profile(
     net: Network,
     layers: list[np.ndarray] | None = None,
     counted: np.ndarray | None = None,
     workers: int | None = None,
     max_width: int = 12,
+    *,
+    budget: Budget | None = None,
+    checkpoint: str | CheckpointStore | None = None,
+    policy: RetryPolicy | None = None,
+    status: dict | None = None,
+    fault_token: str | None = None,
 ) -> np.ndarray:
     """Exact cut profile of a *cyclic* layered network, pin loop in parallel.
 
@@ -72,6 +101,29 @@ def parallel_cyclic_profile(
     :func:`repro.cuts.layered_dp.layered_cut_profile` (witnesses are not
     reconstructed; rerun the serial solver pinned to the winning count if
     one is needed).
+
+    Parameters
+    ----------
+    budget:
+        Optional budget; polled between pin ranges (and inside the
+        supervisor's wait loop).  On expiry the minimum over the ranges
+        completed so far is returned — a valid upper-bound profile —
+        and ``status["complete"]`` is ``False``.
+    checkpoint:
+        Optional checkpoint file; completed pin ranges plus the running
+        profile are persisted atomically as each range finishes, and a
+        rerun with the same parameters skips them.
+    policy:
+        :class:`~repro.resilience.supervise.RetryPolicy` for crashed/hung
+        worker handling (per-task timeout, retry cap, backoff).
+    status:
+        Optional dict, filled with ``complete``, ``pins_done``,
+        ``total_pins`` and the supervisor's
+        :class:`~repro.resilience.supervise.SupervisionReport`.
+    fault_token:
+        Path to a one-shot crash token
+        (:func:`repro.resilience.faults.arm_crash_token`) — the fault
+        harness used by the interruption tests; ``None`` in production.
     """
     if layers is None:
         layers = net.layers()  # type: ignore[attr-defined]
@@ -100,16 +152,54 @@ def parallel_cyclic_profile(
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)
     workers = max(1, min(workers, num_pins))
-    if workers == 1:
-        _init_worker(Ts, intras, cnts, C)
-        return _run_pins((0, num_pins))
+    # More chunks than workers: retry and checkpoint granularity (also on
+    # the serial path, where the budget is polled between chunks).
+    chunks = min(num_pins, max(8, workers * 4))
+    ranges = _pin_ranges(num_pins, chunks)
 
-    bounds = np.linspace(0, num_pins, workers + 1, dtype=np.int64)
-    ranges = [(int(bounds[i]), int(bounds[i + 1])) for i in range(workers)]
-    with Pool(workers, initializer=_init_worker,
-              initargs=(Ts, intras, cnts, C)) as pool:
-        partials = pool.map(_run_pins, ranges)
-    best = partials[0]
-    for part in partials[1:]:
-        np.minimum(best, part, out=best)
+    best = np.full(C + 1, _INF, dtype=np.int64)
+    ledger = RangeLedger()
+    store = as_store(checkpoint)
+    key = (
+        f"pin-sweep:v1:{net.name}:{net.num_nodes}n:{net.num_edges}e:"
+        f"p{num_pins}:c{','.join(map(str, counted.tolist()))}:k{chunks}"
+    )
+    if store is not None:
+        saved = store.load(key)
+        if saved is not None:
+            prev_best = np.asarray(saved.get("best", ()), dtype=np.int64)
+            if prev_best.shape == (C + 1,):
+                ledger = RangeLedger.from_list(saved.get("completed"))
+                best = prev_best
+
+    todo = [r for r in ranges if not ledger.covers(*r)]
+
+    def _merge(_i: int, pin_range: tuple[int, int], part: np.ndarray) -> None:
+        np.minimum(best, np.asarray(part, dtype=np.int64), out=best)
+        ledger.add(*pin_range)
+        if store is not None:
+            store.save(key, {
+                "completed": ledger.to_list(),
+                "best": best.tolist(),
+            })
+
+    report = SupervisionReport()
+    if todo:
+        supervised_map(
+            _run_pins,
+            todo,
+            workers=workers,
+            initializer=_init_worker,
+            initargs=(Ts, intras, cnts, C, fault_token),
+            policy=policy,
+            budget=budget,
+            on_result=_merge,
+            report=report,
+        )
+
+    if status is not None:
+        status["complete"] = ledger.total == num_pins
+        status["pins_done"] = ledger.total
+        status["total_pins"] = num_pins
+        status["report"] = report
     return best

@@ -21,20 +21,24 @@ __all__ = ["LintConfig", "DEFAULT_LAYER_DAG", "DEFAULT_LAYER_EXCEPTIONS"]
 #: RL002 finding itself — new packages must declare their layer.
 DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "topology": frozenset(),
-    "cuts": frozenset({"topology"}),
+    "resilience": frozenset({"topology"}),
+    "cuts": frozenset({"topology", "resilience"}),
     "embeddings": frozenset({"topology"}),
     "routing": frozenset({"topology"}),
     "expansion": frozenset({"topology", "cuts", "routing"}),
     "analysis": frozenset({"topology", "cuts", "embeddings", "expansion"}),
     "core": frozenset(
-        {"topology", "cuts", "embeddings", "expansion", "routing", "analysis"}
+        {
+            "topology", "cuts", "embeddings", "expansion", "routing",
+            "analysis", "resilience",
+        }
     ),
     "io": frozenset({"topology", "cuts", "core"}),
     "lint": frozenset(),  # stdlib-only by design: must not import the package
     "cli": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "core", "io", "lint",
+            "analysis", "core", "io", "lint", "resilience",
         }
     ),
     "__init__": frozenset({"topology", "core"}),

@@ -9,6 +9,7 @@ from . import layer_order  # noqa: F401
 from . import vectorization  # noqa: F401
 from . import float_compare  # noqa: F401
 from . import frozen_mutation  # noqa: F401
+from . import benchmark_drift  # noqa: F401
 
 __all__ = [
     "claim_citation",
@@ -16,4 +17,5 @@ __all__ = [
     "vectorization",
     "float_compare",
     "frozen_mutation",
+    "benchmark_drift",
 ]

@@ -1,0 +1,176 @@
+"""RL006 benchmark drift: committed results must respect the paper constants.
+
+The benchmark harness commits its numbers to ``benchmarks/results/``; the
+paper's exact statements live in ``repro.core.claims``.  Nothing else ties
+the two together — a solver regression that quietly shifts a committed
+number would sit in the repo unnoticed until someone reruns the benchmark.
+This rule re-derives the paper-side checks from the committed text files on
+every lint run:
+
+* ``thm220_bisection_bn.txt`` — certified intervals must be ordered
+  (``lower <= upper``), the lower bound may not exceed the folklore
+  ceiling ``n``, and every ``upper/n`` ratio must sit strictly above the
+  Theorem 2.20 limit ``2(sqrt 2 - 1)``;
+* ``lemma32_wn.txt`` — measured ``BW(Wn)`` must equal ``n`` (Lemma 3.2);
+* ``lemma33_ccc.txt`` — measured ``BW(CCCn)`` must equal ``n/2``
+  (Lemma 3.3).
+
+Findings are **advisory** (``WARNING`` severity): drift means either the
+benchmark is stale or a solver changed behavior, and a human must decide
+which — but the self-lint test keeps the committed tree clean of them.
+Missing or unparsable files are ignored (fresh checkouts may not have run
+the benchmarks); the checks only fire on rows that do parse.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+from .claim_citation import _load_claims_module
+
+__all__ = ["BenchmarkDriftRule", "drift_findings"]
+
+#: ``n lower upper ratio`` rows of the Theorem 2.20 table.
+_QUAD_ROW = re.compile(r"^\s*(\d+)\s+(\d+)\s+(\d+)\s+(\d+\.\d+)\s")
+#: ``n value paper`` rows of the lemma tables.
+_TRIPLE_ROW = re.compile(r"^\s*(\d+)\s+(\d+)\s+(\d+)\s")
+_THM220_LIMIT = 2.0 * (math.sqrt(2.0) - 1.0)
+
+#: results file -> claim id that makes its check meaningful.
+_FILE_CLAIMS = {
+    "thm220_bisection_bn.txt": "theorem-2.20",
+    "lemma32_wn.txt": "lemma-3.2",
+    "lemma33_ccc.txt": "lemma-3.3",
+}
+
+
+def _rows(path: Path, pattern: re.Pattern) -> list[tuple[int, tuple[int, ...]]]:
+    """Parsed ``(line_number, integer fields)`` rows, [] when unreadable."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = pattern.match(line)
+        if m:
+            out.append((lineno, m.groups()))
+    return out
+
+
+def drift_findings(results_dir: Path, claim_ids: set[str] | None = None) -> list[Finding]:
+    """All RL006 findings for one ``benchmarks/results`` directory.
+
+    ``claim_ids`` restricts the checks to files whose backing claim is in
+    the table (``None`` = check everything); exposed as a function so the
+    drift tests can point it at synthetic directories.
+    """
+    findings: list[Finding] = []
+
+    def _want(fname: str) -> Path | None:
+        if claim_ids is not None and _FILE_CLAIMS[fname] not in claim_ids:
+            return None
+        path = results_dir / fname
+        return path if path.is_file() else None
+
+    def _warn(path: Path, line: int, message: str) -> None:
+        findings.append(
+            Finding(str(path), line, 0, "RL006", message, Severity.WARNING)
+        )
+
+    path = _want("thm220_bisection_bn.txt")
+    if path is not None:
+        for lineno, (n, lower, upper, ratio) in _rows(path, _QUAD_ROW):
+            n, lower, upper = int(n), int(lower), int(upper)
+            if lower > upper:
+                _warn(path, lineno,
+                      f"BW(B{n}) interval inverted: lower {lower} > upper "
+                      f"{upper} — a solver or benchmark regression")
+            if lower > n:
+                _warn(path, lineno,
+                      f"BW(B{n}) lower bound {lower} exceeds the folklore "
+                      f"ceiling n = {n}")
+            if float(ratio) <= _THM220_LIMIT:
+                _warn(path, lineno,
+                      f"BW(B{n}) upper/n = {ratio} is at or below the "
+                      f"Theorem 2.20 limit 2(sqrt2-1) = {_THM220_LIMIT:.4f} "
+                      f"— drift against repro.core.claims")
+
+    path = _want("lemma32_wn.txt")
+    if path is not None:
+        for lineno, (n, bw, _paper) in _rows(path, _TRIPLE_ROW):
+            if int(bw) != int(n):
+                _warn(path, lineno,
+                      f"BW(W{n}) = {bw} committed, but Lemma 3.2 says "
+                      f"BW(Wn) = n = {n} — benchmark drift")
+
+    path = _want("lemma33_ccc.txt")
+    if path is not None:
+        for lineno, (n, bw, _paper) in _rows(path, _TRIPLE_ROW):
+            if int(bw) != int(n) // 2:
+                _warn(path, lineno,
+                      f"BW(CCC{n}) = {bw} committed, but Lemma 3.3 says "
+                      f"BW(CCCn) = n/2 = {int(n) // 2} — benchmark drift")
+    return findings
+
+
+@register
+class BenchmarkDriftRule(Rule):
+    rule_id = "RL006"
+    name = "benchmark-drift"
+    description = (
+        "committed benchmarks/results numbers must agree with the paper "
+        "constants of repro.core.claims (advisory)"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        results_dir = self._results_dir(ctx)
+        if results_dir is None:
+            return
+        yield from drift_findings(results_dir, self._claim_ids(ctx))
+
+    @staticmethod
+    def _results_dir(ctx: LintContext) -> Path | None:
+        """Walk up from any on-disk linted module to ``benchmarks/results``.
+
+        In-memory fixtures (the lint unit tests) have no existing path and
+        therefore never trigger the drift checks.
+        """
+        seen: set[Path] = set()
+        for mod in ctx.modules:
+            path = Path(mod.path)
+            if not path.exists():
+                continue
+            for parent in path.resolve().parents:
+                if parent in seen:
+                    break
+                seen.add(parent)
+                candidate = parent / "benchmarks" / "results"
+                if candidate.is_dir():
+                    return candidate
+        return None
+
+    @staticmethod
+    def _claim_ids(ctx: LintContext) -> set[str] | None:
+        """Ids present in the claim table (authority for which checks run)."""
+        mod = ctx.module_by_dotted("repro.core.claims")
+        if mod is not None:
+            path = Path(mod.path)
+        else:
+            path = Path(__file__).resolve().parents[2] / "core" / "claims.py"
+        if not path.is_file():
+            return None
+        try:
+            claims = _load_claims_module(path.resolve())
+        except Exception:
+            return None
+        return set(claims.CLAIM_TABLE)

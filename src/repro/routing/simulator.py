@@ -28,20 +28,26 @@ class RoutingResult:
     Attributes
     ----------
     steps:
-        Makespan: steps until the last packet arrived.
+        Makespan: steps until the last surviving packet arrived.
     delivered:
-        Number of packets delivered (always all of them).
+        Number of packets delivered — all of them, unless the run dropped
+        packets on missing edges (fault-injected networks).
     total_hops:
         Sum of path lengths (lower bound on total work).
     max_queue:
         Largest number of packets ever waiting to cross one directed edge
         in one step.
+    dropped:
+        Packets discarded because their next edge does not exist in the
+        network (only with ``drop_on_missing_edge=True``); always
+        ``delivered + dropped == len(paths)``.
     """
 
     steps: int
     delivered: int
     total_hops: int
     max_queue: int
+    dropped: int = 0
 
 
 class PacketSimulator:
@@ -50,12 +56,22 @@ class PacketSimulator:
     def __init__(self, net: Network) -> None:
         self.net = net
 
-    def run(self, paths: list[np.ndarray], max_steps: int | None = None) -> RoutingResult:
+    def run(
+        self,
+        paths: list[np.ndarray],
+        max_steps: int | None = None,
+        drop_on_missing_edge: bool = False,
+    ) -> RoutingResult:
         """Deliver one packet along each path; return timing statistics.
 
         Packets occupying the same next directed edge are serialized; the
         lowest packet id wins each step (deterministic FIFO-by-age since
         all packets start at time 0).
+
+        With ``drop_on_missing_edge=True``, a packet whose next edge is
+        absent from the network is discarded and counted in ``dropped``
+        instead of deadlocking the run — the mode used to route paths
+        planned on a healthy network over a fault-injected one.
         """
         positions = [0] * len(paths)  # index into each packet's path
         alive = {
@@ -64,8 +80,18 @@ class PacketSimulator:
         total_hops = sum(len(p) - 1 for p in paths)
         steps = 0
         max_queue = 0
+        dropped = 0
         limit = max_steps if max_steps is not None else 100 * (total_hops + 1)
         while alive:
+            if drop_on_missing_edge:
+                for i in sorted(alive):
+                    path = paths[i]
+                    k = positions[i]
+                    if not self.net.has_edge(int(path[k]), int(path[k + 1])):
+                        alive.discard(i)
+                        dropped += 1
+                if not alive:
+                    break
             steps += 1
             if steps > limit:
                 raise RuntimeError("routing did not complete within the step limit")
@@ -86,7 +112,8 @@ class PacketSimulator:
                     alive.discard(i)
         return RoutingResult(
             steps=steps,
-            delivered=len(paths),
+            delivered=len(paths) - dropped,
             total_hops=total_hops,
             max_queue=max_queue,
+            dropped=dropped,
         )

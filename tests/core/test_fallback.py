@@ -1,0 +1,88 @@
+"""The degradation cascade always returns a certified bound."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_with_fallback
+from repro.resilience import Budget, CancellationToken
+from repro.topology import Network, butterfly, random_regular_graph
+
+
+def _path(n):
+    return Network(range(n), [(i, i + 1) for i in range(n - 1)], name=f"P{n}")
+
+
+class TestExactTiers:
+    def test_tier1_enumeration_on_a_path(self):
+        cert = solve_with_fallback(_path(8))
+        assert cert.lower == cert.upper == 1
+        assert "tier-1" in cert.lower_evidence and "exact" in cert.lower_evidence
+        assert cert.witness is not None and cert.witness.capacity == 1
+
+    def test_tier1_on_b4_matches_the_paper(self, b4):
+        cert = solve_with_fallback(b4)
+        assert cert.lower == cert.upper == 4  # BW(B4) = n = 4
+        assert "tier-1" in cert.upper_evidence
+
+    def test_tier2_layered_dp_on_b8(self, b8):
+        # 32 nodes: enumeration skipped, layered DP exact.
+        cert = solve_with_fallback(b8)
+        assert cert.lower == cert.upper == 8  # BW(B8) = n = 8
+        assert "tier-2" in cert.upper_evidence
+        assert "tier-1 exhaustive enumeration skipped" in cert.lower_evidence
+
+    def test_tier3_branch_and_bound_on_a_general_graph(self):
+        net = random_regular_graph(26, 3, seed=1)
+        cert = solve_with_fallback(net)
+        assert cert.lower == cert.upper
+        assert "tier-3" in cert.upper_evidence
+        assert "tier-2 layered DP skipped" in cert.upper_evidence
+
+    def test_witness_is_a_balanced_cut(self, b4):
+        cert = solve_with_fallback(b4)
+        assert cert.witness.is_bisection()
+        assert cert.witness.capacity == cert.upper
+
+
+class TestDegradation:
+    def test_expired_budget_still_certifies(self, b4):
+        """Acceptance: exact solve under an already-expired budget."""
+        cert = solve_with_fallback(b4, budget=Budget(0))
+        assert cert.lower <= cert.upper
+        assert cert.lower == 0 and cert.upper == b4.num_edges
+        assert "tier-5" in cert.lower_evidence
+        assert "budget" in cert.lower_evidence
+        assert "tier-1" in cert.lower_evidence  # skip reasons are recorded
+
+    def test_cancellation_token_degrades_too(self, b4):
+        token = CancellationToken()
+        token.cancel()
+        cert = solve_with_fallback(b4, budget=Budget(None, token=token))
+        assert cert.lower == 0 and cert.upper == b4.num_edges
+
+    def test_heuristic_tier_tightens_large_instances(self, b16):
+        # B16: 80 nodes and layer width 16 > 12, so every exact tier is out
+        # of reach and the heuristics must carry the upper bound.
+        cert = solve_with_fallback(b16)
+        assert cert.lower <= cert.upper < b16.num_edges
+        assert "tier-4" in cert.upper_evidence
+        assert cert.witness is not None
+        assert cert.witness.capacity == cert.upper
+
+    def test_partial_enumeration_contributes_an_upper_bound(self):
+        # Expire mid-sweep: small batches, a clock that dies after 3 polls.
+        t = {"v": 0.0}
+
+        def clock():
+            t["v"] += 1.0
+            return t["v"]
+
+        net = _path(14)
+        budget = Budget(3.5, clock=clock, max_batch_bits=8)
+        cert = solve_with_fallback(net, budget=budget, bb_limit=0)
+        assert cert.lower <= cert.upper
+        assert "truncated" in cert.upper_evidence or "tier-" in cert.upper_evidence
+
+    def test_quantity_names_the_network(self, b4):
+        cert = solve_with_fallback(b4, budget=Budget(0))
+        assert b4.name in cert.quantity

@@ -81,3 +81,92 @@ class TestUBisection:
         # Bisecting a single node means either side may hold it; the empty
         # cut qualifies.
         assert prof.bisection_width() == 0
+
+
+class _PollClock:
+    """Each read advances one second; budgets expire deterministically."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestActionableSizeError:
+    def test_message_names_the_limit_and_the_alternatives(self):
+        with pytest.raises(ValueError) as exc:
+            cut_profile(complete_graph(29))
+        msg = str(exc.value)
+        assert "28" in msg
+        assert "layered_dp" in msg
+        assert "branch_and_bound" in msg
+        assert "heuristic" in msg
+
+
+class TestBudgetedSweep:
+    def test_expired_budget_yields_partial_not_raise(self):
+        from repro.resilience import Budget
+
+        prof = cut_profile(path_graph(10), budget=Budget(0))
+        assert not prof.complete
+        assert np.all(prof.values == np.iinfo(np.int64).max)
+
+    def test_partial_entries_are_valid_upper_bounds(self):
+        from repro.resilience import Budget
+
+        net = path_graph(14)
+        budget = Budget(3.5, clock=_PollClock())
+        prof = cut_profile(net, budget=budget, batch_bits=8)
+        full = cut_profile(net)
+        assert not prof.complete
+        sentinel = np.iinfo(np.int64).max
+        examined = prof.values < sentinel
+        assert examined.any()
+        assert np.all(prof.values[examined] >= full.values[examined])
+        for c in np.flatnonzero(examined):
+            assert prof.witness_cut(int(c)).capacity == prof.values[c]
+
+    def test_max_batch_bits_caps_the_batch(self):
+        from repro.resilience import Budget
+
+        # With 2-bit batches a 3-poll budget covers at most 8 assignments.
+        budget = Budget(3.5, clock=_PollClock(), max_batch_bits=2)
+        prof = cut_profile(path_graph(12), budget=budget)
+        assert not prof.complete
+
+
+class TestCheckpointResume:
+    def test_interrupted_then_resumed_is_bit_identical(self, tmp_path):
+        """Acceptance: kill mid-sweep via budget, resume, compare exactly."""
+        from repro.resilience import Budget
+
+        net = butterfly(4)  # 12 nodes, 2^11 assignments
+        ck = tmp_path / "profile.json"
+        budget = Budget(4.5, clock=_PollClock())
+        partial = cut_profile(net, budget=budget, checkpoint=ck, batch_bits=6)
+        assert not partial.complete
+        assert ck.exists()
+
+        resumed = cut_profile(net, checkpoint=ck, batch_bits=6)
+        fresh = cut_profile(net, batch_bits=6)
+        assert resumed.complete
+        assert np.array_equal(resumed.values, fresh.values)
+        assert np.array_equal(resumed.witnesses, fresh.witnesses)
+
+    def test_resume_ignores_a_foreign_checkpoint(self, tmp_path):
+        ck = tmp_path / "profile.json"
+        cut_profile(path_graph(10), checkpoint=ck, batch_bits=4)
+        # Different network, same file: fingerprint mismatch, fresh sweep.
+        prof = cut_profile(cycle_graph(10), checkpoint=ck, batch_bits=4)
+        assert prof.complete
+        assert prof.bisection_width() == 2
+
+    def test_completed_checkpoint_short_circuits(self, tmp_path):
+        ck = tmp_path / "profile.json"
+        net = path_graph(10)
+        first = cut_profile(net, checkpoint=ck, batch_bits=4)
+        again = cut_profile(net, checkpoint=ck, batch_bits=4)
+        assert np.array_equal(first.values, again.values)
+        assert np.array_equal(first.witnesses, again.witnesses)

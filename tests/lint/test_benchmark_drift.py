@@ -1,0 +1,106 @@
+"""RL006 benchmark-drift: committed results vs the paper constants."""
+
+from repro.lint.findings import Severity
+from repro.lint.rules.benchmark_drift import drift_findings
+
+from .conftest import run_lint
+
+GOOD_THM220 = """\
+         n        lower        upper  upper/n  evidence
+         4            4            4   1.0000  exact (DP)
+      1024          849         1008   0.9844  verified cut < n
+  log n =    20: capacity/n = 0.9375 (j = 8, a = 5, b = 5)
+theorem limit 2(sqrt2 - 1) = 0.8284; every row sits strictly above it
+"""
+
+GOOD_LEMMA32 = """\
+     n     BW(Wn)  paper  evidence
+     4          4      4  exact DP
+    16         16     16  Lemma 3.2 + verified column cut
+"""
+
+GOOD_LEMMA33 = """\
+     n   BW(CCCn)  paper n/2  evidence
+     8          4          4  exact DP
+    16          8          8  Wn embedding / dimension cut
+
+W16 -> CCC16 embedding: congestion 2 => BW(CCC16) >= 8
+"""
+
+
+def _results_dir(tmp_path, thm220=GOOD_THM220, l32=GOOD_LEMMA32, l33=GOOD_LEMMA33):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "thm220_bisection_bn.txt").write_text(thm220)
+    (d / "lemma32_wn.txt").write_text(l32)
+    (d / "lemma33_ccc.txt").write_text(l33)
+    return d
+
+
+class TestCleanResults:
+    def test_committed_style_numbers_pass(self, tmp_path):
+        assert drift_findings(_results_dir(tmp_path)) == []
+
+    def test_missing_files_are_ignored(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert drift_findings(empty) == []
+
+    def test_unparsable_file_is_ignored(self, tmp_path):
+        d = _results_dir(tmp_path, thm220="no rows here\njust prose\n")
+        assert drift_findings(d) == []
+
+
+class TestDrift:
+    def test_inverted_interval_flagged(self, tmp_path):
+        bad = GOOD_THM220.replace(
+            "      1024          849         1008   0.9844",
+            "      1024         1020         1008   0.9844",
+        )
+        found = drift_findings(_results_dir(tmp_path, thm220=bad))
+        assert any("inverted" in f.message for f in found)
+        assert all(f.rule_id == "RL006" for f in found)
+        assert all(f.severity is Severity.WARNING for f in found)
+
+    def test_ratio_below_theorem_limit_flagged(self, tmp_path):
+        bad = GOOD_THM220.replace("0.9844", "0.8200")
+        found = drift_findings(_results_dir(tmp_path, thm220=bad))
+        assert any("Theorem 2.20" in f.message for f in found)
+
+    def test_lower_above_folklore_ceiling_flagged(self, tmp_path):
+        bad = GOOD_THM220.replace(
+            "      1024          849         1008   0.9844",
+            "      1024         1500         2000   1.9531",
+        )
+        found = drift_findings(_results_dir(tmp_path, thm220=bad))
+        assert any("folklore ceiling" in f.message for f in found)
+
+    def test_wn_drift_flagged_with_line_number(self, tmp_path):
+        bad = GOOD_LEMMA32.replace("    16         16", "    16         15")
+        found = drift_findings(_results_dir(tmp_path, l32=bad))
+        assert len(found) == 1
+        assert "Lemma 3.2" in found[0].message
+        assert found[0].line == 3
+
+    def test_ccc_drift_flagged(self, tmp_path):
+        bad = GOOD_LEMMA33.replace("    16          8", "    16          9")
+        found = drift_findings(_results_dir(tmp_path, l33=bad))
+        assert len(found) == 1
+        assert "Lemma 3.3" in found[0].message
+
+    def test_checks_gate_on_the_claim_table(self, tmp_path):
+        bad = GOOD_LEMMA32.replace("    16         16", "    16         15")
+        d = _results_dir(tmp_path, l32=bad)
+        assert drift_findings(d, claim_ids={"theorem-2.20"}) == []
+        assert len(drift_findings(d, claim_ids={"lemma-3.2"})) == 1
+
+
+class TestProjectIntegration:
+    def test_in_memory_fixtures_never_trigger_rl006(self):
+        # The lint unit-test fixtures have no on-disk paths, so the rule
+        # cannot find a benchmarks/results dir and must stay silent.
+        findings = run_lint({
+            "src/repro/cuts/mod.py":
+                '"""Implements Lemma 3.2."""\n\nX = 1\n',
+        })
+        assert all(f.rule_id != "RL006" for f in findings)

@@ -1,0 +1,77 @@
+"""Budget and cancellation-token semantics, driven by a fake clock."""
+
+import pytest
+
+from repro.resilience import Budget, CancellationToken
+
+
+class FakeClock:
+    """Each call returns the current time, then advances one step."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.t
+        self.t += self.step
+        return t
+
+
+class TestDeadline:
+    def test_expires_after_enough_polls(self):
+        # Construction reads the clock once (t=0, deadline 2.2); polls read
+        # t=1, 2, 3 — the third poll is the first at or past the deadline.
+        budget = Budget(2.2, clock=FakeClock())
+        assert not budget.expired()
+        assert not budget.expired()
+        assert budget.expired()
+
+    def test_zero_budget_expires_immediately(self):
+        budget = Budget(0, clock=FakeClock())
+        assert budget.expired()
+
+    def test_unlimited_never_expires(self):
+        budget = Budget.unlimited()
+        assert not budget.expired()
+        assert budget.remaining() is None
+
+    def test_remaining_counts_down_and_floors_at_zero(self):
+        budget = Budget(2.5, clock=FakeClock())
+        assert budget.remaining() == pytest.approx(1.5)
+        assert budget.remaining() == pytest.approx(0.5)
+        assert budget.remaining() == pytest.approx(0.0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Budget(-1)
+
+
+class TestToken:
+    def test_cancel_expires_regardless_of_clock(self):
+        token = CancellationToken()
+        budget = Budget(None, token=token)
+        assert not budget.expired()
+        token.cancel()
+        assert budget.expired()
+
+    def test_cancel_is_idempotent(self):
+        token = CancellationToken()
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+
+class TestBatchBits:
+    def test_default_passthrough(self):
+        assert Budget.unlimited().batch_bits(20) == 20
+
+    def test_ceiling_applies(self):
+        assert Budget(None, max_batch_bits=8).batch_bits(20) == 8
+
+    def test_ceiling_never_raises_the_default(self):
+        assert Budget(None, max_batch_bits=30).batch_bits(20) == 20
+
+    def test_invalid_ceiling_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_bits"):
+            Budget(None, max_batch_bits=0)

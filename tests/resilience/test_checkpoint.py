@@ -1,0 +1,90 @@
+"""Checkpoint store atomicity/fingerprinting and range-ledger bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.resilience import CheckpointStore, RangeLedger
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save("run-1", {"completed": [[0, 4]], "best": [1, 2]})
+        assert store.load("run-1") == {"completed": [[0, 4]], "best": [1, 2]}
+
+    def test_key_mismatch_reads_as_no_checkpoint(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save("run-1", {"x": 1})
+        assert store.load("run-2") is None
+
+    def test_missing_file_reads_as_no_checkpoint(self, tmp_path):
+        assert CheckpointStore(tmp_path / "absent.json").load("k") is None
+
+    def test_corrupt_file_reads_as_no_checkpoint(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{ torn mid-wri")
+        assert CheckpointStore(path).load("k") is None
+
+    def test_wrong_version_reads_as_no_checkpoint(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "key": "k", "payload": {}}))
+        assert CheckpointStore(path).load("k") is None
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save("k", {"a": 1})
+        store.save("k", {"a": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+        assert store.load("k") == {"a": 2}
+
+    def test_delete_is_idempotent(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save("k", {})
+        store.delete()
+        store.delete()
+        assert store.load("k") is None
+
+
+class TestRangeLedger:
+    def test_adjacent_ranges_coalesce(self):
+        ledger = RangeLedger()
+        ledger.add(0, 4)
+        ledger.add(4, 8)
+        assert ledger.to_list() == [[0, 8]]
+        assert ledger.total == 8
+
+    def test_overlap_and_out_of_order_merge(self):
+        ledger = RangeLedger()
+        ledger.add(8, 12)
+        ledger.add(0, 5)
+        ledger.add(3, 9)
+        assert ledger.to_list() == [[0, 12]]
+
+    def test_disjoint_ranges_stay_separate(self):
+        ledger = RangeLedger()
+        ledger.add(0, 2)
+        ledger.add(6, 8)
+        assert ledger.to_list() == [[0, 2], [6, 8]]
+        assert ledger.total == 4
+
+    def test_covers_requires_a_single_containing_range(self):
+        ledger = RangeLedger([(0, 4), (6, 10)])
+        assert ledger.covers(0, 4)
+        assert ledger.covers(7, 9)
+        assert not ledger.covers(3, 7)  # spans the gap
+        assert not ledger.covers(4, 6)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty or inverted"):
+            RangeLedger().add(5, 5)
+
+    def test_from_list_tolerates_garbage(self):
+        assert RangeLedger.from_list(None).total == 0
+        assert RangeLedger.from_list("nope").total == 0
+        assert RangeLedger.from_list([[0, 3]]).total == 3
+
+    def test_json_roundtrip(self):
+        ledger = RangeLedger([(0, 2), (4, 8)])
+        again = RangeLedger.from_list(json.loads(json.dumps(ledger.to_list())))
+        assert again.to_list() == ledger.to_list()

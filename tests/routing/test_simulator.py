@@ -75,3 +75,68 @@ class TestGuards:
         paths = [canonical_path(b8, int(s), int(d)) for s, d in enumerate(perm) if s != d]
         res = PacketSimulator(b8).run(paths)
         assert res.delivered == len(paths)
+
+
+class TestEdgeCases:
+    def test_zero_packet_workload_is_well_formed(self):
+        res = PacketSimulator(line(3)).run([])
+        assert res.steps == 0
+        assert res.delivered == 0
+        assert res.total_hops == 0
+        assert res.max_queue == 0
+        assert res.dropped == 0
+
+    def test_all_packets_same_edge_fifo_is_deterministic(self):
+        """Seeded identical workloads replay to identical results."""
+        net = line(2)
+        runs = []
+        for _ in range(2):
+            rng = np.random.default_rng(42)
+            k = int(rng.integers(3, 7))
+            paths = [np.array([0, 1]) for _ in range(k)]
+            runs.append(PacketSimulator(net).run(paths))
+        assert runs[0] == runs[1]
+        assert runs[0].steps == runs[0].delivered  # one crossing per step
+
+    def test_max_queue_counts_waiters_at_the_fan_in(self):
+        """Three packets converge on edge (3, 4) on the same step."""
+        net = Network(range(5), [(0, 3), (1, 3), (2, 3), (3, 4)], name="fan")
+        paths = [np.array([0, 3, 4]), np.array([1, 3, 4]), np.array([2, 3, 4])]
+        res = PacketSimulator(net).run(paths)
+        assert res.max_queue == 3  # all three queued on (3, 4) at step 2
+        assert res.steps == 4  # 1 hop in + 3 serialized crossings
+
+
+class TestFaultyNetworkRouting:
+    def test_missing_edge_drops_the_packet(self):
+        net = Network(range(3), [(0, 1)], name="broken")
+        res = PacketSimulator(net).run(
+            [np.array([0, 1, 2])], drop_on_missing_edge=True
+        )
+        assert res.delivered == 0
+        assert res.dropped == 1
+
+    def test_drop_preserves_the_packet_ledger(self, b8):
+        from repro.resilience import FaultInjector
+        from repro.routing import canonical_path
+
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(b8.num_nodes)
+        paths = [
+            canonical_path(b8, int(s), int(d))
+            for s, d in enumerate(perm) if s != d
+        ]
+        faulty = FaultInjector(seed=11).drop_edges(b8, rate=0.1)
+        res = PacketSimulator(faulty).run(paths, drop_on_missing_edge=True)
+        assert res.delivered + res.dropped == len(paths)
+        assert res.dropped > 0
+
+    def test_without_the_flag_paths_are_trusted(self):
+        """Legacy contract: edges are not validated unless asked to drop."""
+        net = Network(range(3), [(0, 1)], name="broken")
+        res = PacketSimulator(net).run([np.array([0, 1, 2])])
+        assert res.delivered == 1 and res.dropped == 0
+
+    def test_default_dropped_field_is_zero(self):
+        res = PacketSimulator(line(3)).run([np.array([0, 1, 2])])
+        assert res.dropped == 0 and res.delivered == 1
