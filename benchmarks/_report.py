@@ -3,13 +3,19 @@
 Each benchmark regenerates a paper artifact (figure, table or theorem
 series) and emits the rows both to stdout (visible with ``pytest -s``) and
 to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
-exact measured numbers.
+exact measured numbers.  :func:`emit_json` additionally writes the same
+rows machine-readably to ``benchmarks/results/<name>.json`` — structured
+row dicts plus a :mod:`repro.obs` environment-manifest stub — which the
+RL006 benchmark-drift lint rule prefers over parsing the text table.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -21,3 +27,37 @@ def emit(name: str, lines: list[str]) -> str:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     sys.stdout.write(f"\n=== {name} ===\n{text}")
     return text
+
+
+def emit_json(
+    name: str,
+    rows: list[dict[str, Any]],
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write ``benchmarks/results/<name>.json`` atomically; return the doc.
+
+    The document carries the structured ``rows``, optional benchmark
+    ``meta`` (parameters, claim ids), and a ``manifest`` stub recording
+    the environment (python/numpy versions, git revision) via
+    :func:`repro.obs.capture_environment`.
+    """
+    from repro.obs import capture_environment
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "version": 1,
+        "kind": "repro-bench-result",
+        "name": name,
+        "rows": rows,
+        "meta": meta or {},
+        "manifest": {
+            "kind": "repro-obs-manifest-stub",
+            "environment": capture_environment(),
+        },
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return doc

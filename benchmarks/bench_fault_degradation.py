@@ -21,7 +21,7 @@ from repro.routing.paths import canonical_path
 from repro.routing.simulator import PacketSimulator
 from repro.topology import butterfly, wrapped_butterfly
 
-from _report import emit
+from _report import emit, emit_json
 
 _RATES = (0.0, 0.02, 0.05, 0.1)
 
@@ -37,11 +37,12 @@ def _perm_paths(bf):
     return [p for p in paths if len(p) > 1]
 
 
-def _rows():
+def _series():
     rows = [
         f"{'net':>10} {'rate':>5} {'edges':>6} {'BW_lo':>6} {'BW_up':>6} "
         f"{'tier':>6} {'deliv':>6} {'drop':>5} {'steps':>6}"
     ]
+    records = []
     inj = FaultInjector(seed=7)
     for bf in (wrapped_butterfly(8), butterfly(8)):
         paths = _perm_paths(bf)
@@ -55,17 +56,26 @@ def _rows():
                 f"{_tier(cert.upper_evidence):>6} {res.delivered:>6} "
                 f"{res.dropped:>5} {res.steps:>6}"
             )
+            records.append({
+                "net": net.name, "rate": rate, "edges": net.num_edges,
+                "lower": int(cert.lower), "upper": int(cert.upper),
+                "tier": _tier(cert.upper_evidence),
+                "delivered": res.delivered, "dropped": res.dropped,
+                "steps": res.steps,
+            })
     rows.append("")
     rows.append(
         "fault-free rows certify the paper values (BW(W8) = 8, BW(B8) = 8); "
         "every faulty row still carries a valid interval from the cascade"
     )
-    return rows
+    return rows, records
 
 
 def test_fault_degradation(benchmark):
-    rows = _rows()
+    rows, records = _series()
     emit("fault_degradation", rows)
+    emit_json("fault_degradation", records,
+              meta={"fault_seed": 7, "rates": list(_RATES)})
     inj = FaultInjector(seed=7)
     w8 = wrapped_butterfly(8)
     net = benchmark(lambda: inj.drop_edges(w8, rate=0.05))

@@ -14,31 +14,36 @@ from repro.cuts import (
 )
 from repro.topology import mesh_of_stars
 
-from _report import emit
+from _report import emit, emit_json
 
 LIMIT = math.sqrt(2) - 1
 
 
-def _rows():
-    rows = [f"{'j':>6} {'BW(MOS,M2)':>12} {'ratio':>8} {'x=a/j':>7} {'y=b/j':>7}"]
+def _series():
+    lines = [f"{'j':>6} {'BW(MOS,M2)':>12} {'ratio':>8} {'x=a/j':>7} {'y=b/j':>7}"]
+    records = []
     for j in (2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256, 512, 1024):
         w = mos_m2_bisection_width(j)
         spec = optimal_mos_cut_spec(j) if j <= 64 else None
         x = f"{spec.a / j:.3f}" if spec else "-"
         y = f"{spec.b / j:.3f}" if spec else "-"
-        rows.append(f"{j:>6} {w:>12} {w / j**2:>8.4f} {x:>7} {y:>7}")
-    rows.append(f"limit sqrt(2) - 1 = {LIMIT:.4f} (every ratio strictly above)")
-    rows.append("")
+        lines.append(f"{j:>6} {w:>12} {w / j**2:>8.4f} {x:>7} {y:>7}")
+        records.append({"j": j, "bw": int(w), "ratio": w / j**2,
+                        "x": spec.a / j if spec else None,
+                        "y": spec.b / j if spec else None})
+    lines.append(f"limit sqrt(2) - 1 = {LIMIT:.4f} (every ratio strictly above)")
+    lines.append("")
     for j in (2, 3):
         brute = layered_u_bisection_width(mesh_of_stars(j, j), mesh_of_stars(j, j).m2())
-        rows.append(f"brute-force cross-check j = {j}: {brute} "
-                    f"== formula {mos_m2_bisection_width(j)}")
-    return rows
+        lines.append(f"brute-force cross-check j = {j}: {brute} "
+                     f"== formula {mos_m2_bisection_width(j)}")
+    return lines, records
 
 
 def test_lemma_219_series(benchmark):
-    rows = _rows()
-    emit("lemma219_mos", rows)
+    lines, records = _series()
+    emit("lemma219_mos", lines)
+    emit_json("lemma219_mos", records, meta={"claim": "lemma-2.19", "limit": LIMIT})
     val = benchmark(lambda: mos_m2_bisection_width(1024))
     assert val / 1024**2 > LIMIT
 

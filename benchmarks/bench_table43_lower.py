@@ -19,41 +19,51 @@ from repro.expansion import (
 )
 from repro.topology import butterfly, wrapped_butterfly
 
-from _report import emit
+from _report import emit, emit_json
 
 
-def _rows():
+def _series():
     n = 8
     wn, bn = wrapped_butterfly(n), butterfly(n)
     ee_w = edge_expansion_profile(wn)
     ee_b = edge_expansion_profile(bn)
+    records = []
     rows = ["row 1: EE(Wn, k) >= (4 - o(1)) k / log k  [k = o(n)]"]
     rows.append(f"{'k':>4} {'exact EE(W8,k)':>15} {'lemma curve':>12}")
     for k in range(1, 12):
         rows.append(f"{k:>4} {ee_w[k]:>15} {ee_wn_lower(k, n):>12.2f}")
+        records.append({"row": "EE(Wn)", "k": k, "measured": int(ee_w[k]),
+                        "curve": ee_wn_lower(k, n)})
     rows.append("")
     rows.append("row 3: EE(Bn, k) >= (2 - o(1)) k / log k  [k = o(sqrt n)]")
     rows.append(f"{'k':>4} {'exact EE(B8,k)':>15} {'lemma curve':>12}")
     for k in range(1, 12):
         rows.append(f"{k:>4} {ee_b[k]:>15} {ee_bn_lower(k, n):>12.2f}")
+        records.append({"row": "EE(Bn)", "k": k, "measured": int(ee_b[k]),
+                        "curve": ee_bn_lower(k, n)})
     rows.append("")
     rows.append("row 2: NE(Wn, k) — exact at EVERY k (vectorized 2^N sweep)")
     ne_w = node_expansion_profile(wn)
     rows.append(f"{'k':>4} {'NE(W8,k)':>9} {'lemma curve':>12}")
     for k in range(1, 13):
         rows.append(f"{k:>4} {ne_w[k]:>9} {ne_wn_lower(k, n):>12.2f}")
+        records.append({"row": "NE(Wn)", "k": k, "measured": int(ne_w[k]),
+                        "curve": ne_wn_lower(k, n)})
     rows.append("")
     rows.append("row 4: NE(Bn, k) — exact by enumeration for small k")
     rows.append(f"{'k':>4} {'NE(B8,k)':>9} {'lemma curve':>12}")
     for k in range(1, 6):
         neb, _ = node_expansion_exact(bn, k)
         rows.append(f"{k:>4} {neb:>9} {ne_bn_lower(k, n):>12.2f}")
-    return rows
+        records.append({"row": "NE(Bn)", "k": k, "measured": int(neb),
+                        "curve": ne_bn_lower(k, n)})
+    return rows, records
 
 
 def test_table43_lower(benchmark):
-    rows = _rows()
+    rows, records = _series()
     emit("table43_lower", rows)
+    emit_json("table43_lower", records, meta={"table": "4.3-lower", "n": 8})
     wn = wrapped_butterfly(8)
     benchmark(lambda: edge_expansion_profile(wn))
 

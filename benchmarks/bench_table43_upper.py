@@ -14,12 +14,13 @@ from repro.expansion import (
 )
 from repro.topology import butterfly, wrapped_butterfly
 
-from _report import emit
+from _report import emit, emit_json
 
 
-def _rows():
+def _series():
     n = 256
     wn, bn = wrapped_butterfly(n), butterfly(n)
+    records = []
     rows = [f"{'d':>3} {'k':>6} {'EE(Wn)<=':>9} {'4k/logk':>8} "
             f"{'EE(Bn)<=':>9} {'2k/logk':>8}"]
     for d in range(0, 5):
@@ -30,6 +31,10 @@ def _rows():
             f"{d:>3} {k:>6} {ew:>9} {4 * k_over_log_k(k):>8.1f} "
             f"{eb:>9} {2 * k_over_log_k(k):>8.1f}"
         )
+        records.append({"row": "edge", "d": d, "k": k,
+                        "ee_wn": int(ew), "ee_bn": int(eb),
+                        "curve_wn": 4 * k_over_log_k(k),
+                        "curve_bn": 2 * k_over_log_k(k)})
     rows.append("")
     rows.append(f"{'d':>3} {'k':>6} {'NE(Wn)<=':>9} {'3k/logk':>8} "
                 f"{'NE(Bn)<=':>9} {'1k/logk':>8}")
@@ -41,15 +46,20 @@ def _rows():
             f"{d:>3} {k:>6} {nw:>9} {3 * k_over_log_k(k):>8.1f} "
             f"{nb:>9} {1 * k_over_log_k(k):>8.1f}"
         )
+        records.append({"row": "node", "d": d, "k": k,
+                        "ne_wn": int(nw), "ne_bn": int(nb),
+                        "curve_wn": 3 * k_over_log_k(k),
+                        "curve_bn": 1 * k_over_log_k(k)})
     rows.append("")
     rows.append("witness values: 4*2^d, 2*2^d (single sub-butterflies, Lemmas 4.1/4.7)")
     rows.append("               3*2^{d+1}, 2^{d+1} (twin sub-butterflies, Lemmas 4.4/4.10)")
-    return rows
+    return rows, records
 
 
 def test_table43_upper(benchmark):
-    rows = _rows()
+    rows, records = _series()
     emit("table43_upper", rows)
+    emit_json("table43_upper", records, meta={"table": "4.3-upper", "n": 256})
     wn = wrapped_butterfly(256)
     members, val = benchmark(lambda: wn_edge_witness(wn, 4))
     assert val == 4 << 4

@@ -18,41 +18,54 @@ from repro.core import butterfly_bisection_width
 from repro.cuts import best_plan, build_planned_bisection, layered_cut_profile
 from repro.topology import butterfly
 
-from _report import emit
+from _report import emit, emit_json
 
 LIMIT = 2 * (math.sqrt(2) - 1)
 
 
-def _series_rows():
-    rows = [f"{'n':>10} {'lower':>12} {'upper':>12} {'upper/n':>8}  evidence"]
+def _series():
+    """Text table plus the structured rows RL006 consumes from the JSON."""
+    lines = [f"{'n':>10} {'lower':>12} {'upper':>12} {'upper/n':>8}  evidence"]
+    records = []
     for n in (2, 4, 8):
         cert = butterfly_bisection_width(n)
-        rows.append(
+        lines.append(
             f"{n:>10} {cert.lower:>12} {cert.upper:>12} {cert.upper / n:>8.4f}  exact (DP)"
         )
+        records.append({"n": n, "lower": int(cert.lower), "upper": int(cert.upper),
+                        "ratio": cert.upper / n, "evidence": "exact (DP)"})
     for lg in (10, 11, 12, 13):
         n = 1 << lg
         cert = butterfly_bisection_width(n)
         below = "< n  (folklore refuted)" if cert.upper < n else ""
-        rows.append(
+        lines.append(
             f"{n:>10} {cert.lower:>12} {cert.upper:>12} {cert.upper / n:>8.4f}  "
             f"verified cut {below}"
         )
-    rows.append("")
-    rows.append("analytic pullback plans (pure arithmetic, no graph built):")
+        records.append({"n": n, "lower": int(cert.lower), "upper": int(cert.upper),
+                        "ratio": cert.upper / n,
+                        "evidence": f"verified cut {below}".strip()})
+    lines.append("")
+    lines.append("analytic pullback plans (pure arithmetic, no graph built):")
+    plans = []
     for lg in (20, 50, 100, 200, 400, 800, 1600, 3200):
         plan = best_plan(1 << lg)
-        rows.append(
+        lines.append(
             f"  log n = {lg:>5}: capacity/n = {plan.capacity_over_n:.4f} "
             f"(j = {plan.j}, a = {plan.a}, b = {plan.b})"
         )
-    rows.append(f"theorem limit 2(sqrt2 - 1) = {LIMIT:.4f}; every row sits strictly above it")
-    return rows
+        plans.append({"log_n": lg, "capacity_over_n": plan.capacity_over_n,
+                      "j": plan.j, "a": plan.a, "b": plan.b})
+    lines.append(f"theorem limit 2(sqrt2 - 1) = {LIMIT:.4f}; every row sits strictly above it")
+    return lines, records, plans
 
 
 def test_theorem_220_series(benchmark):
-    rows = _series_rows()
-    emit("thm220_bisection_bn", rows)
+    lines, records, plans = _series()
+    emit("thm220_bisection_bn", lines)
+    emit_json("thm220_bisection_bn", records,
+              meta={"claim": "theorem-2.20", "limit": LIMIT,
+                    "analytic_plans": plans})
     # Benchmark the headline kernel: planning + building + verifying the
     # sub-n bisection of B4096.
     plan = best_plan(1 << 12)

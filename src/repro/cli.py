@@ -11,10 +11,15 @@ Subcommands
 ``folklore N``
     The Theorem 2.20 construction: plan and, when feasible, a built and
     verified balanced bisection of ``Bn`` with capacity below ``n``.
-``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH]``
+``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH] [--trace PATH]``
     Certified ``BW`` interval by the degradation cascade
     (:func:`repro.core.fallback.solve_with_fallback`): exact solvers under
     a wall-clock budget, heuristics as fallback, always a valid bound.
+    ``--trace`` activates :mod:`repro.obs` and writes a run manifest
+    (spans, counters, winning tier, environment) to ``PATH``.
+``stats MANIFEST [--json]``
+    Validate and pretty-print (or re-emit as JSON) a run manifest written
+    by ``solve --trace``.
 ``claims [IDS...]``
     Check registered paper claims (all by default).
 ``lint [PATHS...]``
@@ -89,15 +94,110 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from .core import solve_with_fallback
     from .resilience import Budget
     from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
+    from .topology.labels import is_power_of_two
 
+    # The paper indexes butterflies by their input count n (a power of
+    # two); as a convenience solve also accepts the dimension, so
+    # ``solve bn 3`` means the 3-dimensional butterfly B8.
+    n = args.n
+    if args.family in ("bn", "wn") and not is_power_of_two(n):
+        n = 1 << n
     net = {
         "bn": butterfly,
         "wn": wrapped_butterfly,
         "ccc": cube_connected_cycles,
-    }[args.family](args.n)
+    }[args.family](n)
     budget = Budget(args.timeout) if args.timeout is not None else None
-    cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint)
+    if args.trace is None:
+        print(solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint))
+        return 0
+
+    from . import obs
+
+    collector = obs.Collector()
+    with obs.collecting(collector):
+        cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint)
+    manifest = obs.build_manifest(
+        collector,
+        command=["solve", args.family, str(args.n)],
+        budget={
+            "seconds": args.timeout,
+            "expired": budget.expired() if budget is not None else False,
+        },
+        result={
+            "quantity": cert.quantity,
+            "lower": cert.lower,
+            "upper": cert.upper,
+            "exact": cert.lower == cert.upper,
+            "lower_evidence": cert.lower_evidence,
+            "upper_evidence": cert.upper_evidence,
+        },
+    )
+    obs.write_manifest(args.trace, manifest)
     print(cert)
+    print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _format_span_tree(spans: list[dict]) -> list[str]:
+    lines = []
+    for s in sorted(spans, key=lambda s: float(s.get("start", 0.0))):
+        indent = "  " * int(s.get("depth", 0))
+        attrs = s.get("attrs") or {}
+        suffix = (
+            " (" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + ")"
+            if attrs else ""
+        )
+        lines.append(
+            f"  {indent}{s['name']}  {float(s['duration']) * 1e3:.3f} ms{suffix}"
+        )
+    return lines
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+
+    try:
+        data = obs.load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 1
+    problems = obs.validate_manifest(data)
+    if problems:
+        for p in problems:
+            print(f"stats: invalid manifest: {p}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    cmd = data.get("command")
+    print(f"manifest: {args.manifest}")
+    if cmd:
+        print(f"command: {' '.join(str(c) for c in cmd)}")
+    env = data.get("environment", {})
+    print(f"python: {env.get('python', '?')}  "
+          f"git: {env.get('git_rev') or '(unknown)'}")
+    if data.get("tier") is not None:
+        print(f"winning tier: {data['tier']}")
+    result = data.get("result")
+    if isinstance(result, dict):
+        print(f"result: {result.get('quantity', '?')} in "
+              f"[{result.get('lower', '?')}, {result.get('upper', '?')}]"
+              f"{' (exact)' if result.get('exact') else ''}")
+    print(f"spans ({len(data.get('spans', []))}):")
+    for line in _format_span_tree(data.get("spans", [])):
+        print(line)
+    counters = data.get("counters", {})
+    print(f"counters ({len(counters)}):")
+    for k in sorted(counters):
+        print(f"  {k} = {counters[k]}")
+    gauges = data.get("gauges", {})
+    if gauges:
+        print(f"gauges ({len(gauges)}):")
+        for k in sorted(gauges):
+            print(f"  {k} = {gauges[k]}")
     return 0
 
 
@@ -168,7 +268,16 @@ def main(argv: list[str] | None = None) -> int:
                    help="wall-clock budget; expiry degrades, never fails")
     p.add_argument("--checkpoint", default=None, metavar="PATH",
                    help="checkpoint file for the enumeration sweep")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a run manifest (spans, counters, environment) "
+                        "to PATH")
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("stats", help="inspect a run manifest from solve --trace")
+    p.add_argument("manifest")
+    p.add_argument("--json", action="store_true",
+                   help="dump the validated manifest as JSON")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("claims", help="check paper claims")
     p.add_argument("ids", nargs="*")

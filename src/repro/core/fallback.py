@@ -34,6 +34,7 @@ from ..cuts.fiduccia_mattheyses import fm_bisection
 from ..cuts.kernighan_lin import kernighan_lin_bisection
 from ..cuts.layered_dp import layered_cut_profile
 from ..cuts.spectral import spectral_bisection
+from ..obs import annotate, incr, trace
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointStore
 from ..topology.base import Network
@@ -70,6 +71,10 @@ def solve_with_fallback(
     partial tiers contribute upper bounds; tier 5 is unconditional, so a
     valid certificate is returned even under an already-expired budget.
 
+    Under an active :mod:`repro.obs` collector the cascade records one
+    span per attempted tier, ``solve.*`` counters for skips/truncations,
+    and a ``winning_tier`` note naming the tier behind the certificate.
+
     Parameters
     ----------
     budget:
@@ -81,6 +86,24 @@ def solve_with_fallback(
     enum_limit, bb_limit, dp_width_limit:
         Applicability thresholds of tiers 1–3.
     """
+    with trace("solve.fallback", network=net.name, nodes=net.num_nodes):
+        return _run_cascade(
+            net, budget, checkpoint,
+            enum_limit=enum_limit, bb_limit=bb_limit,
+            dp_width_limit=dp_width_limit,
+        )
+
+
+def _run_cascade(
+    net: Network,
+    budget: Budget | None,
+    checkpoint: str | CheckpointStore | None,
+    *,
+    enum_limit: int,
+    bb_limit: int,
+    dp_width_limit: int,
+) -> BoundCertificate:
+    """The cascade body (Theorem 2.20's solvers, tiered)."""
     if budget is None:
         budget = Budget.unlimited()
     name = f"BW({net.name})"
@@ -95,6 +118,13 @@ def solve_with_fallback(
 
     def _certificate() -> BoundCertificate:
         tail = ("; " + "; ".join(notes)) if notes else ""
+        # The winning tier is whichever produced the upper bound (for an
+        # exact answer both sides share it); recorded as an obs note so a
+        # traced run's manifest names it.
+        annotate("winning_tier", upper_ev.split()[0])
+        annotate("quantity", name)
+        annotate("exact", lower == upper)
+        incr("solve.certificates")
         return BoundCertificate(
             name, lower, min(upper, net.num_edges),
             lower_ev + tail, upper_ev + tail, witness,
@@ -109,19 +139,24 @@ def solve_with_fallback(
 
     # Tier 1: exhaustive enumeration.
     if n > enum_limit:
+        incr("solve.tiers_skipped")
         notes.append(
             f"tier-1 exhaustive enumeration skipped: {n} > {enum_limit} nodes"
         )
     elif budget.expired():
+        incr("solve.tiers_skipped")
         notes.append("tier-1 exhaustive enumeration skipped: budget expired")
     else:
-        prof = cut_profile(net, budget=budget, checkpoint=checkpoint)
+        incr("solve.tiers_run")
+        with trace("solve.tier1.enumeration", network=net.name):
+            prof = cut_profile(net, budget=budget, checkpoint=checkpoint)
         c = _bisection_count(prof.values, n)
         w = int(prof.values[c])
         if prof.complete:
             return _exact(
                 w, "tier-1 exhaustive enumeration (exact)", prof.witness_cut(c)
             )
+        incr("solve.tiers_truncated")
         if w < _INT64_MAX and w < upper:
             upper = w
             upper_ev = "tier-1 exhaustive enumeration (partial profile)"
@@ -134,21 +169,28 @@ def solve_with_fallback(
     # Tier 2: layered min-plus DP.
     layers = net.layers() if hasattr(net, "layers") else None
     if layers is None:
+        incr("solve.tiers_skipped")
         notes.append("tier-2 layered DP skipped: network has no layering")
     elif max(len(l) for l in layers) > dp_width_limit:
+        incr("solve.tiers_skipped")
         notes.append(
             f"tier-2 layered DP skipped: layer width "
             f"{max(len(l) for l in layers)} > {dp_width_limit}"
         )
     elif budget.expired():
+        incr("solve.tiers_skipped")
         notes.append("tier-2 layered DP skipped: budget expired")
     else:
-        prof = layered_cut_profile(
-            net, with_witnesses=True, max_width=dp_width_limit, budget=budget
-        )
+        incr("solve.tiers_run")
+        with trace("solve.tier2.layered_dp", network=net.name):
+            prof = layered_cut_profile(
+                net, with_witnesses=True, max_width=dp_width_limit,
+                budget=budget,
+            )
         if prof.complete:
             cut = prof.min_bisection()
             return _exact(cut.capacity, "tier-2 layered min-plus DP (exact)", cut)
+        incr("solve.tiers_truncated")
         w = int(min(prof.values[n // 2], prof.values[(n + 1) // 2]))
         if w < _INT64_MAX and w < upper:
             upper = w
@@ -161,16 +203,24 @@ def solve_with_fallback(
 
     # Tier 3: branch and bound.
     if n > bb_limit:
+        incr("solve.tiers_skipped")
         notes.append(f"tier-3 branch and bound skipped: {n} > {bb_limit} nodes")
     elif budget.expired():
+        incr("solve.tiers_skipped")
         notes.append("tier-3 branch and bound skipped: budget expired")
     elif n == 0:
+        incr("solve.tiers_skipped")
         notes.append("tier-3 branch and bound skipped: empty network")
     else:
+        incr("solve.tiers_run")
         st: dict = {}
-        cut = bb_min_bisection(net, node_limit=bb_limit, budget=budget, status=st)
+        with trace("solve.tier3.branch_and_bound", network=net.name):
+            cut = bb_min_bisection(
+                net, node_limit=bb_limit, budget=budget, status=st
+            )
         if st.get("complete"):
             return _exact(cut.capacity, "tier-3 branch and bound (exact)", cut)
+        incr("solve.tiers_truncated")
         if cut.capacity < upper:
             upper = cut.capacity
             upper_ev = "tier-3 branch and bound (truncated; incumbent cut)"
@@ -182,23 +232,27 @@ def solve_with_fallback(
 
     # Tier 4: heuristics (upper bounds only).
     if budget.expired():
+        incr("solve.tiers_skipped")
         notes.append("tier-4 heuristics skipped: budget expired")
     elif n < 2:
+        incr("solve.tiers_skipped")
         notes.append("tier-4 heuristics skipped: fewer than two nodes")
     else:
-        cut = kernighan_lin_bisection(net, restarts=1)
-        used = ["Kernighan-Lin"]
-        for label, heuristic in (
-            ("Fiduccia-Mattheyses", fm_bisection),
-            ("spectral", spectral_bisection),
-        ):
-            if budget.expired():
-                notes.append(f"tier-4 {label} skipped: budget expired")
-                break
-            other = heuristic(net)
-            used.append(label)
-            if other.capacity < cut.capacity:
-                cut = other
+        incr("solve.tiers_run")
+        with trace("solve.tier4.heuristics", network=net.name):
+            cut = kernighan_lin_bisection(net, restarts=1)
+            used = ["Kernighan-Lin"]
+            for label, heuristic in (
+                ("Fiduccia-Mattheyses", fm_bisection),
+                ("spectral", spectral_bisection),
+            ):
+                if budget.expired():
+                    notes.append(f"tier-4 {label} skipped: budget expired")
+                    break
+                other = heuristic(net)
+                used.append(label)
+                if other.capacity < cut.capacity:
+                    cut = other
         if cut.capacity < upper:
             upper = cut.capacity
             upper_ev = f"tier-4 heuristics (best of {'/'.join(used)})"

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import incr, trace
 from ..resilience.budget import Budget
 from ..topology.base import Network
 from .cut import Cut
@@ -114,10 +115,12 @@ def bb_min_bisection(
         return best_v
 
     expansions = 0
+    pruned = 0
+    improvements = 0
     aborted = False
 
     def rec(cur: int) -> None:
-        nonlocal best_cap, best_side, expansions, aborted
+        nonlocal best_cap, best_side, expansions, pruned, improvements, aborted
         if aborted:
             return
         expansions += 1
@@ -129,12 +132,14 @@ def bb_min_bisection(
             aborted = True
             return
         if cur + lower_bound() >= best_cap:
+            pruned += 1
             return
         unassigned = n - counts[0] - counts[1]
         if unassigned == 0:
             if cur < best_cap:
                 best_cap = cur
                 best_side = (side == 1).copy()
+                improvements += 1
             return
         # Balance forcing: a full side forces the rest.
         forced = None
@@ -160,18 +165,28 @@ def bb_min_bisection(
             rec(cur + inc)
             unassign(v, s)
 
-    if budget is not None and budget.expired():
-        aborted = True  # keep the KL incumbent; no certified search ran
-    else:
-        # Symmetry: pin the first node of the branching order to side A.
-        v0 = int(order[0])
-        inc = assign(v0, 1)
-        rec(inc)
-        unassign(v0, 1)
+    with trace("cuts.branch_and_bound", network=net.name, nodes=n):
+        if budget is not None and budget.expired():
+            aborted = True  # keep the KL incumbent; no certified search ran
+        else:
+            # Symmetry: pin the first node of the branching order to side A.
+            v0 = int(order[0])
+            inc = assign(v0, 1)
+            rec(inc)
+            unassign(v0, 1)
 
+    # Counters are tallied in locals during the search and folded into obs
+    # once here, so the recursion's hot path carries no per-node calls.
+    incr("cuts.bb.nodes_expanded", expansions)
+    incr("cuts.bb.nodes_pruned", pruned)
+    incr("cuts.bb.incumbent_improvements", improvements)
+    if aborted:
+        incr("cuts.bb.budget_expiries")
     if status is not None:
         status["complete"] = not aborted
         status["expansions"] = expansions
+        status["pruned"] = pruned
+        status["improvements"] = improvements
     cut = Cut(net, best_side)
     assert cut.is_bisection()
     assert cut.capacity == best_cap

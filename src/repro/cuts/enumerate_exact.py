@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import incr, trace
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..topology.base import Network
@@ -165,44 +166,50 @@ def cut_profile(
             if values.shape == (m + 1,) and masks_saved.shape == (m + 1,):
                 ledger, best, best_mask = prev, values, masks_saved
 
-    for start in range(0, total, batch):
-        stop = min(start + batch, total)
-        if ledger.covers(start, stop):
-            continue
-        if budget is not None and budget.expired():
-            break
-        masks = np.arange(start, stop, dtype=np.uint64)
-        # Capacity: per edge, xor of endpoint bits.
-        cap = np.zeros(len(masks), dtype=np.int64)
-        for u, v in zip(eu, ev):
-            cap += (((masks >> u) ^ (masks >> v)) & one).astype(np.int64)
-        # Counted size of S.
-        cnt = np.zeros(len(masks), dtype=np.int64)
-        for v in count_shift:
-            cnt += ((masks >> v) & one).astype(np.int64)
-        # Reduce per count value.
-        order = np.argsort(cnt, kind="stable")
-        cnt_sorted = cnt[order]
-        cap_sorted = cap[order]
-        boundaries = np.searchsorted(cnt_sorted, np.arange(m + 2))
-        for c in range(m + 1):
-            lo, hi = boundaries[c], boundaries[c + 1]
-            if lo == hi:
+    with trace("cuts.enumerate", network=net.name, nodes=n, counted=m,
+               assignments=total, batch=batch):
+        for start in range(0, total, batch):
+            stop = min(start + batch, total)
+            if ledger.covers(start, stop):
+                incr("cuts.enumerate.batches_resumed")
                 continue
-            seg = cap_sorted[lo:hi]
-            am = int(np.argmin(seg))
-            if seg[am] < best[c]:
-                best[c] = seg[am]
-                best_mask[c] = masks[order[lo + am]]
-        ledger.add(start, stop)
-        if store is not None:
-            # Pre-fold state: the complement fold below must run exactly
-            # once, on the final profile, for resume to be bit-identical.
-            store.save(key, {
-                "completed": ledger.to_list(),
-                "best": best.tolist(),
-                "best_mask": [int(x) for x in best_mask],
-            })
+            if budget is not None and budget.expired():
+                incr("cuts.enumerate.budget_expiries")
+                break
+            masks = np.arange(start, stop, dtype=np.uint64)
+            # Capacity: per edge, xor of endpoint bits.
+            cap = np.zeros(len(masks), dtype=np.int64)
+            for u, v in zip(eu, ev):
+                cap += (((masks >> u) ^ (masks >> v)) & one).astype(np.int64)
+            # Counted size of S.
+            cnt = np.zeros(len(masks), dtype=np.int64)
+            for v in count_shift:
+                cnt += ((masks >> v) & one).astype(np.int64)
+            # Reduce per count value.
+            order = np.argsort(cnt, kind="stable")
+            cnt_sorted = cnt[order]
+            cap_sorted = cap[order]
+            boundaries = np.searchsorted(cnt_sorted, np.arange(m + 2))
+            for c in range(m + 1):
+                lo, hi = boundaries[c], boundaries[c + 1]
+                if lo == hi:
+                    continue
+                seg = cap_sorted[lo:hi]
+                am = int(np.argmin(seg))
+                if seg[am] < best[c]:
+                    best[c] = seg[am]
+                    best_mask[c] = masks[order[lo + am]]
+            ledger.add(start, stop)
+            incr("cuts.enumerate.batches")
+            incr("cuts.enumerate.cuts_evaluated", len(masks))
+            if store is not None:
+                # Pre-fold state: the complement fold below must run exactly
+                # once, on the final profile, for resume to be bit-identical.
+                store.save(key, {
+                    "completed": ledger.to_list(),
+                    "best": best.tolist(),
+                    "best_mask": [int(x) for x in best_mask],
+                })
 
     complete = ledger.total == total
     # Complement closure: pinning node n-1 to S̄ visits each unordered

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import incr, trace
 from ..resilience.budget import Budget
 from ..topology.base import Network
 from .cut import Cut
@@ -321,21 +322,32 @@ def layered_cut_profile(
                 masks[0] = mm
                 witness_masks[c] = masks
 
+    # One sweep touches every (mask, count) state of every layer.
+    states_per_sweep = sum((1 << w) * (C + 1) for w in widths)
     complete = True
-    if not cyclic:
-        if budget is not None and budget.expired():
-            complete = False
-        else:
-            f, parents = _sweep(Ts, intras, cnts, C, pin_first=None)
-            _extract(f, parents, None, None)
-    else:
-        for pin in range(1 << widths[0]):
+    with trace("cuts.layered_dp", network=net.name, layers=L,
+               width=max(widths), cyclic=cyclic):
+        if not cyclic:
             if budget is not None and budget.expired():
+                incr("cuts.layered_dp.budget_expiries")
                 complete = False
-                break
-            f, parents = _sweep(Ts, intras, cnts, C, pin_first=pin)
-            closure = Ts[-1][:, pin] if L > 1 else None
-            _extract(f, parents, closure, pin)
+            else:
+                f, parents = _sweep(Ts, intras, cnts, C, pin_first=None)
+                incr("cuts.layered_dp.sweeps")
+                incr("cuts.layered_dp.states_expanded", states_per_sweep)
+                _extract(f, parents, None, None)
+        else:
+            for pin in range(1 << widths[0]):
+                if budget is not None and budget.expired():
+                    incr("cuts.layered_dp.budget_expiries")
+                    complete = False
+                    break
+                f, parents = _sweep(Ts, intras, cnts, C, pin_first=pin)
+                incr("cuts.layered_dp.sweeps")
+                incr("cuts.layered_dp.pins")
+                incr("cuts.layered_dp.states_expanded", states_per_sweep)
+                closure = Ts[-1][:, pin] if L > 1 else None
+                _extract(f, parents, closure, pin)
 
     values = best.copy()
     return LayeredProfile(

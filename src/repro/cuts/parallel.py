@@ -30,6 +30,7 @@ import os
 
 import numpy as np
 
+from ..obs import incr, trace
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..resilience.faults import maybe_crash
@@ -177,6 +178,7 @@ def parallel_cyclic_profile(
     def _merge(_i: int, pin_range: tuple[int, int], part: np.ndarray) -> None:
         np.minimum(best, np.asarray(part, dtype=np.int64), out=best)
         ledger.add(*pin_range)
+        incr("cuts.parallel.pins_done", pin_range[1] - pin_range[0])
         if store is not None:
             store.save(key, {
                 "completed": ledger.to_list(),
@@ -185,17 +187,19 @@ def parallel_cyclic_profile(
 
     report = SupervisionReport()
     if todo:
-        supervised_map(
-            _run_pins,
-            todo,
-            workers=workers,
-            initializer=_init_worker,
-            initargs=(Ts, intras, cnts, C, fault_token),
-            policy=policy,
-            budget=budget,
-            on_result=_merge,
-            report=report,
-        )
+        with trace("cuts.parallel_pin_sweep", network=net.name,
+                   pins=num_pins, workers=workers, chunks=len(todo)):
+            supervised_map(
+                _run_pins,
+                todo,
+                workers=workers,
+                initializer=_init_worker,
+                initargs=(Ts, intras, cnts, C, fault_token),
+                policy=policy,
+                budget=budget,
+                on_result=_merge,
+                report=report,
+            )
 
     if status is not None:
         status["complete"] = ledger.total == num_pins

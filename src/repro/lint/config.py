@@ -20,17 +20,18 @@ __all__ = ["LintConfig", "DEFAULT_LAYER_DAG", "DEFAULT_LAYER_EXCEPTIONS"]
 #: treated as single-module layers.  A package absent from this map is an
 #: RL002 finding itself — new packages must declare their layer.
 DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
+    "obs": frozenset(),  # stdlib-only leaf: anything may observe, it imports nothing
     "topology": frozenset(),
-    "resilience": frozenset({"topology"}),
-    "cuts": frozenset({"topology", "resilience"}),
+    "resilience": frozenset({"topology", "obs"}),
+    "cuts": frozenset({"topology", "resilience", "obs"}),
     "embeddings": frozenset({"topology"}),
-    "routing": frozenset({"topology"}),
+    "routing": frozenset({"topology", "obs"}),
     "expansion": frozenset({"topology", "cuts", "routing"}),
     "analysis": frozenset({"topology", "cuts", "embeddings", "expansion"}),
     "core": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "resilience",
+            "analysis", "resilience", "obs",
         }
     ),
     "io": frozenset({"topology", "cuts", "core"}),
@@ -38,7 +39,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "cli": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "core", "io", "lint", "resilience",
+            "analysis", "core", "io", "lint", "resilience", "obs",
         }
     ),
     "__init__": frozenset({"topology", "core"}),

@@ -10,6 +10,7 @@ from . import vectorization  # noqa: F401
 from . import float_compare  # noqa: F401
 from . import frozen_mutation  # noqa: F401
 from . import benchmark_drift  # noqa: F401
+from . import obs_timing  # noqa: F401
 
 __all__ = [
     "claim_citation",
@@ -18,4 +19,5 @@ __all__ = [
     "float_compare",
     "frozen_mutation",
     "benchmark_drift",
+    "obs_timing",
 ]

@@ -7,10 +7,12 @@ number would sit in the repo unnoticed until someone reruns the benchmark.
 This rule re-derives the paper-side checks from the committed text files on
 every lint run:
 
-* ``thm220_bisection_bn.txt`` — certified intervals must be ordered
-  (``lower <= upper``), the lower bound may not exceed the folklore
-  ceiling ``n``, and every ``upper/n`` ratio must sit strictly above the
-  Theorem 2.20 limit ``2(sqrt 2 - 1)``;
+* ``thm220_bisection_bn.json`` (preferred) or ``.txt`` — certified
+  intervals must be ordered (``lower <= upper``), the lower bound may not
+  exceed the folklore ceiling ``n``, and every ``upper/n`` ratio must sit
+  strictly above the Theorem 2.20 limit ``2(sqrt 2 - 1)``.  The JSON form
+  (written by ``benchmarks/_report.emit_json``) carries typed rows, so no
+  regex parsing is involved; the text table is the fallback;
 * ``lemma32_wn.txt`` — measured ``BW(Wn)`` must equal ``n`` (Lemma 3.2);
 * ``lemma33_ccc.txt`` — measured ``BW(CCCn)`` must equal ``n/2``
   (Lemma 3.3).
@@ -24,6 +26,7 @@ the benchmarks); the checks only fire on rows that do parse.
 
 from __future__ import annotations
 
+import json
 import math
 import re
 from pathlib import Path
@@ -44,10 +47,40 @@ _THM220_LIMIT = 2.0 * (math.sqrt(2.0) - 1.0)
 
 #: results file -> claim id that makes its check meaningful.
 _FILE_CLAIMS = {
+    "thm220_bisection_bn.json": "theorem-2.20",
     "thm220_bisection_bn.txt": "theorem-2.20",
     "lemma32_wn.txt": "lemma-3.2",
     "lemma33_ccc.txt": "lemma-3.3",
 }
+
+
+def _json_quad_rows(path: Path) -> list[tuple[int, tuple[float, ...]]]:
+    """``(row_number, (n, lower, upper, ratio))`` from an emit_json file.
+
+    Rows missing a field or with non-numeric values are skipped (same
+    leniency as the text parser); an unreadable or malformed file reads
+    as no rows, letting the caller fall back to the text table.
+    """
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    rows = doc.get("rows") if isinstance(doc, dict) else None
+    if not isinstance(rows, list):
+        return []
+    out = []
+    for rowno, row in enumerate(rows, start=1):
+        if not isinstance(row, dict):
+            continue
+        try:
+            fields = (
+                float(row["n"]), float(row["lower"]),
+                float(row["upper"]), float(row["ratio"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+        out.append((rowno, fields))
+    return out
 
 
 def _rows(path: Path, pattern: re.Pattern) -> list[tuple[int, tuple[int, ...]]]:
@@ -84,9 +117,14 @@ def drift_findings(results_dir: Path, claim_ids: set[str] | None = None) -> list
             Finding(str(path), line, 0, "RL006", message, Severity.WARNING)
         )
 
-    path = _want("thm220_bisection_bn.txt")
+    # Prefer the typed JSON rows over regex-parsing the text table.
+    path = _want("thm220_bisection_bn.json")
+    quad_rows: list[tuple[int, tuple]] = _json_quad_rows(path) if path else []
+    if not quad_rows:
+        path = _want("thm220_bisection_bn.txt")
+        quad_rows = _rows(path, _QUAD_ROW) if path else []
     if path is not None:
-        for lineno, (n, lower, upper, ratio) in _rows(path, _QUAD_ROW):
+        for lineno, (n, lower, upper, ratio) in quad_rows:
             n, lower, upper = int(n), int(lower), int(upper)
             if lower > upper:
                 _warn(path, lineno,

@@ -68,6 +68,7 @@ class Budget:
         *,
         token: CancellationToken | None = None,
         max_batch_bits: int | None = None,
+        # repro-lint: disable=RL007 -- the budget deadline clock predates obs spans
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if seconds is not None and seconds < 0:

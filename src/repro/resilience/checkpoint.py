@@ -28,6 +28,8 @@ import os
 from pathlib import Path
 from typing import Any
 
+from ..obs import incr
+
 __all__ = ["CheckpointStore", "RangeLedger"]
 
 _FORMAT_VERSION = 1
@@ -111,7 +113,10 @@ class CheckpointStore:
         if data.get("key") != key:
             return None
         payload = data.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if isinstance(payload, dict):
+            incr("checkpoint.resumes")
+            return payload
+        return None
 
     def save(self, key: str, payload: dict[str, Any]) -> None:
         """Atomically persist ``payload`` under fingerprint ``key``."""
@@ -120,6 +125,7 @@ class CheckpointStore:
         tmp.parent.mkdir(parents=True, exist_ok=True)
         tmp.write_text(json.dumps(data), encoding="utf-8")
         os.replace(tmp, self.path)
+        incr("checkpoint.writes")
 
     def delete(self) -> None:
         """Remove the checkpoint file (missing file is fine)."""

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from multiprocessing import Pool
 from typing import Any, Callable, Sequence
 
+from ..obs import incr
 from .budget import Budget
 
 __all__ = ["RetryPolicy", "SupervisionReport", "supervised_map"]
@@ -68,7 +69,17 @@ class RetryPolicy:
 
 @dataclass
 class SupervisionReport:
-    """What the supervisor observed during one :func:`supervised_map` run."""
+    """What the supervisor observed during one :func:`supervised_map` run.
+
+    Beyond the aggregate tallies, two per-task records keep the retry and
+    degradation history from being swallowed: ``task_attempts`` maps a
+    task index to how many of its pool attempts *failed* (crashed, raised
+    or timed out; absent = first submission succeeded), and
+    ``degraded_tasks`` lists the tasks that fell back to in-process
+    serial execution — either after exhausting their retries or because
+    the pool never came up.  The same events are published as ``pool.*``
+    obs counters (:mod:`repro.obs`) when a collector is active.
+    """
 
     total: int = 0
     completed: int = 0
@@ -78,6 +89,8 @@ class SupervisionReport:
     serial_tasks: int = 0
     pool_broken: bool = False
     errors: list[str] = field(default_factory=list)
+    task_attempts: dict[int, int] = field(default_factory=dict)
+    degraded_tasks: list[int] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -112,11 +125,16 @@ def supervised_map(
 
     parent_ready = False
 
-    def _run_serial(i: int) -> None:
+    def _run_serial(i: int, degraded: bool = False) -> None:
         nonlocal parent_ready
         if initializer is not None and not parent_ready:
             initializer(*initargs)
             parent_ready = True
+        if degraded:
+            # A pool task landed in the parent: record the transition
+            # rather than swallowing it into the aggregate serial count.
+            report.degraded_tasks.append(i)
+            incr("pool.serial_degrades")
         results[i] = task_fn(tasks[i])
         done[i] = True
         report.serial_tasks += 1
@@ -124,13 +142,13 @@ def supervised_map(
         if on_result is not None:
             on_result(i, tasks[i], results[i])
 
-    def _serial_sweep() -> list[Any]:
+    def _serial_sweep(degraded: bool = False) -> list[Any]:
         for i in range(len(tasks)):
             if done[i]:
                 continue
             if budget is not None and budget.expired():
                 break
-            _run_serial(i)
+            _run_serial(i, degraded=degraded)
         return results
 
     if not tasks:
@@ -145,9 +163,10 @@ def supervised_map(
         except (OSError, ValueError) as exc:
             report.pool_broken = True
             report.errors.append(f"pool unavailable: {exc}")
-            return _serial_sweep()
+            incr("pool.broken")
+            return _serial_sweep(degraded=True)
 
-        now = time.monotonic
+        now = time.monotonic  # repro-lint: disable=RL007 -- task deadlines, not a measurement span
         attempts = [0] * len(tasks)
 
         def _submit(i: int) -> tuple[Any, float | None]:
@@ -175,9 +194,12 @@ def supervised_map(
             attempts[i] += 1
             report.errors.append(f"task {i}: {why}")
             if attempts[i] > policy.max_retries:
-                _run_serial(i)
+                report.task_attempts[i] = attempts[i]
+                _run_serial(i, degraded=True)
                 return
             report.retries += 1
+            report.task_attempts[i] = attempts[i]
+            incr("pool.retries")
             _sleep(policy.delay(attempts[i]))
             pending[i] = _submit(i)
 
@@ -193,6 +215,7 @@ def supervised_map(
                         value = async_result.get()
                     except Exception as exc:  # worker raised
                         report.failures += 1
+                        incr("pool.worker_failures")
                         _failed(i, f"worker exception: {exc!r}")
                         continue
                     del pending[i]
@@ -204,6 +227,7 @@ def supervised_map(
                 elif deadline is not None and now() > deadline:
                     progressed = True
                     report.timeouts += 1
+                    incr("pool.task_timeouts")
                     _failed(i, "task timeout (crashed or hung worker)")
             if not progressed:
                 _sleep(_POLL_SECONDS)

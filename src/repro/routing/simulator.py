@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import incr, trace
 from ..topology.base import Network
 
 __all__ = ["RoutingResult", "PacketSimulator"]
@@ -82,6 +83,37 @@ class PacketSimulator:
         max_queue = 0
         dropped = 0
         limit = max_steps if max_steps is not None else 100 * (total_hops + 1)
+        with trace("routing.simulate", network=self.net.name,
+                   packets=len(paths)):
+            steps, max_queue, dropped = self._deliver(
+                paths, positions, alive, steps, max_queue, dropped, limit,
+                drop_on_missing_edge,
+            )
+        # Tallied once per run, not per step, to keep the step loop clean.
+        incr("routing.sim.runs")
+        incr("routing.sim.steps", steps)
+        incr("routing.sim.packets_delivered", len(paths) - dropped)
+        incr("routing.sim.packets_dropped", dropped)
+        return RoutingResult(
+            steps=steps,
+            delivered=len(paths) - dropped,
+            total_hops=total_hops,
+            max_queue=max_queue,
+            dropped=dropped,
+        )
+
+    def _deliver(
+        self,
+        paths: list[np.ndarray],
+        positions: list[int],
+        alive: set[int],
+        steps: int,
+        max_queue: int,
+        dropped: int,
+        limit: int,
+        drop_on_missing_edge: bool,
+    ) -> tuple[int, int, int]:
+        """The synchronous step loop; returns (steps, max_queue, dropped)."""
         while alive:
             if drop_on_missing_edge:
                 for i in sorted(alive):
@@ -110,10 +142,4 @@ class PacketSimulator:
                 positions[i] += 1
                 if positions[i] == len(paths[i]) - 1:
                     alive.discard(i)
-        return RoutingResult(
-            steps=steps,
-            delivered=len(paths) - dropped,
-            total_hops=total_hops,
-            max_queue=max_queue,
-            dropped=dropped,
-        )
+        return steps, max_queue, dropped

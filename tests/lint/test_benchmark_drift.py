@@ -1,5 +1,7 @@
 """RL006 benchmark-drift: committed results vs the paper constants."""
 
+import json
+
 from repro.lint.findings import Severity
 from repro.lint.rules.benchmark_drift import drift_findings
 
@@ -93,6 +95,66 @@ class TestDrift:
         d = _results_dir(tmp_path, l32=bad)
         assert drift_findings(d, claim_ids={"theorem-2.20"}) == []
         assert len(drift_findings(d, claim_ids={"lemma-3.2"})) == 1
+
+
+def _json_doc(rows):
+    return json.dumps({
+        "version": 1, "kind": "repro-bench-result",
+        "name": "thm220_bisection_bn", "rows": rows, "meta": {},
+    })
+
+
+GOOD_JSON_ROWS = [
+    {"n": 4, "lower": 4, "upper": 4, "ratio": 1.0, "evidence": "exact (DP)"},
+    {"n": 1024, "lower": 849, "upper": 1008, "ratio": 0.9844,
+     "evidence": "verified cut < n"},
+]
+
+
+class TestJsonResults:
+    def test_clean_json_rows_pass(self, tmp_path):
+        d = _results_dir(tmp_path)
+        (d / "thm220_bisection_bn.json").write_text(_json_doc(GOOD_JSON_ROWS))
+        assert drift_findings(d) == []
+
+    def test_json_preferred_over_text(self, tmp_path):
+        # Text table is bad, JSON is clean: no findings, because the JSON
+        # form is authoritative once present.
+        bad_txt = GOOD_THM220.replace("0.9844", "0.8200")
+        d = _results_dir(tmp_path, thm220=bad_txt)
+        (d / "thm220_bisection_bn.json").write_text(_json_doc(GOOD_JSON_ROWS))
+        assert drift_findings(d) == []
+
+    def test_json_drift_flagged(self, tmp_path):
+        rows = [dict(GOOD_JSON_ROWS[1], lower=1500, upper=1008, ratio=0.8)]
+        d = _results_dir(tmp_path)
+        path = d / "thm220_bisection_bn.json"
+        path.write_text(_json_doc(rows))
+        found = drift_findings(d)
+        assert any("inverted" in f.message for f in found)
+        assert any("folklore ceiling" in f.message for f in found)
+        assert any("Theorem 2.20" in f.message for f in found)
+        assert all(f.path == str(path) for f in found)
+
+    def test_malformed_json_falls_back_to_text(self, tmp_path):
+        bad_txt = GOOD_THM220.replace("0.9844", "0.8200")
+        d = _results_dir(tmp_path, thm220=bad_txt)
+        (d / "thm220_bisection_bn.json").write_text("{torn")
+        found = drift_findings(d)
+        assert any("Theorem 2.20" in f.message for f in found)
+
+    def test_rows_missing_fields_are_skipped(self, tmp_path):
+        rows = [{"n": 4, "lower": 4}, GOOD_JSON_ROWS[0]]
+        d = _results_dir(tmp_path)
+        (d / "thm220_bisection_bn.json").write_text(_json_doc(rows))
+        assert drift_findings(d) == []
+
+    def test_json_gates_on_the_claim_table(self, tmp_path):
+        rows = [dict(GOOD_JSON_ROWS[0], ratio=0.5)]
+        d = _results_dir(tmp_path)
+        (d / "thm220_bisection_bn.json").write_text(_json_doc(rows))
+        assert drift_findings(d, claim_ids={"lemma-3.2"}) == []
+        assert len(drift_findings(d, claim_ids={"theorem-2.20"})) == 1
 
 
 class TestProjectIntegration:

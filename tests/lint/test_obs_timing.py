@@ -1,0 +1,94 @@
+"""RL007 obs-timing: raw monotonic clocks in the instrumented packages."""
+
+from repro.lint.findings import Severity
+
+from .conftest import run_lint, rule_ids
+
+_DOC = '"""Implements Lemma 3.2."""\n'
+
+
+def _rl007(findings):
+    return [f for f in findings if f.rule_id == "RL007"]
+
+
+class TestFlagged:
+    def test_time_monotonic_attribute_in_cuts(self):
+        found = _rl007(run_lint({
+            "src/repro/cuts/solver.py":
+                _DOC + "import time\n\nT0 = time.monotonic()\n",
+        }))
+        assert len(found) == 1
+        assert "time.monotonic" in found[0].message
+        assert "obs.trace" in found[0].message
+        assert found[0].severity is Severity.WARNING
+
+    def test_perf_counter_in_routing(self):
+        found = _rl007(run_lint({
+            "src/repro/routing/sim.py":
+                _DOC + "import time\n\ndef f():\n    return time.perf_counter()\n",
+        }))
+        assert len(found) == 1
+
+    def test_ns_variants_flagged(self):
+        found = _rl007(run_lint({
+            "src/repro/cuts/a.py":
+                _DOC + "import time\n\nA = time.monotonic_ns()\n"
+                "B = time.perf_counter_ns()\n",
+        }))
+        assert len(found) == 2
+
+    def test_from_import_flagged(self):
+        found = _rl007(run_lint({
+            "src/repro/routing/sim.py":
+                _DOC + "from time import perf_counter\n",
+        }))
+        assert len(found) == 1
+        assert "perf_counter" in found[0].message
+
+    def test_clock_reference_without_call_flagged(self):
+        # Passing the clock as a default argument is still a bypass.
+        found = _rl007(run_lint({
+            "src/repro/resilience/timer.py":
+                _DOC + "import time\n\ndef f(clock=time.monotonic):\n"
+                "    return clock()\n",
+        }))
+        assert len(found) == 1
+
+
+class TestNotFlagged:
+    def test_outside_scoped_packages(self):
+        findings = run_lint({
+            "src/repro/analysis/fit.py":
+                _DOC + "import time\n\nT = time.monotonic()\n",
+        })
+        assert "RL007" not in rule_ids(findings)
+
+    def test_time_time_not_flagged(self):
+        # Wall-clock time.time() is a different (RL-free) concern.
+        findings = run_lint({
+            "src/repro/cuts/a.py": _DOC + "import time\n\nT = time.time()\n",
+        })
+        assert "RL007" not in rule_ids(findings)
+
+    def test_time_sleep_not_flagged(self):
+        findings = run_lint({
+            "src/repro/resilience/pool.py":
+                _DOC + "import time\n\ntime.sleep(0.1)\n",
+        })
+        assert "RL007" not in rule_ids(findings)
+
+    def test_inline_suppression_with_reason(self):
+        findings = run_lint({
+            "src/repro/resilience/deadline.py":
+                _DOC + "import time\n\n"
+                "# repro-lint: disable=RL007 -- deadline math, not a span\n"
+                "now = time.monotonic\n",
+        })
+        assert "RL007" not in rule_ids(findings)
+
+    def test_advisory_severity_never_errors(self):
+        found = _rl007(run_lint({
+            "src/repro/cuts/solver.py":
+                _DOC + "import time\n\nT0 = time.monotonic()\n",
+        }))
+        assert all(f.severity is not Severity.ERROR for f in found)

@@ -97,11 +97,12 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rid in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                    "RL007"):
             assert rid in out
 
 
-def test_registry_has_the_six_shipped_rules():
+def test_registry_has_the_seven_shipped_rules():
     assert set(all_rules()) == {
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
     }

@@ -1,0 +1,76 @@
+"""Counter correctness, including under concurrent increments."""
+
+import threading
+
+from repro import obs
+from repro.obs import Collector
+
+
+class TestCounters:
+    def test_incr_creates_and_accumulates(self):
+        col = Collector()
+        col.incr("hits")
+        col.incr("hits", 4)
+        col.incr("misses", 0)
+        assert col.counters == {"hits": 5, "misses": 0}
+
+    def test_negative_amounts_allowed(self):
+        col = Collector()
+        col.incr("delta", 3)
+        col.incr("delta", -1)
+        assert col.counters == {"delta": 2}
+
+    def test_counters_property_returns_a_copy(self):
+        col = Collector()
+        col.incr("x")
+        snap = col.counters
+        snap["x"] = 999
+        assert col.counters == {"x": 1}
+
+    def test_threaded_increments_lose_nothing(self):
+        col = Collector()
+        threads = 8
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(per_thread):
+                col.incr("shared")
+                col.incr("shared.big", 3)
+
+        ts = [threading.Thread(target=work) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert col.counters["shared"] == threads * per_thread
+        assert col.counters["shared.big"] == 3 * threads * per_thread
+
+    def test_threaded_spans_keep_independent_stacks(self):
+        col = Collector()
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with col.span(f"outer-{i}"):
+                with col.span(f"inner-{i}"):
+                    pass
+
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        spans = {s["name"]: s for s in col.spans}
+        assert len(spans) == 8
+        for i in range(4):
+            assert spans[f"inner-{i}"]["parent"] == f"outer-{i}"
+            assert spans[f"inner-{i}"]["depth"] == 1
+            assert spans[f"outer-{i}"]["depth"] == 0
+
+    def test_module_incr_through_collecting(self):
+        with obs.collecting() as col:
+            for _ in range(10):
+                obs.incr("loop.iterations")
+        assert col.counters == {"loop.iterations": 10}

@@ -1,0 +1,138 @@
+"""Manifest build / atomic write / load round-trip and validation."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    MANIFEST_KIND,
+    MANIFEST_VERSION,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def _collected():
+    with obs.collecting() as col:
+        with obs.trace("solve.fallback", network="B8"):
+            with obs.trace("solve.tier2.layered_dp"):
+                obs.incr("cuts.layered_dp.sweeps")
+        obs.incr("solve.tiers_run", 2)
+        obs.gauge("queue.depth", 3.0)
+        obs.annotate("winning_tier", "tier-2")
+    return col
+
+
+class TestBuildManifest:
+    def test_shape_and_defaults(self):
+        m = build_manifest(_collected(), command=["solve", "bn", "3"],
+                           seed=7, budget={"seconds": 30, "expired": False},
+                           result={"lower": 8, "upper": 8})
+        assert m["kind"] == MANIFEST_KIND
+        assert m["version"] == MANIFEST_VERSION
+        assert m["command"] == ["solve", "bn", "3"]
+        assert m["seed"] == 7
+        # tier defaults to the collector's winning_tier note.
+        assert m["tier"] == "tier-2"
+        assert m["counters"]["solve.tiers_run"] == 2
+        assert {s["name"] for s in m["spans"]} == {
+            "solve.fallback", "solve.tier2.layered_dp",
+        }
+        assert isinstance(m["environment"]["python"], str)
+        assert validate_manifest(m) == []
+
+    def test_explicit_tier_wins(self):
+        m = build_manifest(_collected(), tier="tier-4")
+        assert m["tier"] == "tier-4"
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        m = build_manifest(_collected())
+        assert write_manifest(path, m) == path
+        loaded = load_manifest(path)
+        assert validate_manifest(loaded) == []
+        assert loaded["counters"] == m["counters"]
+        assert loaded["tier"] == "tier-2"
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "deep" / "manifest.json"
+        write_manifest(path, build_manifest(_collected()))
+        assert path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_overwrite_replaces(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_manifest(path, build_manifest(_collected()))
+        m2 = build_manifest(_collected(), seed=99)
+        write_manifest(path, m2)
+        assert load_manifest(path)["seed"] == 99
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_load_rejects_torn_json(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"kind": "repro-obs-mani')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_manifest(path)
+
+
+class TestValidate:
+    def test_valid_manifest_passes(self):
+        assert validate_manifest(build_manifest(_collected())) == []
+
+    def test_wrong_kind_and_version(self):
+        m = build_manifest(_collected())
+        m["kind"] = "something-else"
+        m["version"] = 999
+        problems = validate_manifest(m)
+        assert any("kind" in p for p in problems)
+        assert any("version" in p for p in problems)
+
+    def test_span_field_problems(self):
+        m = build_manifest(_collected())
+        m["spans"] = [{"name": 42, "start": "zero", "duration": -1.0,
+                       "depth": -3}]
+        problems = validate_manifest(m)
+        assert any(".name" in p for p in problems)
+        assert any(".start" in p for p in problems)
+        assert any("negative" in p for p in problems)
+        assert any(".depth" in p for p in problems)
+
+    def test_counter_and_gauge_types(self):
+        m = build_manifest(_collected())
+        m["counters"] = {"ok": 1, "bad": 2.5, "bool": True}
+        m["gauges"] = {"ok": 1.5, "bad": "high"}
+        problems = validate_manifest(m)
+        assert any("'bad'" in p and "integer" in p for p in problems)
+        assert any("'bool'" in p for p in problems)
+        assert any("'bad'" in p and "number" in p for p in problems)
+
+    def test_not_an_object(self):
+        assert validate_manifest(["nope"]) == ["manifest is not an object"]
+
+    def test_environment_required(self):
+        m = build_manifest(_collected())
+        del m["environment"]
+        assert any("environment" in p for p in validate_manifest(m))
+
+    def test_json_serializable_with_default_str(self):
+        # The writer serializes with default=str, so exotic note values
+        # degrade to strings rather than crashing the dump.
+        with obs.collecting() as col:
+            obs.annotate("exact", True)
+        m = build_manifest(col)
+        text = json.dumps(m, default=str)
+        assert json.loads(text)["notes"]["exact"] is True

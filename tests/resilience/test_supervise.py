@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.resilience import (
     Budget,
     RetryPolicy,
@@ -103,6 +104,9 @@ class TestFailureModes:
         assert out == [7]
         assert report.complete
         assert not os.path.exists(token)
+        # One failed pool attempt recorded, no serial degradation.
+        assert report.task_attempts == {0: 1}
+        assert report.degraded_tasks == []
 
     def test_persistent_failure_degrades_to_serial(self):
         # Fails in every pool worker (wrong pid) but succeeds in the parent
@@ -116,6 +120,10 @@ class TestFailureModes:
         assert out == [5]
         assert report.serial_tasks == 1
         assert report.failures >= 2  # initial attempt + retry both failed
+        # The degradation history is not swallowed: both failed pool
+        # attempts are on record, and the task is named as degraded.
+        assert report.task_attempts == {0: 2}
+        assert report.degraded_tasks == [0]
 
     def test_hung_worker_detected_by_timeout(self, tmp_path):
         token = str(arm_crash_token(tmp_path / "hang-once"))
@@ -132,6 +140,39 @@ class TestFailureModes:
         policy = RetryPolicy(task_timeout=10.0, max_retries=0, backoff=0.01)
         with pytest.raises(RuntimeError, match="permanent failure"):
             supervised_map(_always_raise, [1], workers=2, policy=policy)
+        assert _no_leaked_children()
+
+
+class TestObservability:
+    def test_degradation_publishes_pool_counters(self):
+        policy = RetryPolicy(task_timeout=10.0, max_retries=1, backoff=0.01)
+        with obs.collecting() as col:
+            out = supervised_map(
+                _fail_in_children, [(os.getpid(), 5)], workers=2,
+                policy=policy,
+            )
+        assert out == [5]
+        counters = col.counters
+        assert counters["pool.worker_failures"] >= 2
+        assert counters["pool.retries"] == 1
+        assert counters["pool.serial_degrades"] == 1
+        assert _no_leaked_children()
+
+    def test_clean_run_publishes_no_failure_counters(self):
+        with obs.collecting() as col:
+            out = supervised_map(_square, [2, 3], workers=2, policy=_FAST)
+        assert out == [4, 9]
+        assert not any(k.startswith("pool.") for k in col.counters)
+
+    def test_timeout_counter(self, tmp_path):
+        token = str(arm_crash_token(tmp_path / "hang-once-obs"))
+        policy = RetryPolicy(task_timeout=0.5, max_retries=2, backoff=0.01)
+        with obs.collecting() as col:
+            out = supervised_map(
+                _hang_once, [(token, 9)], workers=2, policy=policy
+            )
+        assert out == [9]
+        assert col.counters["pool.task_timeouts"] >= 1
         assert _no_leaked_children()
 
 

@@ -1,8 +1,11 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import validate_manifest
 
 
 class TestCLI:
@@ -48,6 +51,75 @@ class TestCLI:
 
     def test_claims_unknown_id(self, capsys):
         assert main(["claims", "lemma-9.9"]) == 1
+
+    def test_solve_without_trace(self, capsys):
+        assert main(["solve", "bn", "8"]) == 0
+        assert "BW(B8) = 8" in capsys.readouterr().out
+
+
+class TestSolveTrace:
+    def test_trace_writes_schema_valid_manifest(self, capsys, tmp_path):
+        path = tmp_path / "manifest.json"
+        # "bn 3" is the dimension convenience: B8, 32 nodes, so tier-1
+        # enumeration is skipped and the layered DP wins exactly.
+        assert main(["solve", "bn", "3", "--trace", str(path)]) == 0
+        assert "BW(B8) = 8" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert validate_manifest(data) == []
+        assert data["tier"] == "tier-2"
+        assert data["command"] == ["solve", "bn", "3"]
+        assert data["result"]["exact"] is True
+        # The acceptance bar: >= 3 distinct spans, >= 5 distinct counters.
+        assert len({s["name"] for s in data["spans"]}) >= 3
+        assert len(data["counters"]) >= 5
+
+    def test_trace_records_budget(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        assert main(["solve", "bn", "3", "--timeout", "30",
+                     "--trace", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["budget"] == {"seconds": 30.0, "expired": False}
+
+    def test_no_collector_leaks_after_traced_run(self, tmp_path):
+        from repro import obs
+
+        assert main(["solve", "bn", "3",
+                     "--trace", str(tmp_path / "m.json")]) == 0
+        assert not obs.enabled()
+
+
+class TestStats:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        assert main(["solve", "bn", "3", "--trace", str(path)]) == 0
+        return path
+
+    def test_pretty_print(self, capsys, manifest_path):
+        capsys.readouterr()
+        assert main(["stats", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "winning tier: tier-2" in out
+        assert "solve.fallback" in out
+        assert "cuts.layered_dp.sweeps" in out
+
+    def test_json_dump_round_trips(self, capsys, manifest_path):
+        capsys.readouterr()
+        assert main(["stats", str(manifest_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert validate_manifest(data) == []
+        assert data["tier"] == "tier-2"
+
+    def test_missing_file_fails(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "absent.json")]) == 1
+        assert "stats:" in capsys.readouterr().err
+
+    def test_invalid_manifest_fails_with_problems(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "wrong", "version": 1}))
+        assert main(["stats", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "invalid manifest" in err and "kind" in err
 
 
 class TestMainModule:
