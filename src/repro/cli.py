@@ -11,12 +11,19 @@ Subcommands
 ``folklore N``
     The Theorem 2.20 construction: plan and, when feasible, a built and
     verified balanced bisection of ``Bn`` with capacity below ``n``.
-``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH] [--trace PATH]``
+``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH] [--trace PATH]
+[--cache DIR | --no-cache]``
     Certified ``BW`` interval by the degradation cascade
     (:func:`repro.core.fallback.solve_with_fallback`): exact solvers under
     a wall-clock budget, heuristics as fallback, always a valid bound.
     ``--trace`` activates :mod:`repro.obs` and writes a run manifest
     (spans, counters, winning tier, environment) to ``PATH``.
+    ``--cache DIR`` memoizes results in a
+    :class:`~repro.perf.cache.SolverCache` (default from the
+    ``REPRO_CACHE_DIR`` environment variable); ``--no-cache`` disables it
+    even when the variable is set.
+``cache {stats,clear} [--dir DIR]``
+    Inspect or empty a solver cache directory.
 ``stats MANIFEST [--json]``
     Validate and pretty-print (or re-emit as JSON) a run manifest written
     by ``solve --trace``.
@@ -90,6 +97,15 @@ def _cmd_folklore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    """The cache root for ``solve``: flag beats env, ``--no-cache`` beats both."""
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache", None) or os.environ.get("REPRO_CACHE_DIR") or None
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .core import solve_with_fallback
     from .resilience import Budget
@@ -108,15 +124,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "ccc": cube_connected_cycles,
     }[args.family](n)
     budget = Budget(args.timeout) if args.timeout is not None else None
+    cache_dir = _resolve_cache_dir(args)
     if args.trace is None:
-        print(solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint))
+        print(solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
+                                  cache=cache_dir))
         return 0
 
     from . import obs
 
     collector = obs.Collector()
     with obs.collecting(collector):
-        cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint)
+        cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
+                                   cache=cache_dir)
     manifest = obs.build_manifest(
         collector,
         command=["solve", args.family, str(args.n)],
@@ -201,6 +220,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from .perf import SolverCache
+
+    root = args.dir or os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        print("cache: no directory given (use --dir or set REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 1
+    cache = SolverCache(root)
+    if args.action == "stats":
+        s = cache.stats()
+        print(f"cache: {s['root']}")
+        print(f"entries: {s['entries']} "
+              f"({s['profiles']} profiles, {s['certificates']} certificates)")
+        print(f"payload bytes: {s['payload_bytes']}")
+        return 0
+    removed = cache.clear()
+    print(f"cache: cleared {removed} entries from {root}")
+    return 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     from .core import REGISTRY
 
@@ -271,7 +313,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a run manifest (spans, counters, environment) "
                         "to PATH")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="solver-cache directory (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the solver cache even if REPRO_CACHE_DIR is set")
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("cache", help="inspect or clear a solver cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="cache directory (default: $REPRO_CACHE_DIR)")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("stats", help="inspect a run manifest from solve --trace")
     p.add_argument("manifest")

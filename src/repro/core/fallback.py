@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..cuts.autotune import BATCH_CONTRACT_VERSION
 from ..cuts.branch_and_bound import bb_min_bisection
+from ..cuts.cut import Cut
 from ..cuts.enumerate_exact import cut_profile
 from ..cuts.fiduccia_mattheyses import fm_bisection
 from ..cuts.kernighan_lin import kernighan_lin_bisection
 from ..cuts.layered_dp import layered_cut_profile
 from ..cuts.spectral import spectral_bisection
 from ..obs import annotate, incr, trace
+from ..perf.cache import SolverCache
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointStore
 from ..topology.base import Network
@@ -59,6 +62,7 @@ def solve_with_fallback(
     budget: Budget | None = None,
     checkpoint: str | CheckpointStore | None = None,
     *,
+    cache: SolverCache | str | None = None,
     enum_limit: int = _ENUM_LIMIT,
     bb_limit: int = _BB_LIMIT,
     dp_width_limit: int = _DP_WIDTH_LIMIT,
@@ -83,12 +87,21 @@ def solve_with_fallback(
     checkpoint:
         Optional checkpoint file for the tier-1 enumeration sweep (see
         :func:`repro.cuts.enumerate_exact.cut_profile`).
+    cache:
+        Optional :class:`~repro.perf.cache.SolverCache` (or its root
+        directory).  A verified exact certificate for this instance — or
+        any isomorphic one, via the symmetry-aware keys — returns
+        immediately as tier 0; otherwise cached profiles short-circuit
+        tier 1, any cached witness warm-starts tier 3, and the resulting
+        certificate is stored for future runs.  ``None`` disables caching
+        (counted as ``perf.cache.bypass``).
     enum_limit, bb_limit, dp_width_limit:
         Applicability thresholds of tiers 1–3.
     """
     with trace("solve.fallback", network=net.name, nodes=net.num_nodes):
         return _run_cascade(
             net, budget, checkpoint,
+            cache=SolverCache(cache) if isinstance(cache, (str,)) else cache,
             enum_limit=enum_limit, bb_limit=bb_limit,
             dp_width_limit=dp_width_limit,
         )
@@ -99,6 +112,7 @@ def _run_cascade(
     budget: Budget | None,
     checkpoint: str | CheckpointStore | None,
     *,
+    cache: SolverCache | None,
     enum_limit: int,
     bb_limit: int,
     dp_width_limit: int,
@@ -116,6 +130,28 @@ def _run_cascade(
     upper_ev = "tier-5 trivial ceiling (cutting every edge)"
     witness = None
 
+    # Tier 0: the symmetry-aware result cache.  A verified exact hit (for
+    # this instance or any isomorphic one) closes the interval without
+    # running a single solver; short of that, a stored witness becomes the
+    # tier-3 warm start.
+    warm_side = None
+    if cache is None:
+        incr("perf.cache.bypass")
+    else:
+        hit = cache.get_certificate(net)
+        if hit is not None:
+            annotate("winning_tier", "tier-0")
+            annotate("quantity", name)
+            annotate("exact", True)
+            incr("solve.certificates")
+            side = hit["witness_side"]
+            return BoundCertificate(
+                name, int(hit["lower"]), int(hit["upper"]),
+                str(hit["lower_evidence"]), str(hit["upper_evidence"]),
+                Cut(net, side) if side is not None else None,
+            )
+        warm_side = cache.get_warm_start(net)
+
     def _certificate() -> BoundCertificate:
         tail = ("; " + "; ".join(notes)) if notes else ""
         # The winning tier is whichever produced the upper bound (for an
@@ -125,6 +161,18 @@ def _run_cascade(
         annotate("quantity", name)
         annotate("exact", lower == upper)
         incr("solve.certificates")
+        if cache is not None:
+            cache.put_certificate(
+                net,
+                {
+                    "quantity": name,
+                    "lower": int(lower),
+                    "upper": int(min(upper, net.num_edges)),
+                    "lower_evidence": lower_ev + tail,
+                    "upper_evidence": upper_ev + tail,
+                },
+                witness_side=witness.side if witness is not None else None,
+            )
         return BoundCertificate(
             name, lower, min(upper, net.num_edges),
             lower_ev + tail, upper_ev + tail, witness,
@@ -149,7 +197,14 @@ def _run_cascade(
     else:
         incr("solve.tiers_run")
         with trace("solve.tier1.enumeration", network=net.name):
-            prof = cut_profile(net, budget=budget, checkpoint=checkpoint)
+            prof = (
+                cache.get_profile(net, version=BATCH_CONTRACT_VERSION)
+                if cache is not None else None
+            )
+            if prof is None:
+                prof = cut_profile(net, budget=budget, checkpoint=checkpoint)
+                if cache is not None and prof.complete:
+                    cache.put_profile(net, prof, version=BATCH_CONTRACT_VERSION)
         c = _bisection_count(prof.values, n)
         w = int(prof.values[c])
         if prof.complete:
@@ -216,7 +271,8 @@ def _run_cascade(
         st: dict = {}
         with trace("solve.tier3.branch_and_bound", network=net.name):
             cut = bb_min_bisection(
-                net, node_limit=bb_limit, budget=budget, status=st
+                net, node_limit=bb_limit, budget=budget, status=st,
+                warm_start=witness if witness is not None else warm_side,
             )
         if st.get("complete"):
             return _exact(cut.capacity, "tier-3 branch and bound (exact)", cut)

@@ -43,6 +43,7 @@ def bb_min_bisection(
     *,
     budget: Budget | None = None,
     status: dict | None = None,
+    warm_start: Cut | np.ndarray | None = None,
 ) -> Cut:
     """Exact minimum bisection of a general network (witness included).
 
@@ -52,6 +53,13 @@ def bb_min_bisection(
     a valid bisection and upper bound, just not certified optimal.
     ``status["complete"]`` (when a dict is passed) records whether the
     search ran to exhaustion, i.e. whether the capacity is certified.
+
+    ``warm_start`` (a :class:`~repro.cuts.cut.Cut` or boolean side array,
+    e.g. a cached witness from :class:`repro.perf.cache.SolverCache` or a
+    partial upper bound from an earlier cascade tier) is adopted as the
+    incumbent when it is a valid bisection cheaper than the KL one — the
+    search then only needs to prove optimality or improve on it, which
+    can prune the tree dramatically.  An invalid warm start is ignored.
     """
     n = net.num_nodes
     if n > node_limit:
@@ -68,6 +76,12 @@ def bb_min_bisection(
     incumbent = kernighan_lin_bisection(net, restarts=3)
     best_cap = incumbent.capacity
     best_side = incumbent.side.copy()
+    if warm_start is not None:
+        warm = warm_start if isinstance(warm_start, Cut) else Cut(net, warm_start)
+        if warm.is_bisection() and warm.capacity < best_cap:
+            best_cap = warm.capacity
+            best_side = warm.side.copy()
+            incr("cuts.bb.warm_starts")
 
     side = np.full(n, -1, dtype=np.int64)   # -1 unassigned, 0 = Ā, 1 = A
     to_a = np.zeros(n, dtype=np.int64)       # assigned-A neighbors per node

@@ -25,6 +25,7 @@ profile answers every question in the paper at once:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,12 +34,12 @@ from ..obs import incr, trace
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..topology.base import Network
+from .autotune import BATCH_CONTRACT_VERSION, BatchAutotuner
 from .cut import Cut
 
 __all__ = ["CutProfile", "cut_profile", "min_bisection", "min_u_bisection"]
 
 _MAX_NODES = 28
-_BATCH_BITS = 20
 
 
 @dataclass(frozen=True)
@@ -85,11 +86,27 @@ class CutProfile:
         return int(min(self.values[m // 2], self.values[(m + 1) // 2]))
 
 
-def _fingerprint(net: Network, counted: np.ndarray, batch: int) -> str:
-    """Checkpoint key: refuse to resume a different computation's file."""
+def _fingerprint(net: Network, counted: np.ndarray) -> str:
+    """Checkpoint key: refuse to resume a different computation's file.
+
+    The key folds in the *structural* identity of the network (the
+    order-independent :attr:`~repro.topology.base.Network.edge_digest`,
+    not just name and counts — two rewired networks sharing both must not
+    share checkpoints), a digest of the counted-node mask, and the batch
+    contract version, so any solver change that alters the meaning of
+    persisted ranges orphans old files instead of silently resuming them.
+    The batch size is deliberately *absent*: the profile fold is an
+    idempotent elementwise minimum and :class:`RangeLedger.covers`
+    requires full containment, so a resume under a different (even
+    autotuned, varying) batch grid recomputes uncovered spans and stays
+    bit-identical.
+    """
+    ind = np.zeros(net.num_nodes, dtype=np.uint8)
+    ind[counted] = 1
+    cdigest = hashlib.sha256(np.packbits(ind).tobytes()).hexdigest()[:16]
     return (
-        f"cut-profile:v1:{net.name}:{net.num_nodes}n:{net.num_edges}e:"
-        f"c{','.join(map(str, counted.tolist()))}:b{batch}"
+        f"cut-profile:v{BATCH_CONTRACT_VERSION}:{net.name}:{net.num_nodes}n:"
+        f"e{net.edge_digest[:16]}:c{cdigest}"
     )
 
 
@@ -121,8 +138,13 @@ def cut_profile(
         ranges and is bit-identical to an uninterrupted run (the stored
         state is pre-fold, so the complement fold happens exactly once).
     batch_bits:
-        log2 of the batch size (default ``20``); a budget's
-        ``max_batch_bits`` memory ceiling caps it further.
+        log2 of the batch size.  ``None`` (the default) engages the
+        :class:`~repro.cuts.autotune.BatchAutotuner`, which sizes batches
+        from a memory model and adapts between batches toward a latency
+        window; an explicit value pins the size.  Either way a budget's
+        ``max_batch_bits`` memory ceiling caps it, and the result is
+        bit-identical regardless of the grid (the fold is an elementwise
+        minimum and witness selection is batch-partition-independent).
     """
     n = net.num_nodes
     if n > _MAX_NODES:
@@ -148,15 +170,16 @@ def cut_profile(
     best_mask = np.zeros(m + 1, dtype=np.uint64)
 
     total = 1 << (n - 1)  # pin node n-1 to the S̄ side
-    bits = _BATCH_BITS if batch_bits is None else batch_bits
+    tuner = BatchAutotuner(edges=net.num_edges)
+    autotune = batch_bits is None
+    bits = tuner.initial_bits() if autotune else batch_bits
     if budget is not None:
         bits = budget.batch_bits(bits)
-    batch = 1 << min(bits, n - 1)
     one = np.uint64(1)
 
     store = as_store(checkpoint)
     ledger = RangeLedger()
-    key = _fingerprint(net, counted, batch) if store is not None else ""
+    key = _fingerprint(net, counted) if store is not None else ""
     if store is not None:
         saved = store.load(key)
         if saved is not None:
@@ -167,15 +190,18 @@ def cut_profile(
                 ledger, best, best_mask = prev, values, masks_saved
 
     with trace("cuts.enumerate", network=net.name, nodes=n, counted=m,
-               assignments=total, batch=batch):
-        for start in range(0, total, batch):
-            stop = min(start + batch, total)
+               assignments=total, batch_bits=bits, autotuned=autotune):
+        start = 0
+        while start < total:
+            stop = min(start + (1 << min(bits, n - 1)), total)
             if ledger.covers(start, stop):
                 incr("cuts.enumerate.batches_resumed")
+                start = stop
                 continue
             if budget is not None and budget.expired():
                 incr("cuts.enumerate.budget_expiries")
                 break
+            t0 = tuner.clock() if autotune else 0.0
             masks = np.arange(start, stop, dtype=np.uint64)
             # Capacity: per edge, xor of endpoint bits.
             cap = np.zeros(len(masks), dtype=np.int64)
@@ -210,6 +236,11 @@ def cut_profile(
                     "best": best.tolist(),
                     "best_mask": [int(x) for x in best_mask],
                 })
+            if autotune:
+                bits = tuner.next_bits(bits, tuner.clock() - t0)
+                if budget is not None:
+                    bits = budget.batch_bits(bits)
+            start = stop
 
     complete = ledger.total == total
     # Complement closure: pinning node n-1 to S̄ visits each unordered

@@ -337,6 +337,7 @@ def layered_cut_profile(
                 incr("cuts.layered_dp.states_expanded", states_per_sweep)
                 _extract(f, parents, None, None)
         else:
+            # repro-lint: disable=RL008 -- each pin iteration is one vectorized min-plus sweep over all layer states (the contract's unit of work); the exponential pin count is inherent to the cyclic closure, and the parallel sweep chunks this same loop across workers
             for pin in range(1 << widths[0]):
                 if budget is not None and budget.expired():
                     incr("cuts.layered_dp.budget_expiries")

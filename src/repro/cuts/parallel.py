@@ -26,6 +26,7 @@ to serial speed plus a small pool-startup cost.
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 import numpy as np
@@ -36,6 +37,7 @@ from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..resilience.faults import maybe_crash
 from ..resilience.supervise import RetryPolicy, SupervisionReport, supervised_map
 from ..topology.base import Network
+from .autotune import BATCH_CONTRACT_VERSION, pin_chunk_count
 from .layered_dp import (
     _classify_edges,
     _counted_popcounts,
@@ -153,17 +155,28 @@ def parallel_cyclic_profile(
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)
     workers = max(1, min(workers, num_pins))
-    # More chunks than workers: retry and checkpoint granularity (also on
-    # the serial path, where the budget is polled between chunks).
-    chunks = min(num_pins, max(8, workers * 4))
+    # Chunk grid sized by the DP cost model: enough chunks for retry and
+    # checkpoint granularity (also on the serial path, where the budget
+    # is polled between chunks), more on heavy instances so each chunk
+    # stays within the per-chunk vector-ops budget.
+    states_per_pin = sum((1 << w) * (C + 1) for w in widths)
+    chunks = pin_chunk_count(num_pins, workers, states_per_pin)
     ranges = _pin_ranges(num_pins, chunks)
 
     best = np.full(C + 1, _INF, dtype=np.int64)
     ledger = RangeLedger()
     store = as_store(checkpoint)
+    # Structural digest + counted digest + contract version; the chunk
+    # grid is deliberately absent from the key (the fold is an idempotent
+    # elementwise minimum and the ledger requires full containment, so a
+    # resume under a different grid recomputes uncovered pin ranges and
+    # stays bit-identical).
+    ind = np.zeros(net.num_nodes, dtype=np.uint8)
+    ind[counted] = 1
+    cdigest = hashlib.sha256(np.packbits(ind).tobytes()).hexdigest()[:16]
     key = (
-        f"pin-sweep:v1:{net.name}:{net.num_nodes}n:{net.num_edges}e:"
-        f"p{num_pins}:c{','.join(map(str, counted.tolist()))}:k{chunks}"
+        f"pin-sweep:v{BATCH_CONTRACT_VERSION}:{net.name}:{net.num_nodes}n:"
+        f"e{net.edge_digest[:16]}:p{num_pins}:c{cdigest}"
     )
     if store is not None:
         saved = store.load(key)

@@ -24,6 +24,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "topology": frozenset(),
     "resilience": frozenset({"topology", "obs"}),
     "cuts": frozenset({"topology", "resilience", "obs"}),
+    "perf": frozenset({"topology", "cuts", "resilience", "obs"}),
     "embeddings": frozenset({"topology"}),
     "routing": frozenset({"topology", "obs"}),
     "expansion": frozenset({"topology", "cuts", "routing"}),
@@ -31,7 +32,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "core": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "resilience", "obs",
+            "analysis", "resilience", "obs", "perf",
         }
     ),
     "io": frozenset({"topology", "cuts", "core"}),
@@ -39,7 +40,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "cli": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "core", "io", "lint", "resilience", "obs",
+            "analysis", "core", "io", "lint", "resilience", "obs", "perf",
         }
     ),
     "__init__": frozenset({"topology", "core"}),
@@ -78,7 +79,7 @@ class LintConfig:
     hot_paths: tuple[str, ...] = DEFAULT_HOT_PATHS
     claim_packages: tuple[str, ...] = DEFAULT_CLAIM_PACKAGES
     #: rules whose inline suppression must carry a ``-- justification``
-    justification_required: frozenset[str] = frozenset({"RL003"})
+    justification_required: frozenset[str] = frozenset({"RL003", "RL008"})
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.disable:

@@ -11,6 +11,7 @@ from . import float_compare  # noqa: F401
 from . import frozen_mutation  # noqa: F401
 from . import benchmark_drift  # noqa: F401
 from . import obs_timing  # noqa: F401
+from . import complexity_budget  # noqa: F401
 
 __all__ = [
     "claim_citation",
@@ -20,4 +21,5 @@ __all__ = [
     "frozen_mutation",
     "benchmark_drift",
     "obs_timing",
+    "complexity_budget",
 ]

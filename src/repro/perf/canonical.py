@@ -1,0 +1,222 @@
+"""Canonical instance fingerprints via the paper's automorphisms (L2.1/L2.2).
+
+A solver cache is only as good as its keys.  Keying on the raw edge array
+(:attr:`repro.topology.base.Network.edge_digest`) already deduplicates
+*identical* instances, but the paper proves much more: Lemma 2.1 gives the
+level-reversal automorphism of ``Bn`` and Lemma 2.2 the cascading-XOR
+level-preserving group, so whole families of ``(network, counted-set)``
+instances are isomorphic copies of one another and share every cut
+quantity.  This module quotients cache keys through those groups:
+
+* the **key** of an instance is invariant under applying any candidate
+  automorphism to the counted set, so isomorphic instances collide in the
+  cache (that is the point);
+* the accompanying **perm** is the automorphism that maps the instance
+  onto its canonical representative.  Cached witness masks are stored in
+  canonical coordinates (``canonical bit perm[v] = instance bit v``) and
+  rehydrated through the loading instance's own perm, so a witness
+  computed for one instance is a *valid, capacity-identical* cut for
+  every isomorphic sibling.
+
+Soundness never depends on completeness: every candidate is a genuine
+automorphism (capacities and counted sizes are preserved exactly), so a
+missed identification only costs a cache miss, never a wrong answer.  The
+candidate sets are therefore tiered by size — the full cascade-and-
+reversal group (order ``2 n^2``) for small ``Bn``, the column-XOR coset
+(order ``2 n``) beyond that, and the identity once even that is too
+large — keeping canonicalization cost negligible next to any solve.
+Networks without a recognized symmetry family fall back to the raw
+:attr:`~repro.topology.base.Network.edge_digest`, which is always sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..topology.automorphism import (
+    cascade_xor_permutation,
+    column_xor_permutation,
+    level_reversal_permutation,
+    level_rotation_permutation,
+)
+from ..topology.base import Network
+from ..topology.butterfly import Butterfly
+
+__all__ = [
+    "CanonicalForm",
+    "canonical_form",
+    "permute_mask",
+    "unpermute_mask",
+    "mask_to_side",
+    "side_to_mask",
+]
+
+#: Cap on the number of candidate automorphisms examined per instance.
+#: Beyond it the group is tiered down (still sound: see module docstring).
+_MAX_CANDIDATES = 4096
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A symmetry-quotiented identity for a ``(network, counted)`` instance.
+
+    Attributes
+    ----------
+    key:
+        The canonical fingerprint; equal across isomorphic instances
+        (within the examined candidate group).  Safe as a file-name stem
+        component after hashing.
+    perm:
+        The canonicalizing automorphism: node ``v`` of the instance maps
+        to node ``perm[v]`` of the canonical representative.  Apply with
+        :func:`permute_mask`, invert with :func:`unpermute_mask`.
+    family:
+        ``"butterfly"``, ``"wrapped"`` or ``"network"`` — which symmetry
+        group produced the key.
+    group_size:
+        Number of candidate automorphisms examined (1 means no symmetry
+        reduction beyond the raw digest).
+    """
+
+    key: str
+    perm: np.ndarray
+    family: str
+    group_size: int
+
+
+def side_to_mask(side: np.ndarray) -> int:
+    """Pack a boolean side array into the witness bitmask convention."""
+    mask = 0
+    for v in np.flatnonzero(np.asarray(side)):
+        mask |= 1 << int(v)
+    return mask
+
+
+def mask_to_side(mask: int, num_nodes: int) -> np.ndarray:
+    """Unpack a witness bitmask into a boolean side array."""
+    return np.array([(int(mask) >> v) & 1 for v in range(num_nodes)], dtype=bool)
+
+
+def permute_mask(mask: int, perm: np.ndarray) -> int:
+    """Carry a bitmask into canonical coordinates: out bit ``perm[v]`` = bit ``v``."""
+    out = 0
+    m = int(mask)
+    for v, g in enumerate(perm):
+        if (m >> v) & 1:
+            out |= 1 << int(g)
+    return out
+
+
+def unpermute_mask(mask: int, perm: np.ndarray) -> int:
+    """Invert :func:`permute_mask`: out bit ``v`` = bit ``perm[v]``."""
+    out = 0
+    m = int(mask)
+    for v, g in enumerate(perm):
+        if (m >> int(g)) & 1:
+            out |= 1 << v
+    return out
+
+
+def _counted_digest(num_nodes: int, counted: np.ndarray) -> str:
+    ind = np.zeros(num_nodes, dtype=np.uint8)
+    ind[counted] = 1
+    return hashlib.sha256(np.packbits(ind).tobytes()).hexdigest()[:16]
+
+
+def _butterfly_candidates(bf: Butterfly) -> list[np.ndarray]:
+    """The tiered candidate automorphism group of ``Bn`` or ``Wn``.
+
+    Every returned permutation is a true automorphism, and each tier is a
+    *group* (closed under composition and inverse), which is what makes
+    key collisions complete within the tier: if ``g`` in the tier maps
+    instance A onto instance B, then A and B range over the same candidate
+    orbit and minimize to the same canonical form.
+    """
+    n, lg = bf.n, bf.lg
+    if not bf.wraparound:
+        # L2.2 cascades (order n * 2^lg = n^2) + L2.1 reversal coset.
+        if 2 * n * (1 << lg) <= _MAX_CANDIDATES:
+            rev = level_reversal_permutation(bf)
+            perms = []
+            for base in range(n):
+                for flips in product((False, True), repeat=lg):
+                    p = cascade_xor_permutation(bf, base, flips)
+                    perms.append(p)
+                    perms.append(rev[p])  # rev ∘ p
+            return perms
+        if 2 * n <= _MAX_CANDIDATES:
+            # Column XORs + reversal coset: still a group (reversal
+            # conjugates xor_c to xor_{bit-reverse(c)}).
+            rev = level_reversal_permutation(bf)
+            perms = []
+            for c in range(n):
+                p = column_xor_permutation(bf, c)
+                perms.append(p)
+                perms.append(rev[p])
+            return perms
+        return [np.arange(bf.num_nodes, dtype=np.int64)]
+    # Wn: column XORs and level rotations (rotation conjugates xor_c to
+    # xor_{rol(c)}, so the set {xor_c ∘ rot^s} is a group of order n·lg).
+    if n * lg <= _MAX_CANDIDATES:
+        rots = [level_rotation_permutation(bf, s) for s in range(lg)]
+        perms = []
+        for c in range(n):
+            xorp = column_xor_permutation(bf, c)
+            for rot in rots:
+                perms.append(xorp[rot])  # xor_c ∘ rot^s
+        return perms
+    if n <= _MAX_CANDIDATES:
+        return [column_xor_permutation(bf, c) for c in range(n)]
+    return [np.arange(bf.num_nodes, dtype=np.int64)]
+
+
+def _minimize_counted(
+    num_nodes: int, counted: np.ndarray, perms: list[np.ndarray]
+) -> tuple[bytes, np.ndarray]:
+    """Pick the automorphism whose image of ``counted`` packs smallest."""
+    best_bytes: bytes | None = None
+    best_perm = perms[0]
+    out = np.zeros(num_nodes, dtype=np.uint8)
+    for p in perms:
+        out[:] = 0
+        out[p[counted]] = 1
+        b = np.packbits(out).tobytes()
+        if best_bytes is None or b < best_bytes:
+            best_bytes, best_perm = b, p
+    assert best_bytes is not None
+    return best_bytes, best_perm
+
+
+def canonical_form(net: Network, counted: np.ndarray | None = None) -> CanonicalForm:
+    """Canonical fingerprint of a ``(network, counted-set)`` instance.
+
+    For butterflies the key is quotiented through the L2.1/L2.2 candidate
+    group described in the module docstring; for any other network it is
+    the raw edge digest plus a counted-set digest with the identity perm.
+    The counted set defaults to all nodes, in which case every
+    automorphism fixes it and the key is purely structural.
+    """
+    n = net.num_nodes
+    identity = np.arange(n, dtype=np.int64)
+    if counted is None:
+        counted = identity
+    counted = np.unique(np.asarray(counted, dtype=np.int64))
+
+    if isinstance(net, Butterfly):
+        family = "wrapped" if net.wraparound else "butterfly"
+        stem = f"bf:{'w' if net.wraparound else 'b'}{net.n}"
+        if len(counted) == n:
+            # Automorphisms permute the full node set onto itself, so the
+            # identity is always among the minimizers: take it for free.
+            return CanonicalForm(f"{stem}:full", identity, family, 1)
+        perms = _butterfly_candidates(net)
+        packed, perm = _minimize_counted(n, counted, perms)
+        digest = hashlib.sha256(packed).hexdigest()[:16]
+        return CanonicalForm(f"{stem}:c{digest}", perm, family, len(perms))
+
+    key = f"net:{net.edge_digest[:16]}:c{_counted_digest(n, counted)}"
+    return CanonicalForm(key, identity, "network", 1)

@@ -15,6 +15,7 @@ semantics the paper needs for ``2K_N`` (Section 1.4).
 
 from __future__ import annotations
 
+import hashlib
 from functools import cached_property
 from typing import Hashable, Iterable, Sequence
 
@@ -141,6 +142,26 @@ class Network:
     def neighbors(self, index: int) -> np.ndarray:
         """Sorted neighbor indices of node ``index`` (duplicates kept)."""
         return self._adjacency[index]
+
+    @cached_property
+    def edge_digest(self) -> str:
+        """Order-independent SHA-256 of the edge multiset plus node count.
+
+        Two networks share a digest iff they have the same node count and
+        the same canonical edge multiset (as index pairs) — the structural
+        identity the checkpoint and solver-cache fingerprints key on, so a
+        rewired network can never silently reuse another's persisted state.
+        The digest is insensitive to edge *construction order* (rows are
+        lexicographically sorted before hashing) but deliberately sensitive
+        to node relabeling: symmetry-aware keys are the job of
+        :mod:`repro.perf.canonical`, not of this raw hash.
+        """
+        e = self._edges
+        order = np.lexsort((e[:, 1], e[:, 0]))
+        h = hashlib.sha256()
+        h.update(np.int64(self.num_nodes).tobytes())
+        h.update(np.ascontiguousarray(e[order], dtype=np.int64).tobytes())
+        return h.hexdigest()
 
     @cached_property
     def edge_multiset(self) -> dict[tuple[int, int], int]:

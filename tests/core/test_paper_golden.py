@@ -1,0 +1,61 @@
+"""Golden regression against the paper's exact statements.
+
+Every expected number here is *derived* from :mod:`repro.core.claims` —
+Theorem 2.20's coefficient and the Lemma 3.2 / 3.3 closed forms — not
+hand-copied into the assertions, so a drift between the claims table and
+the solvers fails loudly on all exactly-solvable sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bisection import (
+    butterfly_bisection_width,
+    ccc_bisection_width,
+    wrapped_bisection_width,
+)
+from repro.core.claims import (
+    THEOREM_220_COEFFICIENT,
+    lemma_32_width,
+    lemma_33_width,
+    theorem_220_strict_floor,
+)
+
+
+class TestTheorem220:
+    def test_coefficient_is_the_papers(self):
+        assert math.isclose(THEOREM_220_COEFFICIENT, 2.0 * (math.sqrt(2.0) - 1.0))
+        assert 0.82 < THEOREM_220_COEFFICIENT < 0.83
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_exact_bw_beats_the_strict_floor(self, n):
+        cert = butterfly_bisection_width(n)
+        assert cert.is_exact
+        assert cert.value > theorem_220_strict_floor(n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_folklore_ceiling(self, n):
+        assert butterfly_bisection_width(n).value <= n
+
+
+class TestLemma32:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_wrapped_width_is_n(self, n):
+        cert = wrapped_bisection_width(n)
+        assert cert.is_exact
+        assert cert.value == lemma_32_width(n) == n
+
+
+class TestLemma33:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_ccc_width_is_half_n(self, n):
+        cert = ccc_bisection_width(n)
+        assert cert.is_exact
+        assert cert.value == lemma_33_width(n) == n // 2
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            lemma_33_width(5)

@@ -170,3 +170,47 @@ class TestCheckpointResume:
         again = cut_profile(net, checkpoint=ck, batch_bits=4)
         assert np.array_equal(first.values, again.values)
         assert np.array_equal(first.witnesses, again.witnesses)
+
+
+class TestFingerprint:
+    """The checkpoint/cache key must track wiring and the batch contract.
+
+    Regression: the fingerprint once keyed only on name and node count, so
+    two same-shaped networks with different wiring (or different counted
+    masks) could resume each other's checkpoints.
+    """
+
+    def test_same_shape_different_wiring_differs(self):
+        from repro.cuts.enumerate_exact import _fingerprint
+
+        a = Network(range(6), [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], name="G")
+        b = Network(range(6), [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], name="G")
+        counted = np.arange(6)
+        assert a.num_nodes == b.num_nodes and a.num_edges == b.num_edges
+        assert _fingerprint(a, counted) != _fingerprint(b, counted)
+
+    def test_counted_mask_is_keyed(self):
+        from repro.cuts.enumerate_exact import _fingerprint
+
+        net = path_graph(6)
+        assert _fingerprint(net, np.arange(6)) != _fingerprint(
+            net, np.arange(4)
+        )
+
+    def test_contract_version_is_keyed(self):
+        from repro.cuts.autotune import BATCH_CONTRACT_VERSION
+        from repro.cuts.enumerate_exact import _fingerprint
+
+        fp = _fingerprint(path_graph(6), np.arange(6))
+        assert f":v{BATCH_CONTRACT_VERSION}:" in fp
+
+    def test_batch_size_is_not_keyed(self, tmp_path):
+        """Differing batch grids share checkpoints (the fold is batch-free)."""
+        ck = tmp_path / "profile.json"
+        net = path_graph(12)
+        cut_profile(net, checkpoint=ck, batch_bits=4)
+        prof = cut_profile(net, checkpoint=ck, batch_bits=7)
+        fresh = cut_profile(net)
+        assert prof.complete
+        assert np.array_equal(prof.values, fresh.values)
+        assert np.array_equal(prof.witnesses, fresh.witnesses)

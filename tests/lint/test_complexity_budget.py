@@ -1,0 +1,91 @@
+"""RL008: the batched-kernel complexity budget on hot-path modules."""
+
+from __future__ import annotations
+
+from .conftest import run_lint, rule_ids
+
+_SELECT = {"select": frozenset({"RL008"})}
+
+EXP_LOOP = '''
+"""Doc."""
+
+def sweep(net, k):
+    """Doc."""
+    total = 0
+    for mask in range(1 << k):
+        total += mask
+    return total
+'''
+
+POW_COMPREHENSION = '''
+"""Doc."""
+
+def states(k):
+    """Doc."""
+    return [m for m in range(2 ** k)]
+'''
+
+
+class TestExponentialLoops:
+    def test_variable_exponent_shift_flagged(self):
+        findings = run_lint({"src/repro/cuts/m.py": EXP_LOOP}, **_SELECT)
+        assert rule_ids(findings) == {"RL008"}
+
+    def test_power_comprehension_flagged(self):
+        findings = run_lint({"src/repro/cuts/m.py": POW_COMPREHENSION}, **_SELECT)
+        assert rule_ids(findings) == {"RL008"}
+
+    def test_large_constant_exponent_flagged(self):
+        src = EXP_LOOP.replace("range(1 << k)", "range(1 << 20)")
+        findings = run_lint({"src/repro/cuts/m.py": src}, **_SELECT)
+        assert rule_ids(findings) == {"RL008"}
+
+    def test_trivial_constant_exponent_allowed(self):
+        src = EXP_LOOP.replace("range(1 << k)", "range(1 << 8)")
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
+
+    def test_plain_range_allowed(self):
+        src = EXP_LOOP.replace("range(1 << k)", "range(k)")
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
+
+    def test_cold_module_unrestricted(self):
+        assert run_lint({"src/repro/analysis/m.py": EXP_LOOP}, **_SELECT) == []
+
+
+class TestBatchBitsCeiling:
+    def test_oversized_assignment_flagged(self):
+        src = '"""Doc."""\n_BATCH_BITS = 26\n'
+        findings = run_lint({"src/repro/cuts/m.py": src}, **_SELECT)
+        assert rule_ids(findings) == {"RL008"}
+
+    def test_oversized_default_flagged(self):
+        src = '"""Doc."""\ndef f(batch_bits=26):\n    """Doc."""\n'
+        findings = run_lint({"src/repro/cuts/m.py": src}, **_SELECT)
+        assert rule_ids(findings) == {"RL008"}
+
+    def test_reasonable_value_allowed(self):
+        src = '"""Doc."""\n_BATCH_BITS = 20\n'
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
+
+    def test_unrelated_name_allowed(self):
+        src = '"""Doc."""\n_RETRIES = 26\n'
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
+
+
+class TestSuppression:
+    def test_justified_suppression_accepted(self):
+        src = EXP_LOOP.replace(
+            "for mask in range(1 << k):",
+            "# repro-lint: disable=RL008 -- pin loop is the contract's unit\n"
+            "    for mask in range(1 << k):",
+        )
+        assert run_lint({"src/repro/cuts/m.py": src}, **_SELECT) == []
+
+    def test_bare_suppression_rejected(self):
+        src = EXP_LOOP.replace(
+            "for mask in range(1 << k):",
+            "for mask in range(1 << k):  # repro-lint: disable=RL008",
+        )
+        findings = run_lint({"src/repro/cuts/m.py": src}, **_SELECT)
+        assert len(findings) == 1
+        assert "justification" in findings[0].message

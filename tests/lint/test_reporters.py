@@ -15,20 +15,24 @@ ALL_RULES_FIXTURE = {
         '"""Implements Lemma 9.9."""\n'
         "import repro.cli\n"
         "\n"
-        "def f(net, side):\n"
+        "def f(net, side, k):\n"
         '    """Doc."""\n'
         "    total = 0.0\n"
         "    for u, v in net.edges:\n"
         "        total += side[u] != side[v]\n"
+        "    for mask in range(1 << k):\n"
+        "        total += mask\n"
         "    net._edges = None\n"
         "    return total == 0.5\n"
     ),
 }
 
 
-def test_all_five_rules_fire_on_fixture():
+def test_all_static_rules_fire_on_fixture():
     findings = run_lint(ALL_RULES_FIXTURE)
-    assert rule_ids(findings) >= {"RL001", "RL002", "RL003", "RL004", "RL005"}
+    assert rule_ids(findings) >= {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL008",
+    }
 
 
 def test_syntax_error_becomes_rl000():
@@ -98,11 +102,12 @@ class TestCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rid in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                    "RL007"):
+                    "RL007", "RL008"):
             assert rid in out
 
 
-def test_registry_has_the_seven_shipped_rules():
+def test_registry_has_the_eight_shipped_rules():
     assert set(all_rules()) == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008",
     }

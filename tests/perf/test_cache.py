@@ -1,0 +1,114 @@
+"""SolverCache behavior: certificates, warm starts, stats and counters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuts import Cut, cut_profile, min_bisection
+from repro.cuts.enumerate_exact import CutProfile
+from repro.obs import collecting
+from repro.perf import SolverCache, cached_cut_profile
+from repro.topology import wrapped_butterfly
+
+
+def _exact_fields(value):
+    return {
+        "quantity": "BW(W4)",
+        "lower": value,
+        "upper": value,
+        "lower_evidence": "tier-1 exhaustive enumeration",
+        "upper_evidence": "explicit witness cut",
+    }
+
+
+class TestCertificates:
+    def test_exact_roundtrip_with_witness(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        best = min_bisection(w4)
+        cache.put_certificate(
+            w4, _exact_fields(best.capacity), witness_side=best.side
+        )
+        got = cache.get_certificate(w4)
+        assert got is not None
+        assert got["lower"] == got["upper"] == best.capacity
+        assert got["quantity"] == "BW(W4)"
+        side = got["witness_side"]
+        assert side is not None
+        cut = Cut(w4, side)
+        assert cut.is_bisection() and cut.capacity == best.capacity
+
+    def test_inexact_is_not_a_hit_but_seeds_warm_start(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        best = min_bisection(w4)
+        fields = _exact_fields(best.capacity)
+        fields["lower"] = best.capacity - 1
+        cache.put_certificate(w4, fields, witness_side=best.side)
+        assert cache.get_certificate(w4) is None
+        warm = cache.get_warm_start(w4)
+        assert warm is not None
+        assert Cut(w4, warm).capacity == best.capacity
+
+    def test_version_mismatch_is_a_miss(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        cache.put_certificate(w4, _exact_fields(4), version=1)
+        assert cache.get_certificate(w4, version=2) is None
+
+    def test_tampered_witness_poisons_the_entry(self, w4, tmp_path):
+        """A witness failing live verification invalidates the whole hit."""
+        cache = SolverCache(tmp_path)
+        wrong = np.zeros(w4.num_nodes, dtype=bool)
+        wrong[: w4.num_nodes // 2] = True
+        fields = _exact_fields(int(w4.cut_capacity(wrong)) + 1)
+        cache.put_certificate(w4, fields, witness_side=wrong)
+        assert cache.get_certificate(w4) is None
+        assert cache.get_warm_start(w4) is None
+
+    def test_different_instances_do_not_collide(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        cache.put_certificate(w4, _exact_fields(4))
+        other = wrapped_butterfly(8)
+        assert cache.get_certificate(other) is None
+
+
+class TestProfilesPolicy:
+    def test_incomplete_profile_refused(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        prof = cut_profile(w4)
+        partial = CutProfile(
+            w4, prof.counted, prof.values, prof.witnesses, complete=False
+        )
+        assert cache.put_profile(w4, partial) is False
+        assert cache.stats()["profiles"] == 0
+
+
+class TestCounters:
+    def test_miss_store_hit_bypass(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        with collecting() as col:
+            cached_cut_profile(w4, cache=cache)  # miss + store
+            cached_cut_profile(w4, cache=cache)  # hit
+            cached_cut_profile(w4, cache=None)  # bypass
+        assert col.counters["perf.cache.miss"] == 1
+        assert col.counters["perf.cache.store"] == 1
+        assert col.counters["perf.cache.hit"] == 1
+        assert col.counters["perf.cache.bypass"] == 1
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, w4, tmp_path):
+        cache = SolverCache(tmp_path)
+        cache.put_profile(w4, cut_profile(w4))
+        cache.put_certificate(w4, _exact_fields(4))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["profiles"] == 1
+        assert stats["certificates"] == 1
+        assert stats["payload_bytes"] > 0
+        assert cache.clear() == 2
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["payload_bytes"] == 0
+        assert cache.get_profile(w4) is None
+
+    def test_cold_cache_stats(self, tmp_path):
+        stats = SolverCache(tmp_path / "never-written").stats()
+        assert stats["entries"] == 0 and stats["payload_bytes"] == 0
