@@ -12,7 +12,7 @@ Subcommands
     The Theorem 2.20 construction: plan and, when feasible, a built and
     verified balanced bisection of ``Bn`` with capacity below ``n``.
 ``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH] [--trace PATH]
-[--cache DIR | --no-cache]``
+[--cache DIR | --no-cache] [--certificate PATH]``
     Certified ``BW`` interval by the degradation cascade
     (:func:`repro.core.fallback.solve_with_fallback`): exact solvers under
     a wall-clock budget, heuristics as fallback, always a valid bound.
@@ -21,7 +21,21 @@ Subcommands
     ``--cache DIR`` memoizes results in a
     :class:`~repro.perf.cache.SolverCache` (default from the
     ``REPRO_CACHE_DIR`` environment variable); ``--no-cache`` disables it
-    even when the variable is set.
+    even when the variable is set.  ``--certificate PATH`` writes the
+    resulting certificate (with its network spec and witness) as JSON for
+    later independent re-checking with ``verify``.
+``verify PATH``
+    Re-check a ``solve --certificate`` JSON file (or a run manifest from
+    ``solve --trace``) with the independent checker of
+    :mod:`repro.verify`: first-principles witness recount, interval
+    sanity, paper-claim inequalities.  Exits non-zero when verification
+    fails.
+``fuzz [--seed S] [--runs N] [--corpus DIR] [--trace PATH]``
+    Seeded differential fuzz campaign (:mod:`repro.verify.fuzz`): random
+    small instances through every applicable solver, cache-warm and
+    cache-cold, all answers cross-checked and every witness re-verified.
+    Failures are shrunk and saved to ``--corpus``; exits non-zero on any
+    disagreement.
 ``cache {stats,clear} [--dir DIR]``
     Inspect or empty a solver cache directory.
 ``stats MANIFEST [--json]``
@@ -126,8 +140,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     budget = Budget(args.timeout) if args.timeout is not None else None
     cache_dir = _resolve_cache_dir(args)
     if args.trace is None:
-        print(solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
-                                  cache=cache_dir))
+        cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
+                                   cache=cache_dir)
+        print(cert)
+        _maybe_write_certificate(args, net, cert)
         return 0
 
     from . import obs
@@ -155,7 +171,120 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     obs.write_manifest(args.trace, manifest)
     print(cert)
     print(f"trace written to {args.trace}", file=sys.stderr)
+    _maybe_write_certificate(args, net, cert)
     return 0
+
+
+def _maybe_write_certificate(args: argparse.Namespace, net, cert) -> None:
+    if getattr(args, "certificate", None):
+        from .verify import write_certificate
+
+        write_certificate(args.certificate, net, cert)
+        print(f"certificate written to {args.certificate}", file=sys.stderr)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from .verify import CERTIFICATE_FORMAT, check_certificate, load_certificate
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(data, dict) and data.get("format") == CERTIFICATE_FORMAT:
+        try:
+            net, fields = load_certificate(args.path)
+        except ValueError as exc:
+            print(f"verify: REJECTED: {exc}", file=sys.stderr)
+            return 1
+        report = check_certificate(net, fields)
+    elif isinstance(data, dict) and "result" in data:
+        # A run manifest from ``solve --trace``: validate its structure,
+        # then check the recorded result interval.  Manifests carry no
+        # witness, so only the network-independent checks plus the family
+        # claims (via the network rebuilt from the recorded command) run.
+        from . import obs
+
+        problems = obs.validate_manifest(data)
+        if problems:
+            for p in problems:
+                print(f"verify: invalid manifest: {p}", file=sys.stderr)
+            return 1
+        report = check_certificate(
+            _network_from_command(data.get("command")),
+            dict(data["result"]),
+            require_witness=False,
+        )
+    else:
+        print(f"verify: {args.path} is neither a certificate nor a run "
+              f"manifest", file=sys.stderr)
+        return 2
+    if report.ok:
+        print(f"verify: OK: {report.subject} "
+              f"({len(report.checks)} checks: {', '.join(report.checks)})")
+        return 0
+    print(f"verify: REJECTED: {report.subject}", file=sys.stderr)
+    for p in report.problems:
+        print(f"verify:   {p}", file=sys.stderr)
+    return 1
+
+
+def _network_from_command(command) -> "object | None":
+    """Rebuild the solved network from a manifest's recorded command."""
+    from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
+    from .topology.labels import is_power_of_two
+
+    if (
+        not isinstance(command, list) or len(command) < 3
+        or command[0] != "solve" or command[1] not in ("bn", "wn", "ccc")
+    ):
+        return None
+    try:
+        n = int(command[2])
+    except ValueError:
+        return None
+    if command[1] in ("bn", "wn") and not is_power_of_two(n):
+        n = 1 << n
+    try:
+        return {
+            "bn": butterfly, "wn": wrapped_butterfly,
+            "ccc": cube_connected_cycles,
+        }[command[1]](n)
+    except ValueError:
+        return None
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from . import obs
+    from .verify import fuzz
+
+    collector = obs.Collector()
+    with obs.collecting(collector):
+        with obs.trace("verify.fuzz.campaign", seed=args.seed, runs=args.runs):
+            report = fuzz.run_campaign(
+                seed=args.seed, runs=args.runs, corpus_dir=args.corpus,
+            )
+    if args.trace is not None:
+        manifest = obs.build_manifest(
+            collector,
+            command=["fuzz", "--seed", str(args.seed), "--runs", str(args.runs)],
+            seed=args.seed,
+            result=report.to_dict(),
+        )
+        obs.write_manifest(args.trace, manifest)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    print(f"fuzz: seed={report.seed} runs={report.runs} "
+          f"disagreements={len(report.failures)}")
+    for f in report.failures:
+        print(f"fuzz: FAIL run {f['run']} ({f['instance']}):", file=sys.stderr)
+        for p in f["problems"]:
+            print(f"fuzz:   {p}", file=sys.stderr)
+        if f.get("case_id"):
+            print(f"fuzz:   shrunk case: {f['case_id']}", file=sys.stderr)
+    return 1 if report.failures else 0
 
 
 def _format_span_tree(spans: list[dict]) -> list[str]:
@@ -201,7 +330,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if data.get("tier") is not None:
         print(f"winning tier: {data['tier']}")
     result = data.get("result")
-    if isinstance(result, dict):
+    if isinstance(result, dict) and "disagreements" in result:
+        print(f"result: fuzz seed={result.get('seed')} "
+              f"runs={result.get('runs')} "
+              f"disagreements={result.get('disagreements')}")
+    elif isinstance(result, dict):
         print(f"result: {result.get('quantity', '?')} in "
               f"[{result.get('lower', '?')}, {result.get('upper', '?')}]"
               f"{' (exact)' if result.get('exact') else ''}")
@@ -317,7 +450,29 @@ def main(argv: list[str] | None = None) -> int:
                    help="solver-cache directory (default: $REPRO_CACHE_DIR)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the solver cache even if REPRO_CACHE_DIR is set")
+    p.add_argument("--certificate", default=None, metavar="PATH",
+                   help="write the resulting certificate (network spec, "
+                        "interval, witness) as JSON for 'verify'")
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser(
+        "verify",
+        help="independently re-check a certificate JSON or run manifest",
+    )
+    p.add_argument("path", help="certificate file from solve --certificate, "
+                                "or manifest from solve --trace")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz", help="seeded differential fuzz of all solvers vs the checker"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="save shrunk failing cases to DIR (JSON, replayable)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a run manifest for the campaign to PATH")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("cache", help="inspect or clear a solver cache")
     p.add_argument("action", choices=["stats", "clear"])

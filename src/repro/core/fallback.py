@@ -118,6 +118,13 @@ def _run_cascade(
     dp_width_limit: int,
 ) -> BoundCertificate:
     """The cascade body (Theorem 2.20's solvers, tiered)."""
+    # Imported at call time: verify.checker re-derives the paper claims
+    # from core.claims, so a module-level import here would make the
+    # core↔verify package pair import-order-sensitive.
+    from ..verify.checker import (
+        WITNESS_FREE_TOKEN, check_certificate, check_profile,
+    )
+
     if budget is None:
         budget = Budget.unlimited()
     name = f"BW({net.name})"
@@ -127,33 +134,55 @@ def _run_cascade(
     lower = 0
     lower_ev = "tier-5 trivial floor (0 <= BW always)"
     upper = net.num_edges
-    upper_ev = "tier-5 trivial ceiling (cutting every edge)"
+    upper_ev = f"tier-5 trivial ceiling (cutting every edge; {WITNESS_FREE_TOKEN})"
     witness = None
 
     # Tier 0: the symmetry-aware result cache.  A verified exact hit (for
     # this instance or any isomorphic one) closes the interval without
     # running a single solver; short of that, a stored witness becomes the
-    # tier-3 warm start.
+    # tier-3 warm start.  Every hit is re-validated by the *independent*
+    # checker (repro.verify) before it is trusted — the cache's own
+    # re-verify shares the capacity kernel with the solvers, so it cannot
+    # be the last line of defense.  A rejected hit falls through to the
+    # live tiers instead of failing the solve.
     warm_side = None
     if cache is None:
         incr("perf.cache.bypass")
     else:
         hit = cache.get_certificate(net)
         if hit is not None:
-            annotate("winning_tier", "tier-0")
-            annotate("quantity", name)
-            annotate("exact", True)
-            incr("solve.certificates")
-            side = hit["witness_side"]
-            return BoundCertificate(
-                name, int(hit["lower"]), int(hit["upper"]),
-                str(hit["lower_evidence"]), str(hit["upper_evidence"]),
-                Cut(net, side) if side is not None else None,
+            fields = dict(hit)
+            fields.setdefault("quantity", name)
+            report = check_certificate(net, fields)
+            if report.ok:
+                annotate("winning_tier", "tier-0")
+                annotate("quantity", name)
+                annotate("exact", True)
+                incr("solve.certificates")
+                side = hit["witness_side"]
+                return BoundCertificate(
+                    name, int(hit["lower"]), int(hit["upper"]),
+                    str(hit["lower_evidence"]), str(hit["upper_evidence"]),
+                    Cut(net, side) if side is not None else None,
+                )
+            incr("verify.cache_rejected")
+            notes.append(
+                "tier-0 cache hit rejected by the independent checker: "
+                + "; ".join(report.problems)
             )
         warm_side = cache.get_warm_start(net)
 
     def _certificate() -> BoundCertificate:
         tail = ("; " + "; ".join(notes)) if notes else ""
+        cert = BoundCertificate(
+            name, lower, min(upper, net.num_edges),
+            lower_ev + tail, upper_ev + tail, witness,
+        )
+        # Self-check before anything downstream (caller or cache) sees the
+        # certificate: the independent checker recounts the witness and
+        # re-checks the paper claims.  A failure here is a solver bug, so
+        # it raises instead of degrading further.
+        cert.verify(net).raise_for_problems()
         # The winning tier is whichever produced the upper bound (for an
         # exact answer both sides share it); recorded as an obs note so a
         # traced run's manifest names it.
@@ -173,10 +202,7 @@ def _run_cascade(
                 },
                 witness_side=witness.side if witness is not None else None,
             )
-        return BoundCertificate(
-            name, lower, min(upper, net.num_edges),
-            lower_ev + tail, upper_ev + tail, witness,
-        )
+        return cert
 
     def _exact(value: int, evidence: str, cut=None) -> BoundCertificate:
         nonlocal lower, upper, lower_ev, upper_ev, witness
@@ -201,6 +227,14 @@ def _run_cascade(
                 cache.get_profile(net, version=BATCH_CONTRACT_VERSION)
                 if cache is not None else None
             )
+            if prof is not None and not check_profile(net, prof).ok:
+                # A cached profile that fails the independent recount is
+                # discarded and recomputed, never trusted.
+                incr("verify.cache_rejected")
+                notes.append(
+                    "tier-1 cached profile rejected by the independent checker"
+                )
+                prof = None
             if prof is None:
                 prof = cut_profile(net, budget=budget, checkpoint=checkpoint)
                 if cache is not None and prof.complete:
@@ -249,7 +283,12 @@ def _run_cascade(
         w = int(min(prof.values[n // 2], prof.values[(n + 1) // 2]))
         if w < _INT64_MAX and w < upper:
             upper = w
-            upper_ev = "tier-2 layered DP (partial pin sweep)"
+            # A truncated pin sweep keeps minima whose witness masks were
+            # not reconstructed; the marker says so explicitly instead of
+            # leaving the certificate silently witness-less.
+            upper_ev = (
+                f"tier-2 layered DP (partial pin sweep; {WITNESS_FREE_TOKEN})"
+            )
             witness = None
         notes.append(
             "tier-2 truncated: budget expired mid pin sweep; partial values "

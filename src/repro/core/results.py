@@ -63,6 +63,27 @@ class BoundCertificate:
             )
         return self.upper
 
+    def verify(self, net: Any = None, *, require_witness: bool = True):
+        """Check this certificate with the independent verifier.
+
+        Delegates to :func:`repro.verify.checker.check_certificate`, which
+        re-counts the witness cut from first principles against ``net``
+        and re-checks the applicable paper-claim inequalities — it never
+        trusts the solver that built this certificate.  Returns the
+        :class:`~repro.verify.checker.CheckReport`; call
+        ``report.raise_for_problems()`` to turn failures into an
+        exception.
+
+        ``net`` is the network the certificate is about.  Without it only
+        network-independent checks run (interval sanity); witness
+        recounting and claim checks need the live network.
+        """
+        # Imported lazily: verify sits above core's data models in the
+        # layer DAG, and most certificate consumers never verify.
+        from ..verify.checker import check_certificate
+
+        return check_certificate(net, self, require_witness=require_witness)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         if self.is_exact:
             return f"{self.quantity} = {self.upper} ({self.upper_evidence})"

@@ -25,6 +25,12 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "resilience": frozenset({"topology", "obs"}),
     "cuts": frozenset({"topology", "resilience", "obs"}),
     "perf": frozenset({"topology", "cuts", "resilience", "obs"}),
+    # Independent verification: first-principles edge counting only.  The
+    # checker may see topology and obs (plus the pure claim table, via a
+    # module-granular exception below); the fuzz harness drives the whole
+    # solver stack through further module-granular exceptions.  No solver
+    # package may depend on verify (see also RL009).
+    "verify": frozenset({"topology", "obs"}),
     "embeddings": frozenset({"topology"}),
     "routing": frozenset({"topology", "obs"}),
     "expansion": frozenset({"topology", "cuts", "routing"}),
@@ -32,7 +38,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "core": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "resilience", "obs", "perf",
+            "analysis", "resilience", "obs", "perf", "verify",
         }
     ),
     "io": frozenset({"topology", "cuts", "core"}),
@@ -41,6 +47,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
             "analysis", "core", "io", "lint", "resilience", "obs", "perf",
+            "verify",
         }
     ),
     "__init__": frozenset({"topology", "core"}),
@@ -55,6 +62,18 @@ DEFAULT_LAYER_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset(
     {
         ("repro.embeddings", "repro.routing.paths"),
         ("repro.routing.emulation", "repro.embeddings.embedding"),
+        # The checker re-derives paper inequalities from the pure claim
+        # table only — never from solver code; core.claims imports nothing,
+        # so the core→verify edge above stays acyclic at module level.
+        ("repro.verify.checker", "repro.core.claims"),
+        # The fuzz harness *drives* every solver, the cascade, the cache
+        # and the fault injector against the checker.  These edges point
+        # from the verifier down into what it tests; the reverse direction
+        # is what RL009 forbids.
+        ("repro.verify.fuzz", "repro.cuts"),
+        ("repro.verify.fuzz", "repro.core.fallback"),
+        ("repro.verify.fuzz", "repro.perf.cache"),
+        ("repro.verify.fuzz", "repro.resilience.faults"),
     }
 )
 

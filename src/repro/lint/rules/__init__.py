@@ -12,6 +12,7 @@ from . import frozen_mutation  # noqa: F401
 from . import benchmark_drift  # noqa: F401
 from . import obs_timing  # noqa: F401
 from . import complexity_budget  # noqa: F401
+from . import verify_independence  # noqa: F401
 
 __all__ = [
     "claim_citation",
@@ -22,4 +23,5 @@ __all__ = [
     "benchmark_drift",
     "obs_timing",
     "complexity_budget",
+    "verify_independence",
 ]

@@ -1,0 +1,80 @@
+"""RL009 verify-independence: solvers must not import the checker.
+
+The whole value of :mod:`repro.verify` is that its certificate checker
+re-counts cut edges from first principles, *independently* of the solver
+that produced the answer.  That independence is one-directional: the
+verify layer drives the solvers (through its fuzz harness and through the
+cascade's self-check call sites in ``core``), but a solver that consults
+the checker — say, to "pre-verify" its own witness or to special-case
+whatever the checker looks at — collapses the two derivations into one
+and the differential test into a tautology.
+
+This rule flags any import of ``repro.verify`` from the solver packages
+(``cuts``, ``perf``), at module level or inside a function (a lazy import
+is still a dependency).  Advisory (``warning``) because the layer DAG
+(RL002) already hard-errors the module-level case; this rule exists to
+name the *reason* and to catch function-level imports that a future DAG
+exception might otherwise let through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..model import LintContext, ModuleInfo
+from ..registry import Rule, register
+
+__all__ = ["VerifyIndependenceRule"]
+
+#: Packages that produce answers the checker must stay independent of.
+_SOLVER_PACKAGES = frozenset({"cuts", "perf"})
+
+
+@register
+class VerifyIndependenceRule(Rule):
+    rule_id = "RL009"
+    name = "verify-independence"
+    description = (
+        "solver packages (cuts, perf) must not import repro.verify: the "
+        "checker's independence is one-directional, and a solver that "
+        "consults it turns the differential test into a tautology"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if module.package not in _SOLVER_PACKAGES:
+            return
+        path = str(module.path)
+        depth = len(module.repro_parts)  # relative-import levels to 'repro'
+        for node in ast.walk(module.tree):
+            hit: int | None = None
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name == "repro.verify"
+                    or alias.name.startswith("repro.verify.")
+                    for alias in node.names
+                ):
+                    hit = node.lineno
+            elif isinstance(node, ast.ImportFrom):
+                dotted = node.module or ""
+                if node.level >= depth:
+                    # Relative import reaching the 'repro' root (e.g.
+                    # ``from ..verify import checker`` inside cuts/x.py).
+                    dotted = f"repro.{dotted}" if dotted else "repro"
+                if dotted == "repro.verify" or dotted.startswith("repro.verify."):
+                    hit = node.lineno
+                elif dotted == "repro" and any(
+                    alias.name == "verify" for alias in node.names
+                ):
+                    hit = node.lineno
+            if hit is not None:
+                yield Finding(
+                    path, hit, 0, self.rule_id,
+                    f"solver module imports repro.verify: the independent "
+                    f"checker must never feed back into "
+                    f"'{module.package}' — verification runs above the "
+                    f"solvers (core cascade, fuzz harness, CLI), not inside "
+                    f"them",
+                    Severity.WARNING,
+                )

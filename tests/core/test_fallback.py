@@ -4,8 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core import solve_with_fallback
+from repro.obs import Collector, collecting
+from repro.perf.cache import SolverCache
 from repro.resilience import Budget, CancellationToken
-from repro.topology import Network, butterfly, random_regular_graph
+from repro.topology import Network, butterfly, random_regular_graph, wrapped_butterfly
+from repro.verify import WITNESS_FREE_TOKEN
 
 
 def _path(n):
@@ -86,3 +89,90 @@ class TestDegradation:
     def test_quantity_names_the_network(self, b4):
         cert = solve_with_fallback(b4, budget=Budget(0))
         assert b4.name in cert.quantity
+
+
+class TestWitnessContract:
+    """Every certificate carries a checkable witness or says it doesn't."""
+
+    def test_exact_solves_carry_a_witness(self, b4):
+        cert = solve_with_fallback(b4)
+        assert cert.witness is not None
+        assert cert.witness.capacity == cert.upper
+
+    def test_trivial_ceiling_is_marked_witness_free(self, b4):
+        cert = solve_with_fallback(b4, budget=Budget(0))
+        assert cert.witness is None
+        assert WITNESS_FREE_TOKEN in cert.upper_evidence
+
+    def test_partial_pin_sweep_is_marked_witness_free(self):
+        # W8 is cyclic, so the DP pins the first layer's 2^8 masks one
+        # sweep at a time and can genuinely truncate between pins.  Expire
+        # the budget after a few polls; the kept minima outlive their
+        # witnesses and the certificate must say so.
+        t = {"v": 0.0}
+
+        def clock():
+            t["v"] += 1.0
+            return t["v"]
+
+        w8 = wrapped_butterfly(8)
+        cert = solve_with_fallback(
+            w8, budget=Budget(3.5, clock=clock), enum_limit=0, bb_limit=0,
+        )
+        assert "tier-2" in cert.upper_evidence
+        assert "partial pin sweep" in cert.upper_evidence
+        assert cert.witness is None
+        assert WITNESS_FREE_TOKEN in cert.upper_evidence
+        assert cert.upper < w8.num_edges  # the partial sweep did tighten
+
+    def test_witness_or_marker_holds_across_budgets(self, b4, b8):
+        for net in (b4, b8, _path(9)):
+            for seconds in (0, 0.001, None):
+                cert = solve_with_fallback(net, budget=Budget(seconds))
+                if cert.witness is None:
+                    assert WITNESS_FREE_TOKEN in cert.upper_evidence
+                else:
+                    assert cert.witness.capacity == cert.upper
+
+    def test_certificates_self_verify(self, b4):
+        cert = solve_with_fallback(b4)
+        report = cert.verify(b4)
+        assert report.ok and "witness" in report.checks
+
+
+class TestCacheRevalidation:
+    """Tier-0 hits are re-checked independently, never trusted blindly."""
+
+    def test_poisoned_cache_entry_is_rejected_and_recomputed(self, b4, tmp_path):
+        cache = SolverCache(tmp_path)
+        # An "exact" BW(B4) = 3 with no witness and no witness-free marker:
+        # the cache's own gating has nothing to recount, so only the
+        # independent checker can refute it (Theorem 2.20 floor + the
+        # witness-or-marker contract).
+        cache.put_certificate(
+            b4,
+            {
+                "quantity": f"BW({b4.name})",
+                "lower": 3, "upper": 3,
+                "lower_evidence": "tier-1 exhaustive enumeration (exact)",
+                "upper_evidence": "tier-1 exhaustive enumeration (exact)",
+            },
+            witness_side=None,
+        )
+        assert cache.get_certificate(b4) is not None  # the poison is served
+        with collecting(Collector()) as coll:
+            cert = solve_with_fallback(b4, cache=cache)
+        assert cert.lower == cert.upper == 4  # recomputed, not trusted
+        assert coll.counters.get("verify.cache_rejected", 0) >= 1
+        assert "tier-0 cache hit rejected by the independent checker" in (
+            cert.upper_evidence
+        )
+
+    def test_clean_cache_hit_still_wins(self, b4, tmp_path):
+        cache = SolverCache(tmp_path)
+        solve_with_fallback(b4, cache=cache)  # populate
+        with collecting(Collector()) as coll:
+            cert = solve_with_fallback(b4, cache=cache)
+        assert cert.lower == cert.upper == 4
+        assert coll.counters.get("verify.cache_rejected", 0) == 0
+        assert coll.counters.get("solve.tiers_run", 0) == 0  # pure tier-0

@@ -1,0 +1,147 @@
+"""Adversarial properties: brute force vs the expansion layer.
+
+Independent ground truth here is a deliberately naive Python sweep over
+explicit subsets — no layered DP, no bitmask batching, no credit
+propagation.  Anything the fast paths disagree with it on is a bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    edge_credit_report,
+    edge_expansion_of_set,
+    edge_expansion_profile,
+    ee_bn_lower,
+    ee_wn_lower,
+    ne_bn_lower,
+    ne_wn_lower,
+    node_credit_report,
+    node_expansion_of_set,
+    node_expansion_profile,
+)
+from repro.topology import butterfly, wrapped_butterfly
+
+
+def _brute_ee(net):
+    """min C(S, S̄) per |S| over *all* subsets, one edge at a time."""
+    n = net.num_nodes
+    edges = [(int(u), int(v)) for u, v in net.edges]
+    best = [len(edges) + 1] * (n + 1)
+    best[0] = best[n] = 0
+    for mask in range(1 << n):
+        cap = sum(
+            1 for u, v in edges if ((mask >> u) & 1) != ((mask >> v) & 1)
+        )
+        k = mask.bit_count()
+        if cap < best[k]:
+            best[k] = cap
+    return best
+
+
+def _brute_ne(net):
+    """min |N(S)| per |S| over all nonempty subsets, via adjacency sets."""
+    n = net.num_nodes
+    adj = [set() for _ in range(n)]
+    for u, v in net.edges:
+        adj[int(u)].add(int(v))
+        adj[int(v)].add(int(u))
+    best = [n + 1] * (n + 1)
+    best[0] = 0
+    for mask in range(1, 1 << n):
+        members = [v for v in range(n) if (mask >> v) & 1]
+        neigh = set()
+        for v in members:
+            neigh |= adj[v]
+        neigh -= set(members)
+        k = len(members)
+        best[k] = min(best[k], len(neigh))
+    return best
+
+
+@pytest.mark.parametrize("net", [wrapped_butterfly(4), butterfly(4)],
+                         ids=lambda net: net.name)
+class TestProfilesAgainstBruteForce:
+    def test_edge_expansion_profile(self, net):
+        assert list(edge_expansion_profile(net)) == _brute_ee(net)
+
+    def test_node_expansion_profile(self, net):
+        got = list(node_expansion_profile(net))
+        assert got[1:] == _brute_ne(net)[1:]
+
+
+@pytest.mark.parametrize("net", [wrapped_butterfly(4), butterfly(4)],
+                         ids=lambda net: net.name)
+class TestSetFunctionsAgainstBruteForce:
+    def test_random_sets(self, net):
+        n = net.num_nodes
+        edges = [(int(u), int(v)) for u, v in net.edges]
+        rng = np.random.default_rng(42)
+        for _ in range(40):
+            k = int(rng.integers(1, n))
+            members = rng.choice(n, size=k, replace=False)
+            in_s = set(int(v) for v in members)
+            cap = sum(1 for u, v in edges if (u in in_s) != (v in in_s))
+            assert edge_expansion_of_set(net, members) == cap
+            neigh = set()
+            for u, v in edges:
+                if u in in_s and v not in in_s:
+                    neigh.add(v)
+                if v in in_s and u not in in_s:
+                    neigh.add(u)
+            assert node_expansion_of_set(net, members) == len(neigh)
+
+
+class TestPaperBoundsAgainstExactValues:
+    """The Section 4 curves must sit below the true profiles everywhere."""
+
+    @pytest.mark.parametrize("lg", [4, 8])
+    def test_wn_curves(self, lg):
+        w = wrapped_butterfly(lg)
+        ee = edge_expansion_profile(w)
+        ne = node_expansion_profile(w) if w.num_nodes <= 16 else None
+        for k in range(1, w.num_nodes):
+            assert ee_wn_lower(k, w.num_nodes) <= ee[k] + 1e-9
+            if ne is not None:
+                assert ne_wn_lower(k, w.num_nodes) <= ne[k] + 1e-9
+
+    @pytest.mark.parametrize("lg", [4, 8])
+    def test_bn_curves(self, lg):
+        b = butterfly(lg)
+        ee = edge_expansion_profile(b)
+        ne = node_expansion_profile(b) if b.num_nodes <= 16 else None
+        for k in range(1, b.num_nodes):
+            assert ee_bn_lower(k, b.num_nodes) <= ee[k] + 1e-9
+            if ne is not None:
+                assert ne_bn_lower(k, b.num_nodes) <= ne[k] + 1e-9
+
+
+# (network, max k) pairs inside each lemma's regime: k = o(n) for Wn,
+# k = o(sqrt n) for Bn — outside it the per-target caps legitimately fail.
+_CREDIT_REGIMES = [(wrapped_butterfly(16), 10), (wrapped_butterfly(32), 12),
+                   (butterfly(16), 4), (butterfly(64), 5)]
+
+
+@pytest.mark.parametrize("bf,kmax", _CREDIT_REGIMES,
+                         ids=lambda p: getattr(p, "name", p))
+class TestCreditSchemesOnRandomSets:
+    """Lemmas 4.2/4.5 (Wn) and 4.8/4.11 (Bn) on seeded adversarial k-sets."""
+
+    def test_edge_scheme_accounts_exactly(self, bf, kmax):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            k = int(rng.integers(2, kmax + 1))
+            members = rng.choice(bf.num_nodes, size=k, replace=False)
+            rep = edge_credit_report(bf, members)
+            rep.check()
+            assert rep.true_value == edge_expansion_of_set(bf, members)
+            assert rep.lower_bound <= rep.true_value + 1e-9
+
+    def test_node_scheme_accounts_exactly(self, bf, kmax):
+        rng = np.random.default_rng(8)
+        for _ in range(25):
+            k = int(rng.integers(2, kmax + 1))
+            members = rng.choice(bf.num_nodes, size=k, replace=False)
+            rep = node_credit_report(bf, members)
+            rep.check()
+            assert rep.true_value == node_expansion_of_set(bf, members)

@@ -102,12 +102,12 @@ class TestCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rid in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                    "RL007", "RL008"):
+                    "RL007", "RL008", "RL009"):
             assert rid in out
 
 
-def test_registry_has_the_eight_shipped_rules():
+def test_registry_has_the_nine_shipped_rules():
     assert set(all_rules()) == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008",
+        "RL008", "RL009",
     }

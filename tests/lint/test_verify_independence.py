@@ -1,0 +1,62 @@
+"""RL009 verify-independence: solvers must not import the checker."""
+
+from .conftest import rule_ids, run_lint
+
+_SELECT = {"select": frozenset({"RL009"})}
+
+
+class TestRL009:
+    def test_module_level_import_in_a_solver_is_flagged(self):
+        findings = run_lint(
+            {"src/repro/cuts/m.py": "from repro.verify import check_certificate\n"},
+            **_SELECT,
+        )
+        assert rule_ids(findings) == {"RL009"}
+        assert all(f.severity.value == "warning" for f in findings)
+
+    def test_plain_import_is_flagged(self):
+        findings = run_lint(
+            {"src/repro/perf/m.py": "import repro.verify.checker\n"},
+            **_SELECT,
+        )
+        assert rule_ids(findings) == {"RL009"}
+
+    def test_function_level_import_is_flagged(self):
+        src = (
+            "def solve():\n"
+            "    from repro.verify.checker import recount_capacity\n"
+            "    return recount_capacity\n"
+        )
+        findings = run_lint({"src/repro/cuts/m.py": src}, **_SELECT)
+        assert rule_ids(findings) == {"RL009"}
+
+    def test_relative_import_is_flagged(self):
+        findings = run_lint(
+            {"src/repro/cuts/m.py": "from ..verify import checker\n"},
+            **_SELECT,
+        )
+        assert rule_ids(findings) == {"RL009"}
+
+    def test_from_repro_import_verify_is_flagged(self):
+        findings = run_lint(
+            {"src/repro/perf/m.py": "from repro import verify\n"},
+            **_SELECT,
+        )
+        assert rule_ids(findings) == {"RL009"}
+
+    def test_non_solver_packages_may_import_verify(self):
+        findings = run_lint(
+            {
+                "src/repro/core/m.py": "from repro.verify import checker\n",
+                "src/repro/cli_extra/m.py": "import repro.verify\n",
+            },
+            **_SELECT,
+        )
+        assert findings == []
+
+    def test_other_imports_in_solvers_are_fine(self):
+        findings = run_lint(
+            {"src/repro/cuts/m.py": "from repro.topology import butterfly\n"},
+            **_SELECT,
+        )
+        assert findings == []

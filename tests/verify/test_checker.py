@@ -1,0 +1,221 @@
+"""The independent certificate checker: first-principles recounting only."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_with_fallback
+from repro.cuts import cut_profile
+from repro.topology import butterfly, cube_connected_cycles, wrapped_butterfly
+from repro.topology.mesh_of_stars import mesh_of_stars
+from repro.verify import (
+    WITNESS_FREE_TOKEN,
+    VerificationError,
+    check_certificate,
+    check_cut,
+    check_profile,
+    recount_capacity,
+)
+
+
+@pytest.fixture
+def b4():
+    return butterfly(4)
+
+
+class TestRecount:
+    def test_matches_a_hand_count(self, b4):
+        side = np.zeros(b4.num_nodes, dtype=bool)
+        side[0] = True  # a degree-2 input node: exactly its 2 edges cross
+        assert recount_capacity(b4, side) == 2
+
+    def test_agrees_with_the_kernel_everywhere(self, b4):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            side = rng.random(b4.num_nodes) < 0.5
+            assert recount_capacity(b4, side) == b4.cut_capacity(side)
+
+
+class TestCheckCut:
+    def test_clean_cut_passes(self, b4):
+        side = np.arange(b4.num_nodes) < b4.num_nodes // 2
+        cap = recount_capacity(b4, side)
+        assert check_cut(b4, side, expected_capacity=cap,
+                         require_bisection=True) == []
+
+    def test_flipped_capacity_is_caught(self, b4):
+        side = np.arange(b4.num_nodes) < b4.num_nodes // 2
+        cap = recount_capacity(b4, side)
+        problems = check_cut(b4, side, expected_capacity=cap - 1)
+        assert any("recounted capacity" in p for p in problems)
+
+    def test_unbalanced_bisection_is_caught(self, b4):
+        side = np.zeros(b4.num_nodes, dtype=bool)
+        side[0] = True
+        problems = check_cut(b4, side, require_bisection=True)
+        assert any("not a bisection" in p for p in problems)
+
+    def test_counted_in_mismatch_is_caught(self, b4):
+        side = np.arange(b4.num_nodes) < b4.num_nodes // 2
+        problems = check_cut(b4, side, counted=b4.inputs(), expected_counted_in=0)
+        assert any("counted nodes in S" in p for p in problems)
+
+    def test_wrong_shape_is_caught(self, b4):
+        problems = check_cut(b4, np.array([True, False]))
+        assert any("shape" in p for p in problems)
+
+
+class TestCheckCertificate:
+    def test_cascade_output_verifies(self, b4):
+        cert = solve_with_fallback(b4)
+        report = check_certificate(b4, cert)
+        assert report.ok, report.problems
+        assert "witness" in report.checks
+        assert "theorem-2.20" in report.checks
+
+    def test_verify_hook_on_the_dataclass(self, b4):
+        cert = solve_with_fallback(b4)
+        assert cert.verify(b4).ok
+        # Without the network only interval sanity applies.
+        assert cert.verify().ok
+
+    def test_flipped_width_is_rejected(self, b4):
+        cert = solve_with_fallback(b4)
+        bad = {
+            "quantity": cert.quantity,
+            "lower": cert.lower - 1, "upper": cert.upper - 1,
+            "lower_evidence": cert.lower_evidence,
+            "upper_evidence": cert.upper_evidence,
+            "witness_side": cert.witness.side,
+        }
+        report = check_certificate(b4, bad)
+        assert not report.ok
+        assert any("recounted capacity" in p for p in report.problems)
+
+    def test_out_of_orbit_witness_is_rejected(self, b4):
+        # A witness from a *different* cut than the claimed capacity: take
+        # the optimal side and flip two nodes on the same side.
+        cert = solve_with_fallback(b4)
+        for i in np.flatnonzero(cert.witness.side):
+            for o in np.flatnonzero(~cert.witness.side):
+                side = cert.witness.side.copy()
+                side[i], side[o] = False, True
+                if recount_capacity(b4, side) != cert.upper:
+                    break
+            else:
+                continue
+            break
+        else:
+            pytest.fail("every single swap preserved optimality")
+        bad = dict(quantity=cert.quantity, lower=cert.lower, upper=cert.upper,
+                   lower_evidence=cert.lower_evidence,
+                   upper_evidence=cert.upper_evidence, witness_side=side)
+        assert not check_certificate(b4, bad).ok
+
+    def test_missing_witness_without_marker_is_rejected(self, b4):
+        bad = {
+            "quantity": f"BW({b4.name})", "lower": 0, "upper": 4,
+            "lower_evidence": "tier-5 trivial floor",
+            "upper_evidence": "tier-3 branch and bound (truncated)",
+            "witness_side": None,
+        }
+        report = check_certificate(b4, bad)
+        assert any(WITNESS_FREE_TOKEN in p for p in report.problems)
+
+    def test_witness_free_marker_is_honored(self, b4):
+        ok = {
+            "quantity": f"BW({b4.name})", "lower": 0, "upper": b4.num_edges,
+            "lower_evidence": "tier-5 trivial floor",
+            "upper_evidence": f"tier-5 trivial ceiling ({WITNESS_FREE_TOKEN})",
+            "witness_side": None,
+        }
+        assert check_certificate(b4, ok).ok
+
+    def test_interval_inversion_is_rejected(self, b4):
+        bad = {"quantity": "BW(B4)", "lower": 5, "upper": 4,
+               "lower_evidence": "", "upper_evidence": "", "witness_side": None}
+        report = check_certificate(b4, bad)
+        assert any("exceeds upper" in p for p in report.problems)
+
+    def test_upper_above_edge_count_is_rejected(self, b4):
+        bad = {"quantity": f"BW({b4.name})", "lower": 0,
+               "upper": b4.num_edges + 1,
+               "lower_evidence": "", "upper_evidence": "", "witness_side": None}
+        report = check_certificate(b4, bad)
+        assert any("exceeds |E|" in p for p in report.problems)
+
+    def test_theorem_220_floor_refutes_a_too_small_exact_width(self, b4):
+        # An "exact" BW(B4) = 3 contradicts the strict 2(sqrt2-1)n floor.
+        bad = {"quantity": f"BW({b4.name})", "lower": 3, "upper": 3,
+               "lower_evidence": "forged", "upper_evidence": "forged",
+               "witness_side": None}
+        report = check_certificate(b4, bad)
+        assert any("Theorem 2.20" in p for p in report.problems)
+
+    def test_lemma_32_pins_wrapped_width(self):
+        w4 = wrapped_butterfly(4)
+        bad = {"quantity": f"BW({w4.name})", "lower": 5, "upper": 5,
+               "lower_evidence": "forged", "upper_evidence": "forged",
+               "witness_side": None}
+        report = check_certificate(w4, bad)
+        assert any("Lemma 3.2" in p for p in report.problems)
+
+    def test_lemma_33_pins_ccc_width(self):
+        c4 = cube_connected_cycles(4)
+        bad = {"quantity": f"BW({c4.name})", "lower": 3, "upper": 3,
+               "lower_evidence": "forged", "upper_evidence": "forged",
+               "witness_side": None}
+        report = check_certificate(c4, bad)
+        assert any("Lemma 3.3" in p for p in report.problems)
+
+    def test_raise_for_problems(self, b4):
+        bad = {"quantity": "BW(B4)", "lower": 3, "upper": 3,
+               "lower_evidence": "forged", "upper_evidence": "forged",
+               "witness_side": None}
+        with pytest.raises(VerificationError, match="Theorem 2.20"):
+            check_certificate(b4, bad).raise_for_problems()
+
+
+class TestCheckProfile:
+    def test_enumerated_profile_verifies(self, b4):
+        assert check_profile(b4, cut_profile(b4)).ok
+
+    def test_mos_m2_profile_verifies(self):
+        m = mesh_of_stars(3, 3)
+        assert check_profile(m, cut_profile(m, counted=m.m2())).ok
+
+    def test_tampered_value_is_caught(self, b4):
+        prof = cut_profile(b4)
+        values = prof.values.copy()
+        values[b4.num_nodes // 2] -= 1
+        bad = {"counted": prof.counted, "values": values,
+               "witnesses": prof.witnesses, "complete": True}
+        report = check_profile(b4, bad)
+        assert any("recounted capacity" in p for p in report.problems)
+
+    def test_tampered_witness_is_caught(self, b4):
+        prof = cut_profile(b4)
+        witnesses = prof.witnesses.copy()
+        c = b4.num_nodes // 2
+        witnesses[c] = int(witnesses[c]) ^ 0b11  # move two nodes across
+        bad = {"counted": prof.counted, "values": prof.values,
+               "witnesses": witnesses, "complete": True}
+        assert not check_profile(b4, bad).ok
+
+    def test_broken_complement_symmetry_is_caught(self, b4):
+        prof = cut_profile(b4)
+        values = prof.values.copy()
+        values[1] += 1  # also breaks the witness recount at c=1
+        bad = {"counted": prof.counted, "values": values,
+               "witnesses": prof.witnesses, "complete": True}
+        report = check_profile(b4, bad)
+        assert any("complement asymmetry" in p for p in report.problems)
+
+    def test_nonzero_trivial_ends_are_caught(self, b4):
+        prof = cut_profile(b4)
+        m = len(prof.counted)
+        values = prof.values.copy()
+        values[0] = values[m] = 2
+        bad = {"counted": prof.counted, "values": values,
+               "witnesses": prof.witnesses, "complete": True}
+        report = check_profile(b4, bad)
+        assert any("trivial entries" in p for p in report.problems)

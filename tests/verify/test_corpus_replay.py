@@ -1,0 +1,33 @@
+"""Tier-1 regression replay of the checked-in shrunk fuzz corpus.
+
+Every case in ``tests/corpus/`` runs through the full differential
+oracle (solvers vs enumeration vs the independent checker).  A failure
+here means a past disagreement has resurfaced — reproduce it with
+``repro-butterfly fuzz`` using the seed recorded in the case's
+``origin`` field (see docs/testing.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import fuzz
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+CASES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CASES) >= 20, "the checked-in corpus shrank below 20 cases"
+
+
+def test_corpus_covers_every_family():
+    families = {fuzz.load_case(p).spec["family"] for p in CASES}
+    assert {"bn", "wn", "ccc", "mos", "generic"} <= families
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_replay(path):
+    case = fuzz.load_case(path)
+    problems = fuzz.replay_case(case)
+    assert problems == [], f"{case.case_id} ({case.note}): {problems}"

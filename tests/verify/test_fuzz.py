@@ -1,0 +1,106 @@
+"""The differential fuzzer: determinism, oracles, shrinking, corpus I/O."""
+
+import numpy as np
+
+from repro.topology import butterfly
+from repro.topology.base import Network
+from repro.verify import fuzz
+
+
+class TestGenerateInstance:
+    def test_deterministic_per_seed(self):
+        for i in range(10):
+            a = fuzz.generate_instance(np.random.default_rng((7, i)))
+            b = fuzz.generate_instance(np.random.default_rng((7, i)))
+            assert a[0].edge_digest == b[0].edge_digest
+            assert a[2] == b[2]
+            if a[1] is None:
+                assert b[1] is None
+            else:
+                np.testing.assert_array_equal(a[1], b[1])
+
+    def test_instances_stay_small(self):
+        for i in range(30):
+            net, counted, _ = fuzz.generate_instance(
+                np.random.default_rng((11, i))
+            )
+            assert 2 <= net.num_nodes <= 16
+            if counted is not None:
+                assert len(counted) >= 1
+                assert counted.max() < net.num_nodes
+
+
+class TestDifferentialCheck:
+    def test_pristine_butterfly_agrees(self):
+        assert fuzz.differential_check(butterfly(4)) == []
+
+    def test_counted_set_agrees(self):
+        net = butterfly(4)
+        assert fuzz.differential_check(net, net.inputs()) == []
+
+
+class TestShrink:
+    def test_shrinks_to_a_minimal_failing_instance(self):
+        # Synthetic oracle: "fails" whenever any edge survives.  The
+        # greedy pass must reach a 2-node single-edge instance.
+        net, counted = fuzz.shrink_instance(
+            butterfly(2), None, lambda cand, _: cand.num_edges >= 1
+        )
+        assert net.num_nodes == 2
+        assert net.num_edges == 1
+        assert counted is None
+
+    def test_counted_indices_are_remapped(self):
+        net0 = Network(list(range(5)), [(i, i + 1) for i in range(4)],
+                       name="path5")
+        counted0 = np.array([0, 4])
+
+        def failing(cand, counted):
+            return cand.num_edges >= 1 and counted is not None
+
+        net, counted = fuzz.shrink_instance(net0, counted0, failing)
+        assert counted is not None and len(counted) == 2
+        assert all(0 <= c < net.num_nodes for c in counted)
+
+    def test_respects_the_check_budget(self):
+        calls = {"n": 0}
+
+        def failing(cand, _):
+            calls["n"] += 1
+            return True
+
+        fuzz.shrink_instance(butterfly(4), None, failing, max_checks=10)
+        assert calls["n"] <= 10
+
+
+class TestCorpus:
+    def test_case_round_trip(self, tmp_path):
+        net = butterfly(4)
+        case = fuzz.case_from_network(net, net.inputs(), note="B4 inputs")
+        path = fuzz.save_case(tmp_path, case)
+        loaded = fuzz.load_case(path)
+        assert loaded == case
+        assert loaded.network().edge_digest == net.edge_digest
+        assert fuzz.replay_case(loaded) == []
+
+    def test_generic_case_forgets_the_family(self, tmp_path):
+        case = fuzz.case_from_network(butterfly(2), generic=True, note="")
+        assert case.spec["family"] == "generic"
+        loaded = fuzz.load_case(fuzz.save_case(tmp_path, case))
+        assert loaded.network().edge_digest == butterfly(2).edge_digest
+
+    def test_load_corpus_sorted(self, tmp_path):
+        for n in (2, 4):
+            fuzz.save_case(tmp_path, fuzz.case_from_network(butterfly(n)))
+        cases = fuzz.load_corpus(tmp_path)
+        assert [c.case_id for c in cases] == sorted(c.case_id for c in cases)
+        assert len(cases) == 2
+
+
+class TestCampaign:
+    def test_smoke_campaign_is_clean_and_deterministic(self, tmp_path):
+        a = fuzz.run_campaign(seed=3, runs=6, corpus_dir=tmp_path)
+        assert a.ok and a.failures == [] and a.runs == 6
+        assert list(tmp_path.iterdir()) == []  # nothing failed, nothing saved
+        b = fuzz.run_campaign(seed=3, runs=6)
+        assert b.to_dict() == a.to_dict()

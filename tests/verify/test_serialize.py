@@ -1,0 +1,81 @@
+"""Certificate JSON round-trips and drift rejection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import solve_with_fallback
+from repro.topology import (
+    butterfly,
+    cube_connected_cycles,
+    mesh_of_stars,
+    wrapped_butterfly,
+)
+from repro.topology.base import Network
+from repro.verify import (
+    CERTIFICATE_FORMAT,
+    check_certificate,
+    load_certificate,
+    network_from_spec,
+    network_spec,
+    write_certificate,
+)
+
+
+@pytest.mark.parametrize(
+    "net",
+    [
+        butterfly(4),
+        wrapped_butterfly(4),
+        cube_connected_cycles(4),
+        mesh_of_stars(2, 3),
+        Network(list(range(4)), [(0, 1), (1, 2), (2, 3)], name="path4"),
+    ],
+    ids=lambda net: net.name,
+)
+def test_network_spec_round_trip(net):
+    rebuilt = network_from_spec(network_spec(net))
+    assert rebuilt.num_nodes == net.num_nodes
+    assert rebuilt.edge_digest == net.edge_digest
+
+
+def test_drifted_spec_is_rejected():
+    spec = network_spec(butterfly(4))
+    spec["edge_digest"] = "0" * len(spec["edge_digest"])
+    with pytest.raises(ValueError, match="drift"):
+        network_from_spec(spec)
+
+
+def test_unknown_family_is_rejected():
+    with pytest.raises(ValueError, match="unknown network family"):
+        network_from_spec({"family": "torus", "num_nodes": 4})
+
+
+def test_certificate_round_trip_still_verifies(tmp_path):
+    net = butterfly(4)
+    cert = solve_with_fallback(net)
+    path = write_certificate(tmp_path / "b4.json", net, cert)
+    loaded_net, fields = load_certificate(path)
+    assert fields["quantity"] == cert.quantity
+    assert fields["lower"] == cert.lower and fields["upper"] == cert.upper
+    np.testing.assert_array_equal(fields["witness_side"], cert.witness.side)
+    assert check_certificate(loaded_net, fields).ok
+
+
+def test_tampered_file_is_rejected_by_the_checker(tmp_path):
+    net = butterfly(4)
+    path = write_certificate(tmp_path / "b4.json", net, solve_with_fallback(net))
+    data = json.loads(path.read_text())
+    data["lower"] -= 1
+    data["upper"] -= 1
+    path.write_text(json.dumps(data))
+    loaded_net, fields = load_certificate(path)
+    assert not check_certificate(loaded_net, fields).ok
+
+
+def test_wrong_format_marker_is_rejected(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"format": "something/else"}))
+    with pytest.raises(ValueError, match=CERTIFICATE_FORMAT):
+        load_certificate(path)
