@@ -1,0 +1,90 @@
+"""LINT — whole-program analysis wall-time and graph shape.
+
+Times the ``repro-lint`` analysis substrate over the real ``src/repro``
+tree twice with a digest-keyed summary cache: the cold pass extracts
+every module summary, the warm pass must re-use all of them (hits == N,
+misses == 0).  The call-graph/taint export from ``repro-lint graph`` is
+schema-validated and its node/edge counts reported, so a regression that
+silently drops edges (or stops caching) shows up as a benchmark diff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint import LintConfig
+from repro.lint.analysis import (
+    SummaryCache,
+    build_project_analysis,
+    validate_graph,
+)
+from repro.lint.runner import collect_files
+from repro.lint.model import ModuleInfo
+
+from _report import emit, emit_json
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+def _modules() -> list[ModuleInfo]:
+    return [
+        ModuleInfo.from_source(
+            path.relative_to(REPO), path.read_text(encoding="utf-8")
+        )
+        for path in collect_files([SRC])
+    ]
+
+
+def _timed_analysis(modules, config, cache):
+    start = time.perf_counter()
+    analysis = build_project_analysis(modules, config, cache=cache)
+    return analysis, time.perf_counter() - start
+
+
+def test_lint_walltime(benchmark, tmp_path):
+    config = LintConfig()
+    modules = _modules()
+    n = len(modules)
+
+    cold_cache = SummaryCache(tmp_path / "cache")
+    _, cold_s = _timed_analysis(modules, config, cold_cache)
+    assert cold_cache.stats() == {"hits": 0, "misses": n}
+
+    warm_cache = SummaryCache(tmp_path / "cache")
+    analysis, warm_s = _timed_analysis(modules, config, warm_cache)
+    assert warm_cache.stats() == {"hits": n, "misses": 0}
+
+    graph = analysis.to_graph_dict()
+    assert validate_graph(graph) == []
+    stats = graph["stats"]
+
+    rows = [
+        f"{'phase':>12} {'seconds':>9} {'hits':>6} {'misses':>7}",
+        f"{'cold':>12} {cold_s:>9.3f} {0:>6} {n:>7}",
+        f"{'warm':>12} {warm_s:>9.3f} {n:>6} {0:>7}",
+        "",
+        f"graph: {stats['modules']} modules, {stats['functions']} functions, "
+        f"{stats['call_edges']} call edges, {stats['ref_edges']} ref edges, "
+        f"{stats['reachable']} reachable from entry points",
+    ]
+    emit("lint_walltime", rows)
+    emit_json(
+        "lint_walltime",
+        rows=[
+            {"phase": "cold", "seconds": round(cold_s, 4), "hits": 0, "misses": n},
+            {"phase": "warm", "seconds": round(warm_s, 4), "hits": n, "misses": 0},
+        ],
+        meta={"modules": n, "graph_stats": stats},
+    )
+
+    # The benchmarked quantity: a fully warm analysis build.
+    result = benchmark(
+        lambda: build_project_analysis(
+            modules, config, cache=SummaryCache(tmp_path / "cache")
+        )
+    )
+    doc = json.loads(json.dumps(result.to_graph_dict()))
+    assert doc["stats"] == stats

@@ -335,7 +335,7 @@ def _run_cascade(
     else:
         incr("solve.tiers_run")
         with trace("solve.tier4.heuristics", network=net.name):
-            cut = kernighan_lin_bisection(net, restarts=1)
+            cut = kernighan_lin_bisection(net, restarts=1, budget=budget)
             used = ["Kernighan-Lin"]
             for label, heuristic in (
                 ("Fiduccia-Mattheyses", fm_bisection),
@@ -344,7 +344,7 @@ def _run_cascade(
                 if budget.expired():
                     notes.append(f"tier-4 {label} skipped: budget expired")
                     break
-                other = heuristic(net)
+                other = heuristic(net, budget=budget)
                 used.append(label)
                 if other.capacity < cut.capacity:
                     cut = other

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.sparse import coo_matrix
 
+from ..resilience.budget import Budget
 from ..topology.base import Network
 from .cut import Cut
 
@@ -39,17 +40,23 @@ def _initial_side(net: Network, rng: np.random.Generator) -> np.ndarray:
     return side
 
 
-def kl_refine(cut: Cut, max_passes: int = 20) -> Cut:
+def kl_refine(
+    cut: Cut, max_passes: int = 20, budget: Budget | None = None
+) -> Cut:
     """Refine a balanced cut with Kernighan–Lin passes.
 
     The input sizes are preserved exactly (KL only swaps), so a bisection
     stays a bisection.  Returns a cut with capacity <= the input's.
+    An expired ``budget`` stops between passes; each pass commits a whole
+    swap prefix, so the cut returned is always balanced.
     """
     net = cut.network
     adj = _adjacency(net)
     side = cut.side.copy()
 
     for _ in range(max_passes):
+        if budget is not None and budget.expired():
+            break
         a_nodes = np.flatnonzero(side)
         b_nodes = np.flatnonzero(~side)
         if len(a_nodes) == 0 or len(b_nodes) == 0:
@@ -97,18 +104,23 @@ def kl_refine(cut: Cut, max_passes: int = 20) -> Cut:
 
 
 def kernighan_lin_bisection(
-    net: Network, restarts: int = 4, seed: int = 0, max_passes: int = 20
+    net: Network, restarts: int = 4, seed: int = 0, max_passes: int = 20,
+    budget: Budget | None = None,
 ) -> Cut:
     """Heuristic minimum bisection: random balanced starts + KL refinement.
 
     Returns the best bisection found across ``restarts`` independent starts.
     The result is an upper-bound witness; optimality is not guaranteed.
+    An expired ``budget`` stops after the current restart: at least one
+    start always completes, so the answer stays a valid (if weaker) bound.
     """
     rng = np.random.default_rng(seed)
     best: Cut | None = None
     for _ in range(max(1, restarts)):
+        if best is not None and budget is not None and budget.expired():
+            break
         cut = Cut(net, _initial_side(net, rng))
-        cut = kl_refine(cut, max_passes=max_passes)
+        cut = kl_refine(cut, max_passes=max_passes, budget=budget)
         if best is None or cut.capacity < best.capacity:
             best = cut
     assert best is not None

@@ -14,6 +14,7 @@ import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.linalg import eigsh
 
+from ..resilience.budget import Budget
 from ..topology.base import Network
 from .cut import Cut
 from .kernighan_lin import kl_refine
@@ -52,11 +53,16 @@ def fiedler_vector(net: Network, seed: int = 0) -> np.ndarray:
     return vecs[:, order[1]]
 
 
-def spectral_bisection(net: Network, refine: bool = True, seed: int = 0) -> Cut:
+def spectral_bisection(
+    net: Network, refine: bool = True, seed: int = 0,
+    budget: Budget | None = None,
+) -> Cut:
     """Bisection from the median split of the Fiedler vector.
 
     With ``refine=True`` (default) the split is post-processed by
-    Kernighan–Lin, which preserves balance and never increases capacity.
+    Kernighan–Lin, which preserves balance and never increases capacity;
+    an expired ``budget`` cuts the refinement short (the median split
+    itself is a single eigensolve and always completes).
     """
     n = net.num_nodes
     fv = fiedler_vector(net, seed=seed)
@@ -65,5 +71,5 @@ def spectral_bisection(net: Network, refine: bool = True, seed: int = 0) -> Cut:
     side[order[: n // 2]] = True
     cut = Cut(net, side)
     if refine:
-        cut = kl_refine(cut)
+        cut = kl_refine(cut, budget=budget)
     return cut

@@ -1,0 +1,64 @@
+"""Digest-keyed on-disk store for per-module analysis summaries.
+
+The key is ``sha256(source) × config.analysis_digest() × summary format
+version`` — everything a summary can depend on, and nothing it cannot.
+So a warm lint run re-extracts exactly the modules whose bytes changed
+(or whose analysis config changed), and loads the rest from disk.  The
+``hits``/``misses`` counters make that property assertable: CI touches
+one file between two runs and demands ``misses == 1``.
+
+Corrupt or foreign cache entries deserialize to ``None`` and are
+re-extracted; the cache can never change lint results, only skip work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from .summaries import SUMMARY_FORMAT, ModuleSummary
+
+__all__ = ["SummaryCache"]
+
+
+class SummaryCache:
+    """One directory of ``<key>.json`` summary files."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(source: str, config) -> str:
+        src = hashlib.sha256(source.encode("utf-8")).hexdigest()[:24]
+        fmt = SUMMARY_FORMAT.replace("/", "-")
+        return f"{fmt}-{config.analysis_digest()}-{src}"
+
+    def load(self, source: str, config) -> ModuleSummary | None:
+        path = self.root / (self.key(source, config) + ".json")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            summary = ModuleSummary.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def store(self, source: str, config, summary: ModuleSummary) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.root / (self.key(source, config) + ".json")
+            tmp = path.with_suffix(".tmp%d" % os.getpid())
+            tmp.write_text(
+                json.dumps(summary.to_dict(), sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,57 @@
+"""A small worklist engine for forward dataflow over the call graph.
+
+The project phase runs several fixpoints (budget-poll propagation,
+return-taint, sink-parameter summaries) that all share one shape: a fact
+per function, a monotone transfer that reads neighbour facts, and
+propagation along call edges until nothing changes.  This module is that
+shape, once.
+
+Facts can be any equality-comparable value (bools, frozensets, dicts of
+frozensets); monotonicity is the *caller's* obligation — the engine just
+re-queues dependents until quiescence, so a non-monotone transfer can
+oscillate forever.  With monotone transfers over a finite lattice the
+worklist terminates in O(edges × lattice-height) transfer applications,
+and the result is order-independent; we still seed the queue in the given
+node order so runs are reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Mapping, TypeVar
+
+__all__ = ["solve_fixpoint"]
+
+N = TypeVar("N", bound=Hashable)
+F = TypeVar("F")
+
+
+def solve_fixpoint(
+    nodes: Iterable[N],
+    initial: Callable[[N], F],
+    transfer: Callable[[N, Mapping[N, F]], F],
+    dependents: Callable[[N], Iterable[N]],
+) -> dict[N, F]:
+    """Iterate ``transfer`` to a fixpoint over ``nodes``.
+
+    ``initial(n)`` seeds each node's fact.  ``transfer(n, facts)``
+    recomputes node ``n``'s fact from the current fact map; when it
+    changes, every node in ``dependents(n)`` — the nodes whose own
+    transfer *reads* ``n``'s fact, i.e. callers of ``n`` for a
+    callee-to-caller flow — is re-queued.  Returns the stable fact map.
+    """
+    order = list(nodes)
+    facts: dict[N, F] = {n: initial(n) for n in order}
+    work: deque[N] = deque(order)
+    queued = set(order)
+    while work:
+        n = work.popleft()
+        queued.discard(n)
+        new = transfer(n, facts)
+        if new != facts[n]:
+            facts[n] = new
+            for d in dependents(n):
+                if d in facts and d not in queued:
+                    work.append(d)
+                    queued.add(d)
+    return facts

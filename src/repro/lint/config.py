@@ -12,7 +12,17 @@ import fnmatch
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-__all__ = ["LintConfig", "DEFAULT_LAYER_DAG", "DEFAULT_LAYER_EXCEPTIONS"]
+__all__ = [
+    "LintConfig",
+    "DEFAULT_LAYER_DAG",
+    "DEFAULT_LAYER_EXCEPTIONS",
+    "DEFAULT_BUDGET_ENTRY_POINTS",
+    "DEFAULT_BUDGET_HOT_PACKAGES",
+    "DEFAULT_BUDGET_POLL_METHODS",
+    "DEFAULT_TAINT_SOURCES",
+    "DEFAULT_TAINT_SINKS",
+    "DEFAULT_POOL_SUBMIT_FUNCTIONS",
+]
 
 
 #: Allowed package→package imports inside ``repro`` (the layer DAG).
@@ -74,6 +84,11 @@ DEFAULT_LAYER_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset(
         ("repro.verify.fuzz", "repro.core.fallback"),
         ("repro.verify.fuzz", "repro.perf.cache"),
         ("repro.verify.fuzz", "repro.resilience.faults"),
+        # The lint runner's optional --jobs mode fans the per-module rule
+        # phase out over the supervised worker pool.  The import is lazy
+        # (jobs > 1 only), so the lint package stays loadable stdlib-only;
+        # this single edge is the whole exception.
+        ("repro.lint.runner", "repro.resilience.supervise"),
     }
 )
 
@@ -83,6 +98,89 @@ DEFAULT_HOT_PATHS: tuple[str, ...] = ("topology/base.py", "cuts/*.py")
 
 #: Packages whose modules must cite paper claims (RL001).
 DEFAULT_CLAIM_PACKAGES: tuple[str, ...] = ("cuts", "embeddings", "expansion", "core")
+
+# --------------------------------------------------------------------- #
+# Whole-program analysis (RL010-RL012; see repro.lint.analysis)
+# --------------------------------------------------------------------- #
+
+#: Call-graph roots for RL010 reachability: the cascade and the CLI solve
+#: path.  Everything in the hot packages reachable from these must thread
+#: the solve's Budget into its loops.
+DEFAULT_BUDGET_ENTRY_POINTS: tuple[str, ...] = (
+    "repro.core.fallback.solve_with_fallback",
+    "repro.cli._cmd_solve",
+)
+
+#: Packages whose reachable loops RL010 holds to the budget contract.
+DEFAULT_BUDGET_HOT_PACKAGES: tuple[str, ...] = ("cuts", "routing")
+
+#: Method names that count as consulting a Budget (cooperative polls).
+DEFAULT_BUDGET_POLL_METHODS: tuple[str, ...] = (
+    "expired", "remaining", "check", "tick",
+)
+
+#: RL011 taint sources, per external module: ``(dotted callable, mode)``.
+#: Mode ``always`` taints every call; ``unseeded`` taints only zero-
+#: argument calls (a seeded ``default_rng(seed)`` is deterministic, a bare
+#: ``default_rng()`` is not).  Set/dict-iteration-order sources
+#: (``list(set(...))`` and friends) are recognized structurally, not here.
+DEFAULT_TAINT_SOURCES: tuple[tuple[str, str], ...] = (
+    ("numpy.random.default_rng", "unseeded"),
+    ("numpy.random.RandomState", "unseeded"),
+    ("numpy.random.SeedSequence", "unseeded"),
+    ("random.Random", "unseeded"),
+    ("numpy.random.rand", "always"),
+    ("numpy.random.randn", "always"),
+    ("numpy.random.randint", "always"),
+    ("numpy.random.random", "always"),
+    ("numpy.random.choice", "always"),
+    ("numpy.random.permutation", "always"),
+    ("numpy.random.shuffle", "always"),
+    ("random.random", "always"),
+    ("random.randint", "always"),
+    ("random.randrange", "always"),
+    ("random.choice", "always"),
+    ("random.sample", "always"),
+    ("random.shuffle", "always"),
+    ("random.uniform", "always"),
+    ("random.getrandbits", "always"),
+    ("time.time", "always"),
+    ("time.time_ns", "always"),
+    ("time.monotonic", "always"),
+    ("time.monotonic_ns", "always"),
+    ("time.perf_counter", "always"),
+    ("time.perf_counter_ns", "always"),
+    ("datetime.datetime.now", "always"),
+    ("datetime.datetime.utcnow", "always"),
+    ("datetime.date.today", "always"),
+    ("os.urandom", "always"),
+    ("uuid.uuid1", "always"),
+    ("uuid.uuid4", "always"),
+    ("secrets.token_bytes", "always"),
+    ("secrets.token_hex", "always"),
+)
+
+#: RL011 sinks: anything that ends up in a certificate file, a cache key,
+#: or a canonical fingerprint.  Entries are dotted repro function ids, or
+#: ``.method`` patterns matched by attribute name on any receiver (the
+#: cache's put methods, whatever the receiver variable is called).
+DEFAULT_TAINT_SINKS: tuple[str, ...] = (
+    "repro.verify.serialize.write_certificate",
+    "repro.verify.serialize.certificate_to_data",
+    "repro.verify.serialize.network_spec",
+    "repro.verify.fuzz.save_case",
+    "repro.verify.fuzz.case_from_network",
+    "repro.perf.canonical.canonical_form",
+    ".put_certificate",
+    ".put_profile",
+    ".put_warm_start",
+)
+
+#: RL012: functions whose first argument (or ``task_fn=``) is shipped to
+#: worker processes and therefore must not close over shared mutables.
+DEFAULT_POOL_SUBMIT_FUNCTIONS: tuple[str, ...] = (
+    "repro.resilience.supervise.supervised_map",
+)
 
 
 @dataclass(frozen=True)
@@ -98,7 +196,30 @@ class LintConfig:
     hot_paths: tuple[str, ...] = DEFAULT_HOT_PATHS
     claim_packages: tuple[str, ...] = DEFAULT_CLAIM_PACKAGES
     #: rules whose inline suppression must carry a ``-- justification``
-    justification_required: frozenset[str] = frozenset({"RL003", "RL008"})
+    justification_required: frozenset[str] = frozenset({"RL003", "RL008", "RL010"})
+    # Whole-program analysis knobs (RL010-RL012).
+    budget_entry_points: tuple[str, ...] = DEFAULT_BUDGET_ENTRY_POINTS
+    budget_hot_packages: tuple[str, ...] = DEFAULT_BUDGET_HOT_PACKAGES
+    budget_poll_methods: tuple[str, ...] = DEFAULT_BUDGET_POLL_METHODS
+    taint_sources: tuple[tuple[str, str], ...] = DEFAULT_TAINT_SOURCES
+    taint_sinks: tuple[str, ...] = DEFAULT_TAINT_SINKS
+    pool_submit_functions: tuple[str, ...] = DEFAULT_POOL_SUBMIT_FUNCTIONS
+
+    def analysis_digest(self) -> str:
+        """A short digest of the analysis-relevant knobs.
+
+        Folded into the summary-cache key so a config change (new sink,
+        different poll set) invalidates cached module summaries exactly
+        like a source change would.
+        """
+        import hashlib
+
+        blob = repr((
+            self.budget_entry_points, self.budget_hot_packages,
+            self.budget_poll_methods, self.taint_sources, self.taint_sinks,
+            self.pool_submit_functions,
+        ))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.disable:

@@ -52,6 +52,23 @@ class ModuleInfo:
             return None
         return "/".join(self.repro_parts) + ".py"
 
+    @property
+    def symbols(self) -> dict[str, str]:
+        """Resolved import aliases: local name → dotted target.
+
+        ``{"np": "numpy", "cut_profile": "repro.cuts.enumerate_exact
+        .cut_profile", ...}`` — relative imports resolved against this
+        module's package.  Computed once on first access (the whole-
+        program analysis layer consults it per call site).
+        """
+        cached = self.__dict__.get("_symbols")
+        if cached is None:
+            from .analysis.summaries import resolve_import_aliases
+
+            cached = resolve_import_aliases(self.tree, self.repro_parts)
+            self.__dict__["_symbols"] = cached
+        return cached
+
 
 def _repro_parts(path: Path) -> tuple[str, ...] | None:
     """Locate ``path`` inside a ``repro`` package tree, if it is in one."""
@@ -70,9 +87,33 @@ class LintContext:
 
     config: LintConfig
     modules: list[ModuleInfo] = field(default_factory=list)
+    #: Whole-program analysis (call graph, taint), attached by the runner
+    #: when an interprocedural rule (RL010-RL012) is enabled; None in
+    #: plain per-module runs.  See :mod:`repro.lint.analysis`.
+    analysis: object | None = None
+
+    def __post_init__(self) -> None:
+        self._index_modules()
+
+    def _index_modules(self) -> None:
+        self._by_dotted: dict[str, "ModuleInfo"] = {}
+        for mod in self.modules:
+            dotted = mod.dotted_name
+            if dotted is None:
+                continue
+            self._by_dotted[dotted] = mod
+            if dotted.endswith(".__init__"):
+                # A package resolves under both spellings.
+                self._by_dotted.setdefault(dotted[: -len(".__init__")], mod)
+        self._indexed_count = len(self.modules)
 
     def module_by_dotted(self, dotted: str) -> ModuleInfo | None:
-        for mod in self.modules:
-            if mod.dotted_name == dotted:
-                return mod
-        return None
+        """O(1) lookup by ``repro.cuts.layered_dp``-style name.
+
+        The index is built once in ``__post_init__`` (this used to be an
+        O(n) scan per call — per rule per module); it is rebuilt lazily if
+        a test appends modules after construction.
+        """
+        if len(self.modules) != self._indexed_count:
+            self._index_modules()
+        return self._by_dotted.get(dotted)

@@ -1,0 +1,62 @@
+"""RL010 budget-threading: hot loops on the solve path must poll Budget.
+
+``solve_with_fallback`` promises a wall-clock contract: every tier is
+cancellable, so a pathological instance degrades to a weaker bound
+instead of hanging the cascade.  That promise dies silently the moment
+any loop *reachable from* the cascade stops consulting its
+:class:`~repro.resilience.budget.Budget` — and no per-module rule can see
+it, because the loop, the entry point and the poll usually live in three
+different files.
+
+This rule walks the whole-program call graph (see
+:mod:`repro.lint.analysis`): starting from the configured entry points
+(``budget_entry_points`` — the cascade and the CLI solve path), every
+reachable function in a hot package (``budget_hot_packages``, default
+``cuts``/``routing``) has its loops checked.  A loop passes if it polls
+directly (any ``*.expired()`` / ``*.remaining()`` / ``*.check()`` /
+``*.tick()`` call), or if any call in its body resolves to a function
+that transitively polls — threading the budget through a helper is
+exactly the pattern we want to allow.  ``for`` loops whose body never
+calls back into ``repro.*`` are skipped (a straight numpy loop is
+RL003/RL008's business, and it terminates with its iterable); ``while``
+loops are always held to the contract, since nothing bounds them but the
+budget.
+
+Error severity, and suppressions require a justification: an unbudgeted
+hot loop is precisely the bug class the resilience layer exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..analysis.project import ensure_analysis
+from ..findings import Finding, Severity
+from ..model import LintContext
+from ..registry import Rule, register
+
+__all__ = ["BudgetThreadingRule"]
+
+
+@register
+class BudgetThreadingRule(Rule):
+    rule_id = "RL010"
+    name = "budget-threading"
+    description = (
+        "loops in hot packages reachable from the solve cascade must poll "
+        "the Budget (directly or via a callee) so no solver outlives its "
+        "wall-clock contract"
+    )
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        analysis = ensure_analysis(ctx)
+        polls = "/".join(ctx.config.budget_poll_methods[:2])
+        for v in analysis.budget_violations():
+            yield Finding(
+                v["path"], v["lineno"], v["col"], self.rule_id,
+                f"{v['kind']} loop in {v['function']} is reachable from "
+                f"{v['entry']} but never reaches a Budget poll — call "
+                f"budget.{polls}() in the loop body or thread the budget "
+                f"into a callee",
+                Severity.ERROR,
+            )

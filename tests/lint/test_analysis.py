@@ -1,0 +1,286 @@
+"""The whole-program analysis substrate: symbols, graph, cache, export."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig
+from repro.lint.analysis.cache import SummaryCache
+from repro.lint.analysis.dataflow import solve_fixpoint
+from repro.lint.analysis.project import (
+    GRAPH_FORMAT,
+    build_project_analysis,
+    validate_graph,
+)
+from repro.lint.analysis.summaries import (
+    extract_module_summary,
+    summarize_modules,
+)
+from repro.lint.model import ModuleInfo
+
+
+def _modules(sources: dict[str, str]) -> list[ModuleInfo]:
+    return [
+        ModuleInfo.from_source(Path(p), src) for p, src in sources.items()
+    ]
+
+
+class TestSymbols:
+    def test_absolute_and_aliased_imports(self):
+        (m,) = _modules({
+            "src/repro/cuts/x.py":
+                "import numpy as np\n"
+                "import repro.cuts.layered_dp as ldp\n"
+                "from repro.topology.butterfly import butterfly\n",
+        })
+        assert m.symbols["np"] == "numpy"
+        assert m.symbols["ldp"] == "repro.cuts.layered_dp"
+        assert m.symbols["butterfly"] == "repro.topology.butterfly.butterfly"
+
+    def test_relative_imports_resolve_against_package(self):
+        (m,) = _modules({
+            "src/repro/cuts/x.py":
+                "from .cut import Cut\n"
+                "from ..topology.base import Network\n",
+        })
+        assert m.symbols["Cut"] == "repro.cuts.cut.Cut"
+        assert m.symbols["Network"] == "repro.topology.base.Network"
+
+    def test_relative_import_in_package_init(self):
+        (m,) = _modules({
+            "src/repro/cuts/__init__.py": "from .cut import Cut\n",
+        })
+        assert m.symbols["Cut"] == "repro.cuts.cut.Cut"
+
+    def test_outside_repro_tree_skips_relative(self):
+        (m,) = _modules({"scripts/tool.py": "from . import x\nimport json\n"})
+        assert m.symbols == {"json": "json"}
+
+
+class TestCallGraph:
+    SOURCES = {
+        "src/repro/cuts/__init__.py": "from .helper import grind\n",
+        "src/repro/cuts/helper.py":
+            "def grind(net):\n"
+            "    return net\n",
+        "src/repro/core/driver.py":
+            "from ..cuts import grind\n"
+            "def run(net):\n"
+            "    return grind(net)\n",
+    }
+
+    def _analysis(self, extra=None, **overrides):
+        sources = dict(self.SOURCES, **(extra or {}))
+        config = LintConfig(**overrides) if overrides else LintConfig()
+        return build_project_analysis(_modules(sources), config)
+
+    def test_reexport_through_package_init_resolves(self):
+        ana = self._analysis()
+        assert ana.resolve_function("repro.cuts.grind") == \
+            "repro.cuts.helper.grind"
+        assert ("repro.cuts.helper.grind"
+                in ana.call_edges["repro.core.driver.run"])
+
+    def test_callers_are_inverse_of_edges(self):
+        ana = self._analysis()
+        assert "repro.core.driver.run" in ana.callers["repro.cuts.helper.grind"]
+
+    def test_reference_edges_reach_dispatch_targets(self):
+        ana = self._analysis(extra={
+            "src/repro/core/table.py":
+                "from ..cuts.helper import grind\n"
+                "def pick(name, net):\n"
+                "    fn = {'g': grind}[name]\n"
+                "    return fn(net)\n",
+        })
+        assert ("repro.cuts.helper.grind"
+                in ana.ref_edges["repro.core.table.pick"])
+
+    def test_entry_reachability(self):
+        ana = self._analysis(
+            budget_entry_points=("repro.core.driver.run",),
+        )
+        assert "repro.cuts.helper.grind" in ana.reachable_from
+        assert ana.reachable_from["repro.cuts.helper.grind"] == \
+            "repro.core.driver.run"
+
+    def test_method_resolution_via_self(self):
+        ana = self._analysis(extra={
+            "src/repro/cuts/klass.py":
+                "class Box:\n"
+                "    def a(self):\n"
+                "        return self.b()\n"
+                "    def b(self):\n"
+                "        return 1\n",
+        })
+        assert ("repro.cuts.klass.Box.b"
+                in ana.call_edges["repro.cuts.klass.Box.a"])
+
+
+class TestFixpointEngine:
+    def test_transitive_reachability_as_fixpoint(self):
+        edges = {"a": {"b"}, "b": {"c"}, "c": set(), "d": set()}
+        callers: dict[str, set] = {n: set() for n in edges}
+        for src, dsts in edges.items():
+            for dst in dsts:
+                callers[dst].add(src)
+        facts = solve_fixpoint(
+            sorted(edges),
+            initial=lambda n: n == "c",
+            transfer=lambda n, f: n == "c" or any(f[g] for g in edges[n]),
+            dependents=lambda n: callers[n],
+        )
+        assert facts == {"a": True, "b": True, "c": True, "d": False}
+
+    def test_result_is_deterministic(self):
+        nodes = [f"n{i}" for i in range(50)]
+        edges = {n: {nodes[(i * 7 + 3) % 50]} for i, n in enumerate(nodes)}
+        callers: dict[str, set] = {n: set() for n in nodes}
+        for src, dsts in edges.items():
+            for dst in dsts:
+                callers[dst].add(src)
+
+        def run():
+            return solve_fixpoint(
+                nodes,
+                initial=lambda n: frozenset({n}),
+                transfer=lambda n, f: frozenset({n}).union(
+                    *(f[g] for g in edges[n])
+                ),
+                dependents=lambda n: sorted(callers[n]),
+            )
+
+        assert run() == run()
+
+
+class TestSummaryCache:
+    SOURCES = {
+        "src/repro/cuts/a.py": "def f():\n    return 1\n",
+        "src/repro/cuts/b.py": "def g():\n    return 2\n",
+    }
+
+    def test_warm_run_reextracts_nothing(self, tmp_path):
+        config = LintConfig()
+        mods = _modules(self.SOURCES)
+        cold = SummaryCache(tmp_path)
+        summarize_modules(mods, config, cache=cold)
+        assert cold.stats() == {"hits": 0, "misses": 2}
+        warm = SummaryCache(tmp_path)
+        summarize_modules(mods, config, cache=warm)
+        assert warm.stats() == {"hits": 2, "misses": 0}
+
+    def test_only_changed_digest_is_reanalyzed(self, tmp_path):
+        config = LintConfig()
+        summarize_modules(_modules(self.SOURCES), config,
+                          cache=SummaryCache(tmp_path))
+        touched = dict(self.SOURCES)
+        touched["src/repro/cuts/b.py"] = "def g():\n    return 3\n"
+        warm = SummaryCache(tmp_path)
+        summarize_modules(_modules(touched), config, cache=warm)
+        assert warm.stats() == {"hits": 1, "misses": 1}
+
+    def test_config_change_invalidates(self, tmp_path):
+        mods = _modules(self.SOURCES)
+        summarize_modules(mods, LintConfig(), cache=SummaryCache(tmp_path))
+        warm = SummaryCache(tmp_path)
+        summarize_modules(
+            mods, LintConfig(budget_poll_methods=("expired",)), cache=warm
+        )
+        assert warm.stats()["hits"] == 0
+
+    def test_cached_summary_round_trips(self, tmp_path):
+        config = LintConfig()
+        (mod,) = _modules({
+            "src/repro/cuts/c.py":
+                "from .cut import Cut\n"
+                "def f(net, budget):\n"
+                "    for _ in range(3):\n"
+                "        if budget.expired():\n"
+                "            break\n"
+                "        net = Cut(net, None)\n"
+                "    return net\n",
+        })
+        direct = extract_module_summary(mod, config)
+        cache = SummaryCache(tmp_path)
+        cache.store(mod.source, config, direct)
+        loaded = cache.load(mod.source, config)
+        assert loaded is not None
+        assert loaded.to_dict() == direct.to_dict()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        config = LintConfig()
+        (mod,) = _modules({"src/repro/cuts/a.py": self.SOURCES["src/repro/cuts/a.py"]})
+        cache = SummaryCache(tmp_path)
+        key = cache.key(mod.source, config)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / f"{key}.json").write_text("{not json")
+        assert cache.load(mod.source, config) is None
+        assert cache.stats()["misses"] == 1
+
+
+class TestGraphExport:
+    def test_repo_graph_is_schema_valid(self):
+        sources = {
+            "src/repro/core/driver.py":
+                "from ..cuts.helper import grind\n"
+                "def run(net):\n"
+                "    return grind(net)\n",
+            "src/repro/cuts/helper.py":
+                "def grind(net):\n"
+                "    while net:\n"
+                "        net = step(net)\n"
+                "    return net\n"
+                "def step(net):\n"
+                "    return None\n",
+        }
+        ana = build_project_analysis(
+            _modules(sources),
+            LintConfig(budget_entry_points=("repro.core.driver.run",)),
+        )
+        doc = ana.to_graph_dict()
+        assert validate_graph(doc) == []
+        assert doc["format"] == GRAPH_FORMAT
+        assert json.loads(json.dumps(doc)) == doc  # JSON round-trip
+        ids = {f["id"] for f in doc["functions"]}
+        assert "repro.cuts.helper.grind" in ids
+
+    def test_validator_catches_broken_edges(self):
+        doc = {
+            "format": GRAPH_FORMAT,
+            "entry_points": [],
+            "modules": [],
+            "functions": [
+                {"id": "repro.a.f", "module": "repro.a", "lineno": 1,
+                 "polls": False, "reachable": False, "loops": 0},
+            ],
+            "calls": [{"from": "repro.a.f", "to": "repro.gone", "kind": "call"}],
+            "taint": {"returns": [], "sink_params": [], "violations": []},
+            "stats": {"modules": 0, "functions": 1, "call_edges": 1,
+                      "reachable": 0},
+        }
+        problems = validate_graph(doc)
+        assert any("repro.gone" in p for p in problems)
+
+    def test_validator_rejects_wrong_format(self):
+        assert validate_graph({"format": "nope"})
+
+
+@pytest.mark.slow
+def test_real_repo_graph_validates(tmp_path):
+    """`repro-lint graph src/repro` end-to-end on the actual tree."""
+    from repro.lint.cli import main as lint_main
+
+    repo = Path(__file__).resolve().parents[2]
+    out = tmp_path / "graph.json"
+    rc = lint_main(
+        ["graph", str(repo / "src" / "repro"), "--output", str(out)]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert validate_graph(doc) == []
+    assert doc["stats"]["functions"] > 100
+    assert doc["stats"]["reachable"] > 10
+    assert doc["taint"]["violations"] == []

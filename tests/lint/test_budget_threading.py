@@ -1,0 +1,176 @@
+"""RL010 budget-threading: interprocedural loop/poll reachability."""
+
+from __future__ import annotations
+
+from .conftest import run_lint, rule_ids
+
+#: Entry point override used throughout: the fixture's own cascade.
+ENTRY = ("repro.core.fallback.solve_with_fallback",)
+
+CORE_ENTRY = {
+    "src/repro/core/fallback.py":
+        "from ..cuts.solver import grind\n"
+        "def solve_with_fallback(net, budget):\n"
+        "    return grind(net, budget)\n",
+}
+
+
+def _lint(sources, **overrides):
+    overrides.setdefault("select", frozenset({"RL010"}))
+    overrides.setdefault("budget_entry_points", ENTRY)
+    return run_lint(sources, **overrides)
+
+
+class TestTrigger:
+    def test_cross_module_unpolled_loop_is_flagged(self):
+        # The loop, the entry point and the (absent) poll are in different
+        # files: only the call graph can see this.
+        findings = _lint({
+            **CORE_ENTRY,
+            "src/repro/cuts/solver.py":
+                "def grind(net, budget):\n"
+                "    while net:\n"
+                "        net = shrink(net)\n"
+                "    return net\n"
+                "def shrink(net):\n"
+                "    return None\n",
+        })
+        assert rule_ids(findings) == {"RL010"}
+        (f,) = findings
+        assert f.path == "src/repro/cuts/solver.py"
+        assert f.line == 2
+        assert "solve_with_fallback" in f.message
+
+    def test_for_loop_with_repro_calls_is_flagged(self):
+        findings = _lint({
+            **CORE_ENTRY,
+            "src/repro/cuts/solver.py":
+                "def grind(net, budget):\n"
+                "    for _ in range(8):\n"
+                "        net = shrink(net)\n"
+                "    return net\n"
+                "def shrink(net):\n"
+                "    return None\n",
+        })
+        assert rule_ids(findings) == {"RL010"}
+
+    def test_routing_package_is_also_hot(self):
+        findings = _lint({
+            "src/repro/core/fallback.py":
+                "from ..routing.paths import route\n"
+                "def solve_with_fallback(net, budget):\n"
+                "    return route(net)\n",
+            "src/repro/routing/paths.py":
+                "def route(net):\n"
+                "    while net:\n"
+                "        net = hop(net)\n"
+                "    return net\n"
+                "def hop(net):\n"
+                "    return None\n",
+        })
+        assert rule_ids(findings) == {"RL010"}
+
+
+class TestClean:
+    def test_direct_poll_in_loop_passes(self):
+        findings = _lint({
+            **CORE_ENTRY,
+            "src/repro/cuts/solver.py":
+                "def grind(net, budget):\n"
+                "    while net:\n"
+                "        if budget.expired():\n"
+                "            break\n"
+                "        net = shrink(net)\n"
+                "    return net\n"
+                "def shrink(net):\n"
+                "    return None\n",
+        })
+        assert findings == []
+
+    def test_poll_via_callee_passes(self):
+        # The loop itself never polls, but its callee (in another module)
+        # does — threading the budget through a helper is the good shape.
+        findings = _lint({
+            **CORE_ENTRY,
+            "src/repro/cuts/solver.py":
+                "from .inner import shrink\n"
+                "def grind(net, budget):\n"
+                "    while net:\n"
+                "        net = shrink(net, budget)\n"
+                "    return net\n",
+            "src/repro/cuts/inner.py":
+                "def shrink(net, budget):\n"
+                "    if budget.expired():\n"
+                "        return None\n"
+                "    return net\n",
+        })
+        assert findings == []
+
+    def test_unreachable_hot_loop_is_not_flagged(self):
+        # No call path from the entry points: the wall-clock contract
+        # doesn't apply (yet) — RL010 is about the solve path.
+        findings = _lint({
+            **CORE_ENTRY,
+            "src/repro/cuts/solver.py":
+                "def grind(net, budget):\n"
+                "    return net\n"
+                "def orphan(net):\n"
+                "    while net:\n"
+                "        net = grind(net, None)\n"
+                "    return net\n",
+        })
+        assert findings == []
+
+    def test_numpy_only_for_loop_is_not_flagged(self):
+        # A straight accumulation loop with no repro calls terminates
+        # with its iterable; vectorization is RL003's business.
+        findings = _lint({
+            **CORE_ENTRY,
+            "src/repro/cuts/solver.py":
+                "def grind(net, budget):\n"
+                "    total = 0\n"
+                "    for e in net.edges:\n"
+                "        total += e\n"
+                "    return total\n",
+        })
+        assert findings == []
+
+    def test_non_hot_package_is_not_flagged(self):
+        findings = _lint({
+            "src/repro/core/fallback.py":
+                "from .driver import spin\n"
+                "def solve_with_fallback(net, budget):\n"
+                "    return spin(net)\n",
+            "src/repro/core/driver.py":
+                "def spin(net):\n"
+                "    while net:\n"
+                "        net = spin(net)\n"
+                "    return net\n",
+        })
+        assert findings == []
+
+
+class TestSuppression:
+    BAD = {
+        **CORE_ENTRY,
+        "src/repro/cuts/solver.py":
+            "def grind(net, budget):\n"
+            "    # repro-lint: disable=RL010 -- bounded setup sweep\n"
+            "    while net:\n"
+            "        net = shrink(net)\n"
+            "    return net\n"
+            "def shrink(net):\n"
+            "    return None\n",
+    }
+
+    def test_justified_suppression_silences(self):
+        assert _lint(self.BAD) == []
+
+    def test_bare_suppression_is_rejected(self):
+        sources = {
+            k: v.replace(" -- bounded setup sweep", "")
+            for k, v in self.BAD.items()
+        }
+        findings = _lint(sources)
+        assert rule_ids(findings) == {"RL010"}
+        assert "justification" in findings[0].message

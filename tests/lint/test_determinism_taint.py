@@ -1,0 +1,159 @@
+"""RL011 determinism taint: nondeterminism must not reach replayable payloads."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .conftest import run_lint, rule_ids
+
+
+def _lint(sources, **overrides):
+    overrides.setdefault("select", frozenset({"RL011"}))
+    return run_lint(sources, **overrides)
+
+
+class TestSameModule:
+    def test_wall_clock_into_cache_put_is_flagged(self):
+        findings = _lint({
+            "src/repro/cuts/stamp.py":
+                "import time\n"
+                "def record(cache, cert):\n"
+                "    stamp = time.time()\n"
+                '    cache.put_certificate("k", (cert, stamp))\n',
+        })
+        assert rule_ids(findings) == {"RL011"}
+        (f,) = findings
+        assert "time.time()" in f.message
+        assert "put_certificate" in f.message
+
+    def test_unseeded_rng_into_serializer_is_flagged(self):
+        findings = _lint({
+            "src/repro/verify/gen.py":
+                "from numpy.random import default_rng\n"
+                "from .serialize import network_spec\n"
+                "def make():\n"
+                "    rng = default_rng()\n"
+                "    return network_spec(rng.integers(0, 9))\n",
+            "src/repro/verify/serialize.py":
+                "def network_spec(net):\n"
+                "    return {}\n",
+        })
+        assert rule_ids(findings) == {"RL011"}
+
+    def test_seeded_rng_is_clean(self):
+        findings = _lint({
+            "src/repro/verify/gen.py":
+                "from numpy.random import default_rng\n"
+                "from .serialize import network_spec\n"
+                "def make(seed):\n"
+                "    rng = default_rng(seed)\n"
+                "    return network_spec(rng.integers(0, 9))\n",
+            "src/repro/verify/serialize.py":
+                "def network_spec(net):\n"
+                "    return {}\n",
+        })
+        assert findings == []
+
+
+class TestCrossModule:
+    #: The violation is invisible to any single-module pass: module ``a``
+    #: only creates an rng, module ``b`` only calls a sink on an argument.
+    SOURCES = {
+        "src/repro/cuts/a.py":
+            "from numpy.random import default_rng\n"
+            "def fresh_rng():\n"
+            "    return default_rng()\n",
+        "src/repro/cuts/b.py":
+            "from .a import fresh_rng\n"
+            "def publish(cache):\n"
+            "    rng = fresh_rng()\n"
+            '    cache.put_warm_start("k", rng.integers(0, 9))\n',
+    }
+
+    def test_taint_crosses_the_module_boundary(self):
+        findings = _lint(self.SOURCES)
+        assert rule_ids(findings) == {"RL011"}
+        (f,) = findings
+        assert f.path == "src/repro/cuts/b.py"
+        assert "default_rng()" in f.message
+        assert "a.py" in f.message  # origin location named across files
+
+    def test_seeding_the_factory_clears_it(self):
+        sources = dict(self.SOURCES)
+        sources["src/repro/cuts/a.py"] = (
+            "from numpy.random import default_rng\n"
+            "def fresh_rng():\n"
+            "    return default_rng(1234)\n"
+        )
+        assert _lint(sources) == []
+
+
+class TestSetOrder:
+    def test_set_iteration_into_sink_is_flagged(self):
+        findings = _lint({
+            "src/repro/cuts/orders.py":
+                "def publish(cache, net):\n"
+                "    nodes = list({u for u, _ in net.edges})\n"
+                '    cache.put_certificate("k", nodes)\n',
+        })
+        assert rule_ids(findings) == {"RL011"}
+        assert "set-iteration order" in findings[0].message
+
+    def test_sorted_cleanses_set_order(self):
+        findings = _lint({
+            "src/repro/cuts/orders.py":
+                "def publish(cache, net):\n"
+                "    nodes = sorted({u for u, _ in net.edges})\n"
+                '    cache.put_certificate("k", nodes)\n',
+        })
+        assert findings == []
+
+
+class TestSuppression:
+    def test_suppression_silences(self):
+        findings = _lint({
+            "src/repro/cuts/stamp.py":
+                "import time\n"
+                "def record(cache, cert):\n"
+                "    stamp = time.time()\n"
+                "    # repro-lint: disable=RL011\n"
+                '    cache.put_profile("k", stamp)\n',
+        })
+        assert findings == []
+
+
+class TestMutation:
+    """Seeded mutation test against the real repo sources.
+
+    Replacing the seeded ``default_rng((seed, i))`` in ``verify/fuzz.py``
+    with a bare ``default_rng()`` must light up RL011 through the real
+    generate→shrink→serialize pipeline; the unmutated tree must be clean.
+    """
+
+    REPO = Path(__file__).resolve().parents[2]
+
+    def _repo_sources(self, mutate: bool) -> dict[str, str]:
+        sources = {}
+        for path in sorted((self.REPO / "src" / "repro").rglob("*.py")):
+            rel = path.relative_to(self.REPO).as_posix()
+            sources[rel] = path.read_text(encoding="utf-8")
+        fuzz = "src/repro/verify/fuzz.py"
+        assert "default_rng((seed, i))" in sources[fuzz]
+        if mutate:
+            sources[fuzz] = sources[fuzz].replace(
+                "default_rng((seed, i))", "default_rng()"
+            )
+        return sources
+
+    def test_unmutated_repo_is_clean(self):
+        assert _lint(self._repo_sources(mutate=False)) == []
+
+    def test_unseeding_fuzz_rng_is_caught(self):
+        findings = _lint(self._repo_sources(mutate=True))
+        assert rule_ids(findings) == {"RL011"}
+        assert all(f.path == "src/repro/verify/fuzz.py" for f in findings)
+        # The flow reaches sinks in fuzz.py itself and crosses into the
+        # fallback cascade's cache writes.
+        messages = " ".join(f.message for f in findings)
+        assert "save_case" in messages
+        assert "src/repro/core/fallback.py" in messages

@@ -10,6 +10,10 @@ from repro.lint.cli import main as lint_main
 from .conftest import run_lint, rule_ids
 
 #: One fixture tree tripping every rule at once (the acceptance scenario).
+#: ``bad.py`` trips the per-module rules; ``race.py`` + ``fallback.py``
+#: trip the whole-program rules across a module boundary (RL010 needs a
+#: hot loop reachable from the cascade entry, RL011 a source→sink flow,
+#: RL012 a mutated closure submitted to the pool).
 ALL_RULES_FIXTURE = {
     "src/repro/cuts/bad.py": (
         '"""Implements Lemma 9.9."""\n'
@@ -25,6 +29,33 @@ ALL_RULES_FIXTURE = {
         "    net._edges = None\n"
         "    return total == 0.5\n"
     ),
+    "src/repro/cuts/race.py": (
+        '"""Implements Lemma 9.9."""\n'
+        "import time\n"
+        "from ..resilience.supervise import supervised_map\n"
+        "\n"
+        "def sweep(cache, items):\n"
+        "    acc = []\n"
+        "    def task(x):\n"
+        "        return acc, x\n"
+        "    supervised_map(task, items, workers=2)\n"
+        "    acc.extend(items)\n"
+        '    cache.put_certificate("k", time.time())\n'
+        "    return acc\n"
+        "\n"
+        "def churn(net):\n"
+        "    while net:\n"
+        "        net = sweep(None, [net])\n"
+        "    return net\n"
+    ),
+    "src/repro/core/fallback.py": (
+        '"""Implements Theorem 1."""\n'
+        "from ..cuts.race import churn\n"
+        "\n"
+        "def solve_with_fallback(net):\n"
+        '    """Doc."""\n'
+        "    return churn(net)\n"
+    ),
 }
 
 
@@ -32,6 +63,7 @@ def test_all_static_rules_fire_on_fixture():
     findings = run_lint(ALL_RULES_FIXTURE)
     assert rule_ids(findings) >= {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL008",
+        "RL010", "RL011", "RL012",
     }
 
 
@@ -102,12 +134,12 @@ class TestCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rid in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                    "RL007", "RL008", "RL009"):
+                    "RL007", "RL008", "RL009", "RL010", "RL011", "RL012"):
             assert rid in out
 
 
-def test_registry_has_the_nine_shipped_rules():
+def test_registry_has_the_twelve_shipped_rules():
     assert set(all_rules()) == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008", "RL009",
+        "RL008", "RL009", "RL010", "RL011", "RL012",
     }

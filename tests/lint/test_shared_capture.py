@@ -1,0 +1,125 @@
+"""RL012 shared-capture: pool tasks must not close over mutated state."""
+
+from __future__ import annotations
+
+from .conftest import run_lint, rule_ids
+
+
+def _lint(sources, **overrides):
+    overrides.setdefault("select", frozenset({"RL012"}))
+    return run_lint(sources, **overrides)
+
+
+class TestTrigger:
+    def test_nested_def_closing_over_mutated_list(self):
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def sweep(items):\n"
+                "    acc = []\n"
+                "    def task(x):\n"
+                "        return acc, x\n"
+                "    supervised_map(task, items, workers=2)\n"
+                "    acc.extend(items)\n"
+                "    return acc\n",
+        })
+        assert rule_ids(findings) == {"RL012"}
+        (f,) = findings
+        assert "'task'" in f.message
+        assert "acc" in f.message
+
+    def test_lambda_closing_over_augassigned_counter(self):
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def sweep(items):\n"
+                "    hits = 0\n"
+                "    supervised_map(lambda x: x + hits, items, workers=2)\n"
+                "    hits += 1\n"
+                "    return hits\n",
+        })
+        assert rule_ids(findings) == {"RL012"}
+
+    def test_keyword_task_argument_is_checked(self):
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def sweep(items):\n"
+                "    seen = set()\n"
+                "    def task(x):\n"
+                "        return x in seen\n"
+                "    supervised_map(task_fn=task, items=items)\n"
+                "    seen.add(1)\n"
+                "    return seen\n",
+        })
+        assert rule_ids(findings) == {"RL012"}
+
+
+class TestClean:
+    def test_module_level_task_is_clean(self):
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def task(x):\n"
+                "    return x * 2\n"
+                "def sweep(items):\n"
+                "    return supervised_map(task, items, workers=2)\n",
+        })
+        assert findings == []
+
+    def test_unmutated_closure_is_clean(self):
+        # Read-only capture pickles fine — the copy never diverges.
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def sweep(items, scale):\n"
+                "    def task(x):\n"
+                "        return x * scale\n"
+                "    return supervised_map(task, items, workers=2)\n",
+        })
+        assert findings == []
+
+    def test_mutation_inside_task_body_only_is_clean(self):
+        # The task mutating its *own* locals-by-closure is the worker's
+        # private copy; RL012 is about the parent mutating in parallel.
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def sweep(items):\n"
+                "    scratch = []\n"
+                "    def task(x):\n"
+                "        scratch.append(x)\n"
+                "        return len(scratch)\n"
+                "    return supervised_map(task, items, workers=2)\n",
+        })
+        assert findings == []
+
+    def test_other_callables_are_not_pool_submits(self):
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "def sweep(items):\n"
+                "    acc = []\n"
+                "    def task(x):\n"
+                "        return acc, x\n"
+                "    out = list(map(task, items))\n"
+                "    acc.extend(out)\n"
+                "    return acc\n",
+        })
+        assert findings == []
+
+
+class TestSuppression:
+    def test_suppression_silences(self):
+        findings = _lint({
+            "src/repro/cuts/fan.py":
+                "from ..resilience.supervise import supervised_map\n"
+                "def sweep(items):\n"
+                "    acc = []\n"
+                "    def task(x):\n"
+                "        return acc, x\n"
+                "    # repro-lint: disable=RL012\n"
+                "    supervised_map(task, items, workers=2)\n"
+                "    acc.extend(items)\n"
+                "    return acc\n",
+        })
+        assert findings == []

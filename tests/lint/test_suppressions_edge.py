@@ -1,0 +1,117 @@
+"""Suppression and file-collection edge cases: CRLF, multi-line statements,
+undecodable files, overlapping roots, parallel parity."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, lint_sources
+from repro.lint.runner import collect_files, lint_paths
+
+from .conftest import run_lint, rule_ids
+
+#: A one-expression RL004 trigger (`== 0.5` float equality).
+BAD_COMPARE = (
+    "def f(x):\n"
+    "    return x == 0.5\n"
+)
+
+
+def _rl004(sources, **overrides):
+    overrides.setdefault("select", frozenset({"RL004"}))
+    return run_lint(sources, **overrides)
+
+
+class TestCrlf:
+    def test_findings_fire_on_crlf_sources(self):
+        findings = _rl004({
+            "src/repro/cuts/x.py": BAD_COMPARE.replace("\n", "\r\n"),
+        })
+        assert rule_ids(findings) == {"RL004"}
+        assert findings[0].line == 2
+
+    def test_same_line_suppression_survives_crlf(self):
+        src = (
+            "def f(x):\n"
+            "    return x == 0.5  # repro-lint: disable=RL004\n"
+        )
+        assert _rl004({"src/repro/cuts/x.py": src.replace("\n", "\r\n")}) == []
+
+    def test_previous_line_suppression_survives_crlf(self):
+        src = (
+            "def f(x):\n"
+            "    # repro-lint: disable=RL004\n"
+            "    return x == 0.5\n"
+        )
+        assert _rl004({"src/repro/cuts/x.py": src.replace("\n", "\r\n")}) == []
+
+
+class TestMultiLineStatements:
+    #: The comparison sits on a continuation line; the comment can only
+    #: precede the *logical* line, so the runner must map the finding
+    #: back to its enclosing statement start.
+    SUPPRESSED = (
+        "def f(x):\n"
+        "    # repro-lint: disable=RL004\n"
+        "    return (\n"
+        "        x\n"
+        "        == 0.5\n"
+        "    )\n"
+    )
+
+    def test_finding_lands_on_continuation_line(self):
+        src = self.SUPPRESSED.replace("    # repro-lint: disable=RL004\n", "")
+        findings = _rl004({"src/repro/cuts/x.py": src})
+        assert rule_ids(findings) == {"RL004"}
+        assert findings[0].line > 2  # inside the parenthesised expression
+
+    def test_suppression_at_logical_line_start_applies(self):
+        assert _rl004({"src/repro/cuts/x.py": self.SUPPRESSED}) == []
+
+    def test_unrelated_rule_on_previous_line_does_not_leak(self):
+        src = self.SUPPRESSED.replace("disable=RL004", "disable=RL005")
+        findings = _rl004({"src/repro/cuts/x.py": src})
+        assert rule_ids(findings) == {"RL004"}
+
+
+class TestUnreadableFiles:
+    def test_undecodable_file_is_rl000(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "cuts"
+        pkg.mkdir(parents=True)
+        (pkg / "junk.py").write_bytes(b"def f():\n    return '\xff\xfe'\n")
+        findings = lint_paths([tmp_path / "src"], LintConfig())
+        assert rule_ids(findings) == {"RL000"}
+        assert findings[0].line == 1
+
+    def test_missing_file_is_rl000(self, tmp_path):
+        ghost = tmp_path / "ghost.py"
+        findings = lint_paths([ghost], LintConfig())
+        assert rule_ids(findings) == {"RL000"}
+
+
+class TestOverlappingRoots:
+    def test_collect_files_dedupes_resolved_paths(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "cuts"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text(BAD_COMPARE)
+        files = collect_files([tmp_path / "src", tmp_path / "src" / "repro"])
+        assert len(files) == 1
+
+    def test_overlapping_roots_do_not_double_findings(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "cuts"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text(BAD_COMPARE)
+        config = LintConfig(select=frozenset({"RL004"}))
+        once = lint_paths([tmp_path / "src"], config)
+        twice = lint_paths([tmp_path / "src", tmp_path / "src" / "repro"], config)
+        assert len(once) == len(twice) == 1
+
+
+class TestParallelParity:
+    def test_jobs_output_is_bit_identical(self):
+        sources = {
+            f"src/repro/cuts/m{i}.py": BAD_COMPARE for i in range(6)
+        }
+        config = LintConfig(select=frozenset({"RL004"}))
+        serial = lint_sources(sources, config)
+        parallel = lint_sources(sources, config, jobs=2)
+        assert serial == parallel
+        assert len(serial) == 6
