@@ -1,0 +1,127 @@
+"""DIST — shard-count scaling and reclaim overhead of the distributed sweep.
+
+Runs the tier-1 exhaustive enumeration through
+:func:`repro.dist.distributed_cut_profile` on a fixed seeded 3-regular
+instance at increasing shard counts, against the serial
+:func:`~repro.cuts.enumerate_exact.cut_profile` baseline, and once more
+with a seeded :class:`~repro.resilience.CrashSchedule` killing half the
+fleet — the wall-clock delta between the chaos row and its fault-free
+twin is the price of lease expiry, backoff, and work stealing.  Every
+row re-asserts bit-identity with the serial profile, so the table can
+never report a speedup for a wrong answer.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cuts.enumerate_exact import cut_profile
+from repro.dist import distributed_cut_profile
+from repro.resilience import CrashSchedule
+from repro.topology.random_regular import random_regular_graph
+
+from _report import emit, emit_json
+
+_N, _DEGREE, _SEED = 16, 3, 7
+_SHARD_GRID = (1, 2, 4, 8, 16)
+_WORKERS = 4
+_CHAOS_KILLS = 2
+_CHAOS_SEED = 11
+
+
+def _dist_row(net, serial, tmp, label, shards, workers, schedule=None,
+              lease_seconds=15.0, batch_bits=None):
+    status = {}
+    t0 = time.perf_counter()
+    prof = distributed_cut_profile(
+        net, state_dir=str(Path(tmp) / label), shards=shards,
+        workers=workers, schedule=schedule, lease_seconds=lease_seconds,
+        batch_bits=batch_bits, status=status,
+    )
+    seconds = time.perf_counter() - t0
+    assert prof.complete
+    assert np.array_equal(serial.values, prof.values)
+    assert np.array_equal(serial.witnesses, prof.witnesses)
+    ev = status["events"]
+    return {
+        "label": label, "shards": shards, "workers": workers,
+        "seconds": round(seconds, 4),
+        "claims": ev["claims"], "reclaims": ev["reclaims"],
+        "expired": ev["expired"], "completions": ev["completions"],
+        "workers_killed": status["workers_killed"],
+        "parent_takeovers": status["parent_takeovers"],
+    }
+
+
+def _series():
+    net = random_regular_graph(_N, _DEGREE, seed=_SEED)
+    t0 = time.perf_counter()
+    serial = cut_profile(net)
+    serial_s = time.perf_counter() - t0
+
+    records = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for shards in _SHARD_GRID:
+            records.append(_dist_row(
+                net, serial, tmp, f"s{shards}", shards, _WORKERS,
+            ))
+        # Reclaim overhead: same instance, 8 shards, but half the fleet
+        # is SIGKILLed on its first claim (short leases so the steal is
+        # prompt; small batches so heartbeats are frequent).
+        sched = CrashSchedule.seeded(
+            Path(tmp) / "chaos", _CHAOS_SEED,
+            workers=_WORKERS, kills=_CHAOS_KILLS,
+        )
+        chaos = _dist_row(
+            net, serial, tmp, "chaos", 8, _WORKERS, schedule=sched,
+            lease_seconds=1.0, batch_bits=10,
+        )
+        assert chaos["workers_killed"] == _CHAOS_KILLS
+        assert sched.pending() == []
+        records.append(chaos)
+
+    rows = [
+        f"serial baseline: {net.name}, {serial_s:.4f}s "
+        f"(2^{net.num_nodes - 1} = {2 ** (net.num_nodes - 1)} masks)",
+        "",
+        f"{'label':>6} {'shards':>6} {'workers':>7} {'seconds':>8} "
+        f"{'claims':>6} {'reclaims':>8} {'killed':>6} {'takeover':>8}",
+    ]
+    for r in records:
+        rows.append(
+            f"{r['label']:>6} {r['shards']:>6} {r['workers']:>7} "
+            f"{r['seconds']:>8.4f} {r['claims']:>6} {r['reclaims']:>8} "
+            f"{r['workers_killed']:>6} {r['parent_takeovers']:>8}"
+        )
+    rows.append("")
+    rows.append(
+        "every row is bit-identical to the serial sweep; the chaos row "
+        f"(kills={_CHAOS_KILLS} of {_WORKERS}) pays only lease expiry + "
+        "backoff + re-computation of the stolen shards"
+    )
+    return rows, records, {"serial_seconds": round(serial_s, 4)}
+
+
+def test_dist_scaling(benchmark):
+    rows, records, extra = _series()
+    emit("dist_scaling", rows)
+    emit_json(
+        "dist_scaling", records,
+        meta={
+            "net": f"RR({_N},{_DEGREE})", "net_seed": _SEED,
+            "workers": _WORKERS, "shard_grid": list(_SHARD_GRID),
+            "chaos_kills": _CHAOS_KILLS, "chaos_seed": _CHAOS_SEED,
+            **extra,
+        },
+    )
+    net = random_regular_graph(_N, _DEGREE, seed=_SEED)
+    with tempfile.TemporaryDirectory() as tmp:
+        # Later rounds resume the same state dir (all shards done), so
+        # the timed body degenerates to ensure + merge — that is the
+        # coordinator overhead floor, which is what is worth timing.
+        prof = benchmark(lambda: distributed_cut_profile(
+            net, state_dir=str(Path(tmp) / "bench"), shards=4, workers=2,
+        ))
+    assert prof.complete

@@ -24,6 +24,24 @@ Subcommands
     even when the variable is set.  ``--certificate PATH`` writes the
     resulting certificate (with its network spec and witness) as JSON for
     later independent re-checking with ``verify``.
+``dist run {bn,wn,ccc,rr} N --state DIR [--shards S] [--workers W]
+[--timeout S] [--lease-seconds S] [--chaos-kills K --chaos-seed S]
+[--certificate PATH]``
+    Fault-tolerant distributed sweep (:mod:`repro.dist`): lease-based
+    work-stealing shards across ``W`` worker processes coordinated
+    through ``--state DIR`` (resumable; re-running continues where the
+    last run stopped).  Exits 0 with an exact certificate when all
+    shards complete, 3 with a certified upper bound when interrupted.
+    ``--chaos-kills`` arms the seeded crash schedule used by the chaos
+    CI job.  ``solve --shards N`` runs the same machinery as tier 1 of
+    the cascade.
+``dist status --state DIR``
+    Shard table, lease holders and event journal of a coordinator
+    directory.
+``dist merge --state DIR [--certificate PATH]``
+    Offline merge of whatever shards completed — of a finished,
+    interrupted, or never-recovered run — into an independently checked
+    certificate (exact iff every shard is done).
 ``verify PATH``
     Re-check a ``solve --certificate`` JSON file (or a run manifest from
     ``solve --trace``) with the independent checker of
@@ -139,9 +157,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     }[args.family](n)
     budget = Budget(args.timeout) if args.timeout is not None else None
     cache_dir = _resolve_cache_dir(args)
+    dist_kwargs = {
+        "shards": getattr(args, "shards", None),
+        "dist_state": getattr(args, "dist_state", None),
+        "dist_workers": getattr(args, "dist_workers", None),
+    }
     if args.trace is None:
         cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
-                                   cache=cache_dir)
+                                   cache=cache_dir, **dist_kwargs)
         print(cert)
         _maybe_write_certificate(args, net, cert)
         return 0
@@ -151,7 +174,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     collector = obs.Collector()
     with obs.collecting(collector):
         cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
-                                   cache=cache_dir)
+                                   cache=cache_dir, **dist_kwargs)
     manifest = obs.build_manifest(
         collector,
         command=["solve", args.family, str(args.n)],
@@ -255,6 +278,183 @@ def _network_from_command(command) -> "object | None":
         }[command[1]](n)
     except ValueError:
         return None
+
+
+def _dist_network(args: argparse.Namespace):
+    """Build the instance for a ``dist`` subcommand (families + rr)."""
+    from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
+    from .topology.labels import is_power_of_two
+    from .topology.random_regular import random_regular_graph
+
+    if args.family == "rr":
+        return random_regular_graph(
+            args.n, getattr(args, "degree", 3), seed=getattr(args, "seed", 0)
+        )
+    n = args.n
+    if args.family in ("bn", "wn") and not is_power_of_two(n):
+        n = 1 << n
+    return {
+        "bn": butterfly,
+        "wn": wrapped_butterfly,
+        "ccc": cube_connected_cycles,
+    }[args.family](n)
+
+
+def _dist_certificate(net, prof, detail: str):
+    """A :class:`BoundCertificate` from a (possibly partial) profile.
+
+    A complete profile closes the interval exactly; a partial one keeps
+    the trivial floor and certifies the merged balanced entry — when one
+    was observed at all — as an upper bound with its witness cut.
+    """
+    from .core.results import BoundCertificate
+    from .verify.checker import WITNESS_FREE_TOKEN
+
+    import numpy as np
+
+    m = len(prof.counted)
+    lo_c, hi_c = m // 2, (m + 1) // 2
+    c = lo_c if prof.values[lo_c] <= prof.values[hi_c] else hi_c
+    w = int(prof.values[c])
+    name = f"BW({net.name})"
+    if prof.complete:
+        ev = f"distributed enumeration (exact; {detail})"
+        return BoundCertificate(name, w, w, ev, ev, prof.witness_cut(c))
+    if w < np.iinfo(np.int64).max:
+        return BoundCertificate(
+            name, 0, w,
+            "trivial floor (0 <= BW always)",
+            f"distributed enumeration (partial shard union; {detail})",
+            prof.witness_cut(c),
+        )
+    return BoundCertificate(
+        name, 0, net.num_edges,
+        "trivial floor (0 <= BW always)",
+        f"trivial ceiling (cutting every edge; no balanced shard "
+        f"completed; {WITNESS_FREE_TOKEN}; {detail})",
+        None,
+    )
+
+
+def _cmd_dist_run(args: argparse.Namespace) -> int:
+    from .dist import distributed_cut_profile
+    from .resilience import Budget, CrashSchedule
+
+    net = _dist_network(args)
+    budget = Budget(args.timeout) if args.timeout is not None else None
+    schedule = None
+    if args.chaos_kills:
+        import os
+
+        schedule = CrashSchedule.seeded(
+            os.path.join(args.state, "chaos"), args.chaos_seed,
+            workers=args.workers, kills=args.chaos_kills,
+        )
+        print(f"chaos schedule armed: kills={schedule.events()}",
+              file=sys.stderr)
+    status: dict = {}
+    prof = distributed_cut_profile(
+        net,
+        state_dir=args.state,
+        shards=args.shards,
+        workers=args.workers,
+        budget=budget,
+        schedule=schedule,
+        lease_seconds=args.lease_seconds,
+        meta={"family": args.family, "n": args.n,
+              "degree": getattr(args, "degree", None),
+              "seed": getattr(args, "seed", None)},
+        status=status,
+    )
+    ev = status.get("events", {})
+    print(f"{net.name}: {status.get('counts', {}).get('done', 0)}/"
+          f"{status.get('shards', 0)} shards done "
+          f"({ev.get('claims', 0)} claims, {ev.get('reclaims', 0)} reclaims, "
+          f"{ev.get('quarantined', 0)} quarantined, "
+          f"{status.get('workers_killed', 0)} workers lost, "
+          f"{status.get('parent_takeovers', 0)} parent takeovers)")
+    detail = (
+        f"{status.get('shards', 0)} shards, {args.workers} workers, "
+        f"{ev.get('reclaims', 0)} reclaims"
+    )
+    cert = _dist_certificate(net, prof, detail)
+    report = cert.verify(net)
+    if not report.ok:
+        print("dist: certificate REJECTED by the independent checker:",
+              file=sys.stderr)
+        for p in report.problems:
+            print(f"dist:   {p}", file=sys.stderr)
+        return 1
+    print(cert)
+    _maybe_write_certificate(args, net, cert)
+    return 0 if prof.complete else 3
+
+
+def _cmd_dist_status(args: argparse.Namespace) -> int:
+    from .dist import ShardCoordinator
+
+    state = ShardCoordinator.peek(args.state)
+    if state is None:
+        print(f"dist: no coordinator state in {args.state}", file=sys.stderr)
+        return 2
+    counts = state["counts"]
+    print(f"key: {state['key']}")
+    print(f"shards: {state['shards']} "
+          f"(done={counts['done']} leased={counts['leased']} "
+          f"pending={counts['pending']} quarantined={counts['quarantined']})")
+    print(f"events: {state['events']}")
+    print(f"covered: {state['covered']} masks; settled: {state['settled']}")
+    for sh in state["shard_rows"]:
+        lease = f" worker={sh['worker']}" if sh["worker"] else ""
+        print(f"  shard {sh['id']:>3} [{sh['lo']}, {sh['hi']}) "
+              f"{sh['status']}{lease} attempts={sh['attempts']}")
+    return 0
+
+
+def _cmd_dist_merge(args: argparse.Namespace) -> int:
+    from .dist import ShardCoordinator, merge_to_profile
+
+    import numpy as np
+
+    state = ShardCoordinator.peek(args.state)
+    if state is None:
+        print(f"dist: no coordinator state in {args.state}", file=sys.stderr)
+        return 2
+    meta = state.get("meta", {})
+    try:
+        ns = argparse.Namespace(**{
+            "family": meta.get("family"), "n": int(meta.get("n")),
+            "degree": meta.get("degree"), "seed": meta.get("seed"),
+        })
+        net = _dist_network(ns)
+    except (TypeError, ValueError, KeyError):
+        print("dist: state meta does not identify a rebuildable instance",
+              file=sys.stderr)
+        return 2
+    payloads = [
+        (int(sh["lo"]), int(sh["hi"]), sh["payload"])
+        for sh in state["shard_rows"]
+        if sh["status"] == "done" and isinstance(sh["payload"], dict)
+    ]
+    counted = np.arange(net.num_nodes, dtype=np.int64)
+    prof = merge_to_profile(net, counted, payloads)
+    kind = "exact (all shards done)" if prof.complete else (
+        f"upper bound from {len(payloads)}/{state['shards']} completed shards"
+    )
+    print(f"{net.name}: merged {kind}")
+    cert = _dist_certificate(
+        net, prof, f"{len(payloads)}/{state['shards']} shards merged offline"
+    )
+    report = cert.verify(net)
+    if not report.ok:
+        print("dist: certificate REJECTED by the independent checker:",
+              file=sys.stderr)
+        for p in report.problems:
+            print(f"dist:   {p}", file=sys.stderr)
+        return 1
+    print(cert)
+    _maybe_write_certificate(args, net, cert)
+    return 0 if prof.complete else 3
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -453,7 +653,63 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--certificate", default=None, metavar="PATH",
                    help="write the resulting certificate (network spec, "
                         "interval, witness) as JSON for 'verify'")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run tier 1 as the lease-coordinated distributed "
+                        "sweep with N shards (bit-identical to serial)")
+    p.add_argument("--dist-state", default=None, metavar="DIR",
+                   help="durable coordinator directory for --shards "
+                        "(default: fresh temporary, non-resumable)")
+    p.add_argument("--dist-workers", type=int, default=None, metavar="N",
+                   help="worker processes for --shards (default 2)")
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser(
+        "dist",
+        help="fault-tolerant distributed sweep: run, inspect, merge",
+    )
+    dist_sub = p.add_subparsers(dest="dist_command", required=True)
+
+    d = dist_sub.add_parser(
+        "run", help="run the lease-coordinated distributed sweep"
+    )
+    d.add_argument("family", choices=["bn", "wn", "ccc", "rr"])
+    d.add_argument("n", type=int)
+    d.add_argument("--degree", type=int, default=3,
+                   help="degree for the rr (random regular) family")
+    d.add_argument("--seed", type=int, default=0,
+                   help="seed for the rr family")
+    d.add_argument("--state", required=True, metavar="DIR",
+                   help="coordinator state directory (resumable)")
+    d.add_argument("--shards", type=int, default=8)
+    d.add_argument("--workers", type=int, default=2)
+    d.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    d.add_argument("--lease-seconds", type=float, default=15.0,
+                   help="lease length between heartbeats before a shard "
+                        "may be stolen")
+    d.add_argument("--chaos-kills", type=int, default=0, metavar="K",
+                   help="chaos harness: SIGKILL K distinct workers on "
+                        "their first claim (seeded, replayable)")
+    d.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed selecting which workers die")
+    d.add_argument("--certificate", default=None, metavar="PATH",
+                   help="write the certified result as JSON for 'verify'")
+    d.set_defaults(fn=_cmd_dist_run)
+
+    d = dist_sub.add_parser(
+        "status", help="inspect a coordinator state directory"
+    )
+    d.add_argument("--state", required=True, metavar="DIR")
+    d.set_defaults(fn=_cmd_dist_status)
+
+    d = dist_sub.add_parser(
+        "merge",
+        help="merge completed shards offline into a certified bound "
+             "(exact when all shards are done, an upper bound otherwise)",
+    )
+    d.add_argument("--state", required=True, metavar="DIR")
+    d.add_argument("--certificate", default=None, metavar="PATH",
+                   help="write the certified result as JSON for 'verify'")
+    d.set_defaults(fn=_cmd_dist_merge)
 
     p = sub.add_parser(
         "verify",

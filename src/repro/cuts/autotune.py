@@ -36,12 +36,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from ..obs import gauge, incr
 
 __all__ = [
     "BATCH_CONTRACT_VERSION",
     "BatchAutotuner",
     "pin_chunk_count",
+    "sweep_ranges",
 ]
 
 #: Version of the batched-kernel contract (accumulation order, pre-fold
@@ -135,3 +138,26 @@ def pin_chunk_count(
     pins_per_chunk = max(1, ops_budget // max(int(states_per_pin), 1))
     by_cost = -(-num_pins // pins_per_chunk)  # ceil division
     return min(num_pins, max(8, workers * 4, by_cost))
+
+
+def sweep_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into at most ``chunks`` contiguous ranges.
+
+    The shared shard/chunk grid emitter for every exhaustive sweep: the
+    parallel pin sweep's task list, the distributed coordinator's shard
+    table (:mod:`repro.dist`), and the chaos harness all partition work
+    through this one function, so a shard id maps to the same half-open
+    range everywhere.  The grid is an integer ``linspace`` — near-equal
+    ranges, empty ones dropped — and, like every grid in the batch
+    contract, never affects results: folds are elementwise minima and the
+    witness rule is grid-independent.
+    """
+    if total <= 0 or chunks <= 0:
+        return []
+    bounds = np.linspace(0, int(total), min(int(chunks), int(total)) + 1,
+                         dtype=np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+        if bounds[i + 1] > bounds[i]
+    ]

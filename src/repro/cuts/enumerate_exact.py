@@ -34,10 +34,17 @@ from ..obs import incr, trace
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..topology.base import Network
-from .autotune import BATCH_CONTRACT_VERSION, BatchAutotuner
+from .autotune import BATCH_CONTRACT_VERSION, BatchAutotuner, sweep_ranges
 from .cut import Cut
 
-__all__ = ["CutProfile", "cut_profile", "min_bisection", "min_u_bisection"]
+__all__ = [
+    "CutProfile",
+    "cut_profile",
+    "enumeration_shards",
+    "min_bisection",
+    "min_u_bisection",
+    "shard_minima",
+]
 
 _MAX_NODES = 28
 
@@ -110,6 +117,157 @@ def _fingerprint(net: Network, counted: np.ndarray) -> str:
     )
 
 
+def _range_minima(
+    eu: np.ndarray,
+    ev: np.ndarray,
+    count_shift: np.ndarray,
+    start: int,
+    stop: int,
+    best: np.ndarray,
+    best_mask: np.ndarray,
+) -> int:
+    """Fold the mask range ``[start, stop)`` into ``best``/``best_mask``.
+
+    The one batch kernel every exhaustive sweep shares — the serial
+    :func:`cut_profile` loop, the distributed shard workers
+    (:func:`shard_minima`), and the chaos harness all accumulate through
+    this function, so their pre-fold states are bit-identical by
+    construction.  Per mask, the cut capacity is the xor-popcount over
+    edges and the counted size the shift-popcount over ``count_shift``;
+    updates use the strict-``<`` witness rule, so under any ascending
+    grid the surviving witness is the lowest achieving mask.  Returns the
+    number of masks evaluated.
+    """
+    one = np.uint64(1)
+    masks = np.arange(start, stop, dtype=np.uint64)
+    # Capacity: per edge, xor of endpoint bits.
+    cap = np.zeros(len(masks), dtype=np.int64)
+    for u, v in zip(eu, ev):
+        cap += (((masks >> u) ^ (masks >> v)) & one).astype(np.int64)
+    # Counted size of S.
+    cnt = np.zeros(len(masks), dtype=np.int64)
+    for v in count_shift:
+        cnt += ((masks >> v) & one).astype(np.int64)
+    # Reduce per count value.
+    m = len(best) - 1
+    order = np.argsort(cnt, kind="stable")
+    cnt_sorted = cnt[order]
+    cap_sorted = cap[order]
+    boundaries = np.searchsorted(cnt_sorted, np.arange(m + 2))
+    for c in range(m + 1):
+        lo, hi = boundaries[c], boundaries[c + 1]
+        if lo == hi:
+            continue
+        seg = cap_sorted[lo:hi]
+        am = int(np.argmin(seg))
+        if seg[am] < best[c]:
+            best[c] = seg[am]
+            best_mask[c] = masks[order[lo + am]]
+    return len(masks)
+
+
+def _complement_fold(
+    best: np.ndarray, best_mask: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Close a pre-fold profile under complement symmetry (copies).
+
+    Pinning node ``n-1`` to S̄ visits each unordered partition once, but
+    labels sides; a cut with ``c`` counted in ``S`` is also a cut with
+    ``m - c`` counted in ``S``.  Fold the symmetric entry in — exactly
+    once, on the final merged profile, for shard/checkpoint resumes to
+    stay bit-identical.
+    """
+    best = best.copy()
+    best_mask = best_mask.copy()
+    m = len(best) - 1
+    one = np.uint64(1)
+    full = (np.uint64(1) << np.uint64(n)) - one
+    for c in range(m + 1):
+        cc = m - c
+        if best[cc] < best[c]:
+            best[c] = best[cc]
+            best_mask[c] = best_mask[cc] ^ full
+    return best, best_mask
+
+
+def enumeration_shards(
+    net: Network, shards: int
+) -> list[tuple[int, int]]:
+    """Shard-granular ranges over the ``2^{N-1}`` enumeration mask space.
+
+    The distributed coordinator (:mod:`repro.dist`) leases exactly these
+    half-open ranges; ``shards`` is a ceiling (tiny spaces yield fewer).
+    The grid is deterministic in ``(net.num_nodes, shards)`` so every
+    worker, and any resumed coordinator keyed to the same computation,
+    derives an identical shard table.
+    """
+    n = net.num_nodes
+    if n > _MAX_NODES:
+        raise ValueError(
+            f"exhaustive enumeration is limited to {_MAX_NODES} nodes; "
+            f"{net.name} has {n}"
+        )
+    if n == 0:
+        return []
+    return sweep_ranges(1 << (n - 1), shards)
+
+
+def shard_minima(
+    edges: np.ndarray,
+    counted: np.ndarray,
+    lo: int,
+    hi: int,
+    *,
+    batch_bits: int | None = None,
+    on_batch=None,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Pre-fold partial profile of the mask range ``[lo, hi)``.
+
+    The shard worker kernel: computes, in ascending vectorized batches,
+    the minimum capacity (and lowest witness mask) per counted-side size
+    over exactly this range — the unit of work a
+    :class:`~repro.dist.coordinator.ShardCoordinator` lease covers.  The
+    returned arrays are *pre-fold* running state (no complement closure):
+    the coordinator folds completed shards in ascending-``lo`` order and
+    applies :func:`_complement_fold` once at the end, which is what makes
+    the merged profile bit-identical to an uninterrupted serial sweep.
+
+    Parameters
+    ----------
+    edges:
+        ``(E, 2)`` edge array of the instance.
+    counted:
+        Counted node indices (``U``).
+    on_batch:
+        Optional callback invoked after every batch with the end of the
+        completed prefix; returning ``False`` abandons the shard (the
+        worker lost its lease or its budget) and ``None`` is returned.
+    batch_bits:
+        log2 batch size; defaults to the autotuner's memory-model initial
+        size for this edge count.
+    """
+    e = np.asarray(edges, dtype=np.uint64)
+    eu, ev = e[:, 0], e[:, 1]
+    count_shift = np.asarray(counted, dtype=np.uint64)
+    m = len(count_shift)
+    bits = (
+        BatchAutotuner(edges=len(e)).initial_bits()
+        if batch_bits is None else int(batch_bits)
+    )
+    inf = np.iinfo(np.int64).max
+    best = np.full(m + 1, inf, dtype=np.int64)
+    best_mask = np.zeros(m + 1, dtype=np.uint64)
+    start = int(lo)
+    # repro-lint: disable=RL010 -- the budget is polled through on_batch: every caller's callback checks its Budget (and the lease heartbeat) each batch, returning False to abandon
+    while start < int(hi):
+        stop = min(start + (1 << bits), int(hi))
+        _range_minima(eu, ev, count_shift, start, stop, best, best_mask)
+        start = stop
+        if on_batch is not None and on_batch(start) is False:
+            return None
+    return best, best_mask
+
+
 def cut_profile(
     net: Network,
     counted: np.ndarray | None = None,
@@ -175,7 +333,6 @@ def cut_profile(
     bits = tuner.initial_bits() if autotune else batch_bits
     if budget is not None:
         bits = budget.batch_bits(bits)
-    one = np.uint64(1)
 
     store = as_store(checkpoint)
     ledger = RangeLedger()
@@ -202,32 +359,12 @@ def cut_profile(
                 incr("cuts.enumerate.budget_expiries")
                 break
             t0 = tuner.clock() if autotune else 0.0
-            masks = np.arange(start, stop, dtype=np.uint64)
-            # Capacity: per edge, xor of endpoint bits.
-            cap = np.zeros(len(masks), dtype=np.int64)
-            for u, v in zip(eu, ev):
-                cap += (((masks >> u) ^ (masks >> v)) & one).astype(np.int64)
-            # Counted size of S.
-            cnt = np.zeros(len(masks), dtype=np.int64)
-            for v in count_shift:
-                cnt += ((masks >> v) & one).astype(np.int64)
-            # Reduce per count value.
-            order = np.argsort(cnt, kind="stable")
-            cnt_sorted = cnt[order]
-            cap_sorted = cap[order]
-            boundaries = np.searchsorted(cnt_sorted, np.arange(m + 2))
-            for c in range(m + 1):
-                lo, hi = boundaries[c], boundaries[c + 1]
-                if lo == hi:
-                    continue
-                seg = cap_sorted[lo:hi]
-                am = int(np.argmin(seg))
-                if seg[am] < best[c]:
-                    best[c] = seg[am]
-                    best_mask[c] = masks[order[lo + am]]
+            evaluated = _range_minima(
+                eu, ev, count_shift, start, stop, best, best_mask
+            )
             ledger.add(start, stop)
             incr("cuts.enumerate.batches")
-            incr("cuts.enumerate.cuts_evaluated", len(masks))
+            incr("cuts.enumerate.cuts_evaluated", evaluated)
             if store is not None:
                 # Pre-fold state: the complement fold below must run exactly
                 # once, on the final profile, for resume to be bit-identical.
@@ -243,17 +380,7 @@ def cut_profile(
             start = stop
 
     complete = ledger.total == total
-    # Complement closure: pinning node n-1 to S̄ visits each unordered
-    # partition once, but labels sides; a cut with c counted in S is also a
-    # cut with m - c counted in S.  Fold the symmetric entry in.
-    best = best.copy()
-    best_mask = best_mask.copy()
-    full = (np.uint64(1) << np.uint64(n)) - one
-    for c in range(m + 1):
-        cc = m - c
-        if best[cc] < best[c]:
-            best[c] = best[cc]
-            best_mask[c] = best_mask[cc] ^ full
+    best, best_mask = _complement_fold(best, best_mask, n)
     return CutProfile(net, counted, best, best_mask, complete)
 
 

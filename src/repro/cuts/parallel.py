@@ -37,7 +37,7 @@ from ..resilience.checkpoint import CheckpointStore, RangeLedger, as_store
 from ..resilience.faults import maybe_crash
 from ..resilience.supervise import RetryPolicy, SupervisionReport, supervised_map
 from ..topology.base import Network
-from .autotune import BATCH_CONTRACT_VERSION, pin_chunk_count
+from .autotune import BATCH_CONTRACT_VERSION, pin_chunk_count, sweep_ranges
 from .layered_dp import (
     _classify_edges,
     _counted_popcounts,
@@ -74,15 +74,6 @@ def _run_pins(pin_range: tuple[int, int]) -> np.ndarray:
         total = f if closure is None else f + closure[:, None]
         np.minimum(best, total.min(axis=0), out=best)
     return best
-
-
-def _pin_ranges(num_pins: int, chunks: int) -> list[tuple[int, int]]:
-    bounds = np.linspace(0, num_pins, chunks + 1, dtype=np.int64)
-    return [
-        (int(bounds[i]), int(bounds[i + 1]))
-        for i in range(chunks)
-        if bounds[i + 1] > bounds[i]
-    ]
 
 
 def parallel_cyclic_profile(
@@ -161,7 +152,7 @@ def parallel_cyclic_profile(
     # stays within the per-chunk vector-ops budget.
     states_per_pin = sum((1 << w) * (C + 1) for w in widths)
     chunks = pin_chunk_count(num_pins, workers, states_per_pin)
-    ranges = _pin_ranges(num_pins, chunks)
+    ranges = sweep_ranges(num_pins, chunks)
 
     best = np.full(C + 1, _INF, dtype=np.int64)
     ledger = RangeLedger()

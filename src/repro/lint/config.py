@@ -41,6 +41,10 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     # solver stack through further module-granular exceptions.  No solver
     # package may depend on verify (see also RL009).
     "verify": frozenset({"topology", "obs"}),
+    # Distributed coordination: shard workers drive the cuts kernels under
+    # resilience primitives.  Deliberately verify-free (RL009): callers
+    # certify distributed results, dist only produces them.
+    "dist": frozenset({"topology", "cuts", "resilience", "obs"}),
     "embeddings": frozenset({"topology"}),
     "routing": frozenset({"topology", "obs"}),
     "expansion": frozenset({"topology", "cuts", "routing"}),
@@ -48,7 +52,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
     "core": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
-            "analysis", "resilience", "obs", "perf", "verify",
+            "analysis", "resilience", "obs", "perf", "verify", "dist",
         }
     ),
     "io": frozenset({"topology", "cuts", "core"}),
@@ -57,7 +61,7 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
             "analysis", "core", "io", "lint", "resilience", "obs", "perf",
-            "verify",
+            "verify", "dist",
         }
     ),
     "__init__": frozenset({"topology", "core"}),
@@ -112,7 +116,9 @@ DEFAULT_BUDGET_ENTRY_POINTS: tuple[str, ...] = (
 )
 
 #: Packages whose reachable loops RL010 holds to the budget contract.
-DEFAULT_BUDGET_HOT_PACKAGES: tuple[str, ...] = ("cuts", "routing")
+#: ``dist`` is hot because its worker/monitor loops run unbounded sweeps:
+#: a loop there that forgets to poll its budget hangs a whole fleet.
+DEFAULT_BUDGET_HOT_PACKAGES: tuple[str, ...] = ("cuts", "routing", "dist")
 
 #: Method names that count as consulting a Budget (cooperative polls).
 DEFAULT_BUDGET_POLL_METHODS: tuple[str, ...] = (

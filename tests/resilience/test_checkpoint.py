@@ -2,7 +2,9 @@
 
 import json
 
+import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.resilience import CheckpointStore, RangeLedger
 
@@ -88,3 +90,102 @@ class TestRangeLedger:
         ledger = RangeLedger([(0, 2), (4, 8)])
         again = RangeLedger.from_list(json.loads(json.dumps(ledger.to_list())))
         assert again.to_list() == ledger.to_list()
+
+    def test_numpy_ints_stay_json_serializable(self):
+        # Shard bounds arrive as np.int64 from the sweep grids; the
+        # ledger must coerce them or json.dumps chokes on the state file.
+        ledger = RangeLedger()
+        ledger.add(np.int64(0), np.int64(4))
+        assert json.dumps(ledger.to_list()) == "[[0, 4]]"
+        assert all(
+            type(x) is int for pair in ledger.to_list() for x in pair
+        )
+
+
+class TestCoverageAndGaps:
+    def test_coverage_counts_only_the_window(self):
+        ledger = RangeLedger([(0, 4), (8, 12)])
+        assert ledger.coverage(0, 12) == 8
+        assert ledger.coverage(2, 10) == 4   # 2 from each range
+        assert ledger.coverage(4, 8) == 0    # exactly the gap
+        assert ledger.coverage(5, 5) == 0    # empty window
+        assert ledger.coverage(12, 0) == 0   # inverted window
+
+    def test_gaps_tile_the_window(self):
+        ledger = RangeLedger([(2, 4), (6, 8)])
+        assert ledger.gaps(0, 10) == [(0, 2), (4, 6), (8, 10)]
+        assert ledger.gaps(2, 8) == [(4, 6)]
+        assert ledger.gaps(2, 4) == []
+        assert ledger.gaps(0, 2) == [(0, 2)]
+
+    def test_empty_ledger_has_one_gap(self):
+        assert RangeLedger().gaps(3, 9) == [(3, 9)]
+        assert RangeLedger().coverage(3, 9) == 0
+
+
+# Adversarial interleavings of the operations the shard merge path
+# performs: ranges added in any order, with arbitrary overlap and
+# touching boundaries, must always coalesce to the same canonical form.
+_ranges = st.lists(
+    st.tuples(st.integers(0, 60), st.integers(1, 20)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    min_size=0, max_size=12,
+)
+
+
+class TestRangeLedgerProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_ranges, st.randoms(use_true_random=False))
+    def test_insertion_order_never_matters(self, ranges, rnd):
+        shuffled = list(ranges)
+        rnd.shuffle(shuffled)
+        a, b = RangeLedger(), RangeLedger()
+        for r in ranges:
+            a.add(*r)
+        for r in shuffled:
+            b.add(*r)
+        assert a.to_list() == b.to_list()
+        assert a.total == b.total
+
+    @settings(max_examples=200, deadline=None)
+    @given(_ranges)
+    def test_canonical_form_is_sorted_disjoint_nonadjacent(self, ranges):
+        ledger = RangeLedger()
+        for r in ranges:
+            ledger.add(*r)
+        out = ledger.to_list()
+        for lo, hi in out:
+            assert lo < hi
+        for (_, h1), (l2, _) in zip(out, out[1:]):
+            assert h1 < l2  # touching ranges must have coalesced
+
+    @settings(max_examples=200, deadline=None)
+    @given(_ranges)
+    def test_membership_matches_reference_set(self, ranges):
+        ledger = RangeLedger()
+        covered = set()
+        for lo, hi in ranges:
+            ledger.add(lo, hi)
+            covered.update(range(lo, hi))
+        assert ledger.total == len(covered)
+        window_lo, window_hi = 0, 85
+        assert ledger.coverage(window_lo, window_hi) == len(
+            covered & set(range(window_lo, window_hi))
+        )
+        # gaps() tiles exactly the uncovered points of the window.
+        gap_points = set()
+        for lo, hi in ledger.gaps(window_lo, window_hi):
+            assert lo < hi
+            gap_points.update(range(lo, hi))
+        assert gap_points == set(range(window_lo, window_hi)) - covered
+
+    @settings(max_examples=100, deadline=None)
+    @given(_ranges, st.integers(0, 80), st.integers(1, 20))
+    def test_covers_iff_no_gaps(self, ranges, lo, width):
+        hi = lo + width
+        ledger = RangeLedger()
+        for r in ranges:
+            ledger.add(*r)
+        assert ledger.covers(lo, hi) == (ledger.gaps(lo, hi) == [])
+        assert ledger.covers(lo, hi) == (ledger.coverage(lo, hi) == width)

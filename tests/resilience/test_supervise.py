@@ -18,7 +18,7 @@ from repro.resilience import (
     SupervisionReport,
     supervised_map,
 )
-from repro.resilience.faults import arm_crash_token
+from repro.resilience.faults import arm_crash_token, maybe_crash
 
 _FAST = RetryPolicy(task_timeout=10.0, max_retries=2, backoff=0.01)
 
@@ -55,6 +55,14 @@ def _hang_once(arg):
 
 def _always_raise(_x):
     raise RuntimeError("permanent failure")
+
+
+def _die_once(arg):
+    # The first pool worker to run this consumes the token and SIGKILLs
+    # itself mid-task (an OOM kill); the retry finds the token gone.
+    token, x = arg
+    maybe_crash(token)
+    return x * x
 
 
 def _no_leaked_children(timeout=5.0):
@@ -134,6 +142,46 @@ class TestFailureModes:
         )
         assert out == [9]
         assert report.timeouts >= 1
+        assert _no_leaked_children()
+
+    def test_sigkilled_worker_mid_task_is_reclaimed(self, tmp_path):
+        """Worker death, not just worker exception: the process running
+        the task is SIGKILLed, its in-flight task is lost, and the pool
+        must notice (deadline), retry, and still return the right answer
+        without leaking children."""
+        token = str(arm_crash_token(tmp_path / "die-once"))
+        report = SupervisionReport()
+        policy = RetryPolicy(task_timeout=1.0, max_retries=2, backoff=0.01)
+        with obs.collecting() as col:
+            out = supervised_map(
+                _die_once, [(token, 6)], workers=2, policy=policy,
+                report=report,
+            )
+        assert out == [36]
+        assert report.complete
+        assert not os.path.exists(token)  # the kill actually fired
+        # The reclaim is on the record: a lost attempt, a timeout, and
+        # the published pool counters all agree.
+        assert report.task_attempts == {0: 1}
+        assert report.timeouts == 1
+        assert report.retries == 1
+        assert report.degraded_tasks == []
+        assert col.counters["pool.task_timeouts"] == 1
+        assert col.counters["pool.retries"] == 1
+        assert _no_leaked_children()
+
+    def test_sigkilled_worker_in_a_batch_keeps_order(self, tmp_path):
+        # The death of one worker must not disturb the other tasks'
+        # results or ordering.
+        token = str(arm_crash_token(tmp_path / "die-once-batch"))
+        policy = RetryPolicy(task_timeout=1.0, max_retries=2, backoff=0.01)
+        tasks = [(token, x) for x in (1, 2, 3, 4)]
+        report = SupervisionReport()
+        out = supervised_map(
+            _die_once, tasks, workers=2, policy=policy, report=report
+        )
+        assert out == [1, 4, 9, 16]
+        assert report.complete
         assert _no_leaked_children()
 
     def test_parent_exception_terminates_pool(self):

@@ -122,6 +122,40 @@ class TestStats:
         assert "invalid manifest" in err and "kind" in err
 
 
+class TestDist:
+    def test_run_status_merge_round_trip(self, capsys, tmp_path):
+        state = str(tmp_path / "st")
+        cert = str(tmp_path / "cert.json")
+        assert main([
+            "dist", "run", "bn", "4", "--state", state,
+            "--shards", "4", "--workers", "2", "--certificate", cert,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 shards done" in out
+        assert "BW(B4) = 4" in out
+        data = json.loads(open(cert).read())
+        assert (data["lower"], data["upper"]) == (4, 4)
+
+        assert main(["dist", "status", "--state", state]) == 0
+        out = capsys.readouterr().out
+        assert "done=4" in out
+
+        merged = str(tmp_path / "merged.json")
+        assert main([
+            "dist", "merge", "--state", state, "--certificate", merged,
+        ]) == 0
+        again = json.loads(open(merged).read())
+        assert (again["lower"], again["upper"]) == (4, 4)
+
+    def test_status_on_missing_state(self, capsys, tmp_path):
+        assert main(["dist", "status", "--state", str(tmp_path / "no")]) == 2
+        assert "no coordinator state" in capsys.readouterr().err
+
+    def test_solve_with_shards(self, capsys):
+        assert main(["solve", "bn", "4", "--shards", "4"]) == 0
+        assert "BW(B4) = 4" in capsys.readouterr().out
+
+
 class TestMainModule:
     def test_python_dash_m(self):
         import subprocess, sys
