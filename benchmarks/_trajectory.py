@@ -1,0 +1,204 @@
+"""Perf trajectory: fold ``benchmarks/results/*.json`` into a committed series.
+
+Each :func:`_report.emit_json` result file is a snapshot of one benchmark
+at one git revision.  This module aggregates those snapshots into
+``BENCH_perf_trajectory.json`` at the repository root: one series per
+benchmark, each point keyed by the git SHA recorded in the result's
+environment manifest.  The committed trajectory gives RL006-style drift
+review and future PRs a history of measured numbers to diff against,
+instead of only the latest overwrite of each results file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_trajectory.py          # update in place
+    PYTHONPATH=src python benchmarks/_trajectory.py --check  # freshness gate
+
+Re-running at an already-recorded revision replaces that revision's point
+(same-rev reruns update in place, they never append duplicates), so the
+series stays one-point-per-SHA and the file is deterministic given the
+sequence of revisions it was updated at.  ``--check`` verifies coverage
+only — every result file's revision must have a point — not exact metric
+values, because timing numbers legitimately differ between reruns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+TRAJECTORY_KIND = "repro-bench-trajectory"
+TRAJECTORY_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+TRAJECTORY_PATH = _REPO_ROOT / "BENCH_perf_trajectory.json"
+
+
+def _numeric_summary(rows: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Per-field ``{min, max, mean, n}`` over the numeric row values.
+
+    Booleans are excluded (they are ints in Python but not measurements);
+    fields that never hold a number are dropped entirely.
+    """
+    values: dict[str, list[float]] = {}
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        for key, val in row.items():
+            if isinstance(val, bool) or not isinstance(val, (int, float)):
+                continue
+            values.setdefault(str(key), []).append(float(val))
+    summary = {}
+    for key in sorted(values):
+        vals = values[key]
+        summary[key] = {
+            "min": min(vals),
+            "max": max(vals),
+            "mean": sum(vals) / len(vals),
+            "n": len(vals),
+        }
+    return summary
+
+
+def load_result(path: Path) -> dict[str, Any] | None:
+    """One ``emit_json`` document, or None when unreadable/foreign."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("kind") != "repro-bench-result":
+        return None
+    return doc
+
+
+def point_from_result(doc: dict[str, Any]) -> dict[str, Any] | None:
+    """A trajectory point for one result doc, or None without a git rev."""
+    env = doc.get("manifest", {}).get("environment", {})
+    git_rev = env.get("git_rev") if isinstance(env, dict) else None
+    if not isinstance(git_rev, str) or not git_rev:
+        return None
+    rows = doc.get("rows")
+    rows = rows if isinstance(rows, list) else []
+    return {
+        "git_rev": git_rev,
+        "rows": len(rows),
+        "metrics": _numeric_summary(rows),
+        "meta": doc.get("meta", {}),
+    }
+
+
+def load_trajectory(path: Path = TRAJECTORY_PATH) -> dict[str, Any]:
+    """The committed trajectory, or a fresh empty document."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        doc = None
+    if (
+        not isinstance(doc, dict)
+        or doc.get("kind") != TRAJECTORY_KIND
+        or not isinstance(doc.get("benchmarks"), dict)
+    ):
+        doc = {
+            "kind": TRAJECTORY_KIND,
+            "version": TRAJECTORY_VERSION,
+            "benchmarks": {},
+        }
+    return doc
+
+
+def update_trajectory(
+    results_dir: Path = RESULTS_DIR,
+    path: Path = TRAJECTORY_PATH,
+) -> tuple[dict[str, Any], bool]:
+    """Fold every results JSON into the trajectory; ``(doc, changed)``.
+
+    Writes atomically (temp + ``os.replace``) only when a point was added
+    or replaced, so a no-op run leaves the committed file untouched.
+    """
+    doc = load_trajectory(path)
+    changed = False
+    for result_path in sorted(results_dir.glob("*.json")):
+        result = load_result(result_path)
+        if result is None:
+            continue
+        point = point_from_result(result)
+        if point is None:
+            continue
+        name = str(result.get("name") or result_path.stem)
+        series = doc["benchmarks"].setdefault(name, [])
+        replaced = False
+        for i, existing in enumerate(series):
+            if existing.get("git_rev") == point["git_rev"]:
+                if existing != point:
+                    series[i] = point
+                    changed = True
+                replaced = True
+                break
+        if not replaced:
+            series.append(point)
+            changed = True
+    if changed:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+    return doc, changed
+
+
+def check_trajectory(
+    results_dir: Path = RESULTS_DIR,
+    path: Path = TRAJECTORY_PATH,
+) -> list[str]:
+    """Coverage problems: result revisions missing from the trajectory."""
+    doc = load_trajectory(path)
+    problems = []
+    for result_path in sorted(results_dir.glob("*.json")):
+        result = load_result(result_path)
+        if result is None:
+            continue
+        point = point_from_result(result)
+        if point is None:
+            continue
+        name = str(result.get("name") or result_path.stem)
+        series = doc["benchmarks"].get(name, [])
+        if not any(p.get("git_rev") == point["git_rev"] for p in series):
+            problems.append(
+                f"{name}: revision {point['git_rev'][:12]} of "
+                f"{result_path.name} has no trajectory point"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="aggregate benchmarks/results/*.json into "
+                    "BENCH_perf_trajectory.json"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify every result revision has a trajectory point; "
+             "write nothing",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        problems = check_trajectory()
+        for p in problems:
+            print(f"trajectory: {p}", file=sys.stderr)
+        print(f"trajectory: {'stale' if problems else 'fresh'} "
+              f"({TRAJECTORY_PATH.name})")
+        return 1 if problems else 0
+    doc, changed = update_trajectory()
+    total = sum(len(s) for s in doc["benchmarks"].values())
+    print(f"trajectory: {len(doc['benchmarks'])} benchmarks, {total} points "
+          f"({'updated' if changed else 'unchanged'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

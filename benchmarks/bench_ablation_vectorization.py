@@ -14,7 +14,7 @@ import numpy as np
 from repro.cuts import Cut, cut_profile
 from repro.topology import butterfly
 
-from _report import emit
+from _report import emit, emit_json
 
 
 def naive_cut_capacity(net, side) -> int:
@@ -86,4 +86,17 @@ def test_emit_summary(benchmark):
         f"  python loop:{naive * 1e6:8.1f} us",
         f"  speedup:    {naive / vec:8.1f}x",
     ])
+    emit_json(
+        "ablation_vectorization",
+        [
+            {"kernel": "cut_capacity", "variant": "vectorized",
+             "seconds": vec},
+            {"kernel": "cut_capacity", "variant": "python_loop",
+             "seconds": naive},
+            {"kernel": "cut_capacity", "variant": "speedup",
+             "ratio": naive / vec},
+        ],
+        meta={"network": bf.name, "edges": int(bf.num_edges),
+              "reps": {"vectorized": 200, "python_loop": 5}},
+    )
     benchmark(lambda: bf.cut_capacity(side))

@@ -12,24 +12,45 @@ from repro.topology import (
     wrapped_butterfly,
 )
 
-from _report import emit
+from _report import emit, emit_json
 
 
-def _rows():
-    rows = [f"{'net':>6} {'nodes':>7} {'edges':>7} {'diam':>5} {'paper':>6} {'degrees'}"]
+def _data():
+    records = []
     for n in (4, 8, 16, 32):
         for wrap in (False, True):
             bf = wrapped_butterfly(n) if wrap else butterfly(n)
-            rows.append(
-                f"{bf.name:>6} {bf.num_nodes:>7} {bf.num_edges:>7} "
-                f"{diameter(bf):>5} {expected_diameter(bf):>6} {degree_census(bf)}"
-            )
+            records.append({
+                "net": bf.name,
+                "nodes": int(bf.num_nodes),
+                "edges": int(bf.num_edges),
+                "diameter": int(diameter(bf)),
+                "paper": int(expected_diameter(bf)),
+                "degrees": {str(k): int(v)
+                            for k, v in degree_census(bf).items()},
+            })
+    return records
+
+
+def _rows(records):
+    rows = [f"{'net':>6} {'nodes':>7} {'edges':>7} {'diam':>5} {'paper':>6} {'degrees'}"]
+    for r in records:
+        degrees = "{%s}" % ", ".join(
+            f"{k}: {v}" for k, v in r["degrees"].items()
+        )
+        rows.append(
+            f"{r['net']:>6} {r['nodes']:>7} {r['edges']:>7} "
+            f"{r['diameter']:>5} {r['paper']:>6} {degrees}"
+        )
     return rows
 
 
 def test_diameter_table(benchmark):
-    rows = _rows()
-    emit("diameter", rows)
+    records = _data()
+    emit("diameter", _rows(records))
+    emit_json("diameter", records,
+              meta={"claim": "Section 1.1 diameters: 2 log n (Bn), "
+                             "floor(3 log n / 2) (Wn)"})
     bf = wrapped_butterfly(32)
     val = benchmark(lambda: diameter(bf))
     assert val == expected_diameter(bf)

@@ -14,46 +14,58 @@ from repro.embeddings import (
 )
 from repro.topology import butterfly
 
-from _report import emit
+from _report import emit, emit_json
 
 
-def _rows():
-    rows = [f"{'embedding':<28} {'load':>5} {'cong':>6} {'dil':>4}  paper"]
+def _data():
+    records = []
+
+    def _record(name, paper, emb):
+        s = emb.summary()
+        records.append({
+            "embedding": name,
+            "load": int(s["load"]),
+            "congestion": int(s["congestion"]),
+            "dilation": int(s["dilation"]),
+            "paper": paper,
+        })
+
     emb, _ = butterfly_into_mos(butterfly(64), 8, 8)
-    s = emb.summary()
-    rows.append(f"{'B64 -> MOS8x8 (L2.11)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  cong 2n/jk = 2")
+    _record("B64 -> MOS8x8 (L2.11)", "cong 2n/jk = 2", emb)
     emb, _, _ = butterfly_into_butterfly(8, 2, 1)
-    s = emb.summary()
-    rows.append(f"{'B32 -> B8 (L2.10)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  cong 2^j = 4")
+    _record("B32 -> B8 (L2.10)", "cong 2^j = 4", emb)
     emb, _ = complete_bipartite_into_butterfly(16)
-    s = emb.summary()
-    rows.append(f"{'K16,16 -> B16 (L3.1)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  cong n/2 = 8")
+    _record("K16,16 -> B16 (L3.1)", "cong n/2 = 8", emb)
     emb, _ = complete_into_wrapped(8)
-    s = emb.summary()
-    rows.append(f"{'K24 -> W8 (T4.3)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  cong O(N log n)")
+    _record("K24 -> W8 (T4.3)", "cong O(N log n)", emb)
     emb, _ = doubled_complete_into_butterfly(8)
-    s = emb.summary()
-    rows.append(f"{'2K32 -> B8 (Sec 1.4)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  => BW >= {doubled_complete_bisection_bound(emb)}"
-                f" (n/2 = 4)")
+    _record(
+        "2K32 -> B8 (Sec 1.4)",
+        f"=> BW >= {doubled_complete_bisection_bound(emb)} (n/2 = 4)",
+        emb,
+    )
     emb, _ = wrapped_into_ccc(16)
-    s = emb.summary()
-    rows.append(f"{'W16 -> CCC16 (L3.3)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  cong 2")
+    _record("W16 -> CCC16 (L3.3)", "cong 2", emb)
     emb, _, _ = benes_into_butterfly(16)
-    s = emb.summary()
-    rows.append(f"{'Benes3 -> B16 (L2.5)':<28} {s['load']:>5} {s['congestion']:>6} "
-                f"{s['dilation']:>4}  load 1, cong 1, dil 3")
+    _record("Benes3 -> B16 (L2.5)", "load 1, cong 1, dil 3", emb)
+    return records
+
+
+def _rows(records):
+    rows = [f"{'embedding':<28} {'load':>5} {'cong':>6} {'dil':>4}  paper"]
+    for r in records:
+        rows.append(
+            f"{r['embedding']:<28} {r['load']:>5} {r['congestion']:>6} "
+            f"{r['dilation']:>4}  {r['paper']}"
+        )
     return rows
 
 
 def test_embedding_table(benchmark):
-    rows = _rows()
-    emit("embeddings", rows)
+    records = _data()
+    emit("embeddings", _rows(records))
+    emit_json("embeddings", records,
+              meta={"claim": "Section 1.4 / Lemma 2.x embedding parameters"})
     emb, _, _ = benchmark(lambda: benes_into_butterfly(32))
     assert emb.summary() == {"load": 1, "congestion": 1, "dilation": 3}
 

@@ -17,21 +17,30 @@ from repro.expansion import edge_expansion_profile
 from repro.topology import wrapped_butterfly
 from repro.topology.random_regular import random_regular_graph
 
-from _report import emit
+from _report import emit, emit_json
 
 
-def _rows():
+def _data():
     w8 = wrapped_butterfly(8)          # 24 nodes, 4-regular
     rr = random_regular_graph(24, 4, seed=7)
     prof_w = edge_expansion_profile(w8)
     prof_r = cut_profile(rr).values
+    return [
+        {"k": k,
+         "ee_w8": int(prof_w[k]), "ee_w8_per_k": float(prof_w[k] / k),
+         "ee_rr": int(prof_r[k]), "ee_rr_per_k": float(prof_r[k] / k)}
+        for k in range(1, 13)
+    ]
+
+
+def _rows(records):
     rows = ["W8 vs a random 4-regular graph on 24 nodes (exact EE profiles)",
             "",
             f"{'k':>4} {'EE(W8,k)':>9} {'/k':>6} {'EE(RR,k)':>9} {'/k':>6}"]
-    for k in range(1, 13):
+    for r in records:
         rows.append(
-            f"{k:>4} {prof_w[k]:>9} {prof_w[k] / k:>6.2f} "
-            f"{prof_r[k]:>9} {prof_r[k] / k:>6.2f}"
+            f"{r['k']:>4} {r['ee_w8']:>9} {r['ee_w8_per_k']:>6.2f} "
+            f"{r['ee_rr']:>9} {r['ee_rr_per_k']:>6.2f}"
         )
     rows.append("")
     rows.append("the butterfly's EE/k decays (Θ(1/log k)); the random regular")
@@ -40,7 +49,10 @@ def _rows():
 
 
 def test_expander_contrast(benchmark):
-    rows = _rows()
-    emit("expander_contrast", rows)
+    records = _data()
+    emit("expander_contrast", _rows(records))
+    emit_json("expander_contrast", records,
+              meta={"claim": "Section 1.3: butterflies are not expanders",
+                    "instances": ["W8", "RR(24,4,seed=7)"]})
     rr = random_regular_graph(24, 4, seed=7)
     benchmark(lambda: cut_profile(rr).bisection_width())

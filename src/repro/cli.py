@@ -26,18 +26,22 @@ Subcommands
     later independent re-checking with ``verify``.
 ``dist run {bn,wn,ccc,rr} N --state DIR [--shards S] [--workers W]
 [--timeout S] [--lease-seconds S] [--chaos-kills K --chaos-seed S]
-[--certificate PATH]``
+[--certificate PATH] [--telemetry DIR]``
     Fault-tolerant distributed sweep (:mod:`repro.dist`): lease-based
     work-stealing shards across ``W`` worker processes coordinated
     through ``--state DIR`` (resumable; re-running continues where the
     last run stopped).  Exits 0 with an exact certificate when all
     shards complete, 3 with a certified upper bound when interrupted.
     ``--chaos-kills`` arms the seeded crash schedule used by the chaos
-    CI job.  ``solve --shards N`` runs the same machinery as tier 1 of
-    the cascade.
-``dist status --state DIR``
+    CI job.  ``--telemetry DIR`` traces the fleet: each worker journals
+    a crash-safe span shard, merged after the sweep into
+    ``DIR/timeline.json`` (critical path included).  ``solve --shards
+    N`` runs the same machinery as tier 1 of the cascade.
+``dist status --state DIR [--watch [--interval S] [--once]]``
     Shard table, lease holders and event journal of a coordinator
-    directory.
+    directory.  ``--watch`` re-renders the view live — lease states,
+    per-shard heartbeat progress bars, fleet event counters — reading
+    the state file read-only until the sweep settles.
 ``dist merge --state DIR [--certificate PATH]``
     Offline merge of whatever shards completed — of a finished,
     interrupted, or never-recovered run — into an independently checked
@@ -56,9 +60,12 @@ Subcommands
     disagreement.
 ``cache {stats,clear} [--dir DIR]``
     Inspect or empty a solver cache directory.
-``stats MANIFEST [--json]``
+``stats PATH [--json] [--openmetrics PATH] [--flame PATH]``
     Validate and pretty-print (or re-emit as JSON) a run manifest written
-    by ``solve --trace``.
+    by ``solve --trace`` *or* a merged fleet timeline written by ``dist
+    run --telemetry``.  ``--openmetrics`` exports counters/gauges as a
+    Prometheus text exposition; ``--flame`` exports the span tree as
+    folded flame-graph stacks.
 ``claims [IDS...]``
     Check registered paper claims (all by default).
 ``lint [PATHS...]``
@@ -161,6 +168,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "shards": getattr(args, "shards", None),
         "dist_state": getattr(args, "dist_state", None),
         "dist_workers": getattr(args, "dist_workers", None),
+        "dist_telemetry": getattr(args, "dist_telemetry", None),
     }
     if args.trace is None:
         cert = solve_with_fallback(net, budget=budget, checkpoint=args.checkpoint,
@@ -365,7 +373,27 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
               "degree": getattr(args, "degree", None),
               "seed": getattr(args, "seed", None)},
         status=status,
+        telemetry=args.telemetry,
     )
+    tele = status.get("telemetry")
+    if tele is not None:
+        cp = {}
+        try:
+            from .obs import load_timeline
+
+            cp = load_timeline(tele["timeline"]).get("critical_path", {})
+        except (ValueError, KeyError, OSError):
+            pass
+        print(f"telemetry: {len(tele.get('shard_files', []))} shard files, "
+              f"timeline {tele['timeline']}", file=sys.stderr)
+        if cp.get("names"):
+            chain = " > ".join(
+                f"{n}[{w}]" for n, w in zip(cp["names"], cp["workers"])
+            )
+            print(f"critical path: {chain} "
+                  f"({float(cp.get('duration', 0.0)) * 1e3:.1f} ms"
+                  f"{', truncated' if cp.get('truncated') else ''})",
+                  file=sys.stderr)
     ev = status.get("events", {})
     print(f"{net.name}: {status.get('counts', {}).get('done', 0)}/"
           f"{status.get('shards', 0)} shards done "
@@ -390,25 +418,67 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
     return 0 if prof.complete else 3
 
 
-def _cmd_dist_status(args: argparse.Namespace) -> int:
-    from .dist import ShardCoordinator
+def _progress_bar(fraction: float | None, width: int = 12) -> str:
+    """A ``[####----] 50%`` cell from a heartbeat progress fraction."""
+    if fraction is None:
+        return " " * (width + 7)
+    fraction = min(1.0, max(0.0, float(fraction)))
+    filled = int(round(fraction * width))
+    return f"[{'#' * filled}{'-' * (width - filled)}] {fraction * 100:3.0f}%"
 
-    state = ShardCoordinator.peek(args.state)
-    if state is None:
-        print(f"dist: no coordinator state in {args.state}", file=sys.stderr)
-        return 2
+
+def _render_dist_status(state: dict) -> list[str]:
+    """One frame of the (watchable) coordinator-status view."""
     counts = state["counts"]
-    print(f"key: {state['key']}")
-    print(f"shards: {state['shards']} "
-          f"(done={counts['done']} leased={counts['leased']} "
-          f"pending={counts['pending']} quarantined={counts['quarantined']})")
-    print(f"events: {state['events']}")
-    print(f"covered: {state['covered']} masks; settled: {state['settled']}")
+    lines = [
+        f"key: {state['key']}",
+        f"shards: {state['shards']} "
+        f"(done={counts['done']} leased={counts['leased']} "
+        f"pending={counts['pending']} quarantined={counts['quarantined']})",
+        f"events: {state['events']}",
+        f"covered: {state['covered']} masks; settled: {state['settled']}",
+    ]
     for sh in state["shard_rows"]:
         lease = f" worker={sh['worker']}" if sh["worker"] else ""
-        print(f"  shard {sh['id']:>3} [{sh['lo']}, {sh['hi']}) "
-              f"{sh['status']}{lease} attempts={sh['attempts']}")
-    return 0
+        progress = sh.get("progress")
+        if progress is None and sh["status"] == "done":
+            progress = 1.0
+        bar = _progress_bar(progress)
+        lines.append(
+            f"  shard {sh['id']:>3} [{sh['lo']}, {sh['hi']}) "
+            f"{sh['status']:<11} {bar}{lease} attempts={sh['attempts']}"
+        )
+    return lines
+
+
+def _cmd_dist_status(args: argparse.Namespace) -> int:
+    import time
+
+    from .dist import ShardCoordinator
+
+    watch = getattr(args, "watch", False)
+    once = getattr(args, "once", False)
+    interval = max(0.05, float(getattr(args, "interval", 1.0)))
+    while True:
+        # Read-only by design: peek never takes the coordinator lock's
+        # write path and never mutates state, so watching a live fleet
+        # cannot perturb the lease protocol.
+        state = ShardCoordinator.peek(args.state)
+        if state is None:
+            print(f"dist: no coordinator state in {args.state}",
+                  file=sys.stderr)
+            return 2
+        frame = _render_dist_status(state)
+        if watch and not once and sys.stdout.isatty():  # pragma: no cover
+            print("\x1b[2J\x1b[H", end="")
+        print("\n".join(frame))
+        if not watch or once or state["settled"]:
+            return 0
+        print("---")
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
 
 
 def _cmd_dist_merge(args: argparse.Namespace) -> int:
@@ -502,6 +572,100 @@ def _format_span_tree(spans: list[dict]) -> list[str]:
     return lines
 
 
+def _format_timeline_tree(spans: list[dict]) -> list[str]:
+    """Indented fleet span tree: depth from merged parent ids."""
+    by_id = {s.get("id"): s for s in spans}
+
+    def _depth(s: dict) -> int:
+        d, seen = 0, set()
+        while s.get("parent_id") in by_id and s["parent_id"] not in seen:
+            seen.add(s["parent_id"])
+            s = by_id[s["parent_id"]]
+            d += 1
+        return d
+
+    lines = []
+    for s in sorted(spans, key=lambda s: float(s.get("start", 0.0))):
+        indent = "  " * _depth(s)
+        attrs = s.get("attrs") or {}
+        suffix = (
+            " (" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + ")"
+            if attrs else ""
+        )
+        mark = "  TRUNCATED" if s.get("truncated") else ""
+        lines.append(
+            f"  {indent}{s['name']} [{s.get('worker', '?')}]  "
+            f"{float(s['duration']) * 1e3:.3f} ms{suffix}{mark}"
+        )
+    return lines
+
+
+def _stats_timeline(args: argparse.Namespace, data: dict) -> int:
+    """The ``stats`` view of a merged fleet timeline."""
+    import json
+
+    from . import obs
+
+    problems = obs.validate_timeline(data)
+    if problems:
+        for p in problems:
+            print(f"stats: invalid timeline: {p}", file=sys.stderr)
+        return 1
+    if _stats_exports(args, data):
+        return 0
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    print(f"timeline: {args.manifest}")
+    print(f"run: {data.get('run_id')}")
+    workers = data.get("workers", [])
+    print(f"workers ({len(workers)}): {', '.join(workers)}")
+    if data.get("skipped_shards"):
+        print(f"skipped shards: {', '.join(data['skipped_shards'])}")
+    cp = data.get("critical_path", {})
+    if cp.get("names"):
+        chain = " > ".join(
+            f"{n}[{w}]" for n, w in zip(cp["names"], cp["workers"])
+        )
+        print(f"critical path: {chain} "
+              f"({float(cp.get('duration', 0.0)) * 1e3:.3f} ms"
+              f"{', truncated' if cp.get('truncated') else ''})")
+    print(f"spans ({len(data.get('spans', []))}):")
+    for line in _format_timeline_tree(data.get("spans", [])):
+        print(line)
+    counters = data.get("counters", {})
+    print(f"counters ({len(counters)}):")
+    for k in sorted(counters):
+        print(f"  {k} = {counters[k]}")
+    gauges = data.get("gauges", {})
+    if gauges:
+        print(f"gauges ({len(gauges)}):")
+        for k in sorted(gauges):
+            print(f"  {k} = {gauges[k]}")
+    events = data.get("events", [])
+    if events:
+        print(f"events ({len(events)}):")
+        for e in events:
+            print(f"  {e['t'] * 1e3:9.3f} ms  {e['name']} [{e['worker']}]")
+    return 0
+
+
+def _stats_exports(args: argparse.Namespace, data: dict) -> bool:
+    """Write any requested ``--openmetrics``/``--flame`` exports."""
+    from . import obs
+
+    wrote = False
+    if getattr(args, "openmetrics", None):
+        obs.write_openmetrics(args.openmetrics, data)
+        print(f"openmetrics written to {args.openmetrics}", file=sys.stderr)
+        wrote = True
+    if getattr(args, "flame", None):
+        obs.write_folded(args.flame, data)
+        print(f"folded stacks written to {args.flame}", file=sys.stderr)
+        wrote = True
+    return wrote
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -512,11 +676,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"stats: {exc}", file=sys.stderr)
         return 1
+    if data.get("kind") == obs.TIMELINE_KIND:
+        return _stats_timeline(args, data)
     problems = obs.validate_manifest(data)
     if problems:
         for p in problems:
             print(f"stats: invalid manifest: {p}", file=sys.stderr)
         return 1
+    if _stats_exports(args, data):
+        return 0
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
         return 0
@@ -550,6 +718,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"gauges ({len(gauges)}):")
         for k in sorted(gauges):
             print(f"  {k} = {gauges[k]}")
+    tele = data.get("telemetry")
+    if isinstance(tele, dict):
+        print(f"telemetry: run {tele.get('run_id')}, "
+              f"{len(tele.get('shard_files', []))} shard files, "
+              f"timeline {tele.get('timeline')}")
     return 0
 
 
@@ -661,6 +834,10 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: fresh temporary, non-resumable)")
     p.add_argument("--dist-workers", type=int, default=None, metavar="N",
                    help="worker processes for --shards (default 2)")
+    p.add_argument("--dist-telemetry", default=None, metavar="DIR",
+                   help="fleet-telemetry directory for --shards: per-worker "
+                        "span shards plus a merged timeline.json; a --trace "
+                        "manifest gains a telemetry pointer block")
     p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser(
@@ -693,12 +870,23 @@ def main(argv: list[str] | None = None) -> int:
                    help="seed selecting which workers die")
     d.add_argument("--certificate", default=None, metavar="PATH",
                    help="write the certified result as JSON for 'verify'")
+    d.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="fleet-telemetry directory: per-worker span shards "
+                        "plus a merged timeline.json with the critical path")
     d.set_defaults(fn=_cmd_dist_run)
 
     d = dist_sub.add_parser(
         "status", help="inspect a coordinator state directory"
     )
     d.add_argument("--state", required=True, metavar="DIR")
+    d.add_argument("--watch", action="store_true",
+                   help="live view: re-render lease states, per-shard "
+                        "progress and fleet counters until the sweep settles")
+    d.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh period for --watch (default 1.0)")
+    d.add_argument("--once", action="store_true",
+                   help="with --watch: render a single frame and exit "
+                        "(CI smoke)")
     d.set_defaults(fn=_cmd_dist_status)
 
     d = dist_sub.add_parser(
@@ -736,10 +924,20 @@ def main(argv: list[str] | None = None) -> int:
                    help="cache directory (default: $REPRO_CACHE_DIR)")
     p.set_defaults(fn=_cmd_cache)
 
-    p = sub.add_parser("stats", help="inspect a run manifest from solve --trace")
+    p = sub.add_parser(
+        "stats",
+        help="inspect a run manifest (solve --trace) or a merged fleet "
+             "timeline (dist run --telemetry)",
+    )
     p.add_argument("manifest")
     p.add_argument("--json", action="store_true",
-                   help="dump the validated manifest as JSON")
+                   help="dump the validated document as JSON")
+    p.add_argument("--openmetrics", default=None, metavar="PATH",
+                   help="export counters/gauges as an OpenMetrics/Prometheus "
+                        "text exposition to PATH")
+    p.add_argument("--flame", default=None, metavar="PATH",
+                   help="export the span tree as folded flame-graph stacks "
+                        "to PATH (flamegraph.pl / speedscope input)")
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("claims", help="check paper claims")

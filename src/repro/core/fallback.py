@@ -78,6 +78,7 @@ def solve_with_fallback(
     shards: int | None = None,
     dist_state: str | None = None,
     dist_workers: int | None = None,
+    dist_telemetry: str | None = None,
 ) -> BoundCertificate:
     """Certified ``BW(net)`` by the exact-to-heuristic degradation cascade.
 
@@ -123,6 +124,11 @@ def solve_with_fallback(
         make distributed runs resumable.
     dist_workers:
         Fleet size for the distributed tier (default 2).
+    dist_telemetry:
+        Optional fleet-telemetry directory for the distributed tier (see
+        :func:`repro.dist.distributed_cut_profile`); shard files and the
+        merged timeline land there, and a traced run's manifest gains a
+        ``telemetry`` pointer block.
     """
     with trace("solve.fallback", network=net.name, nodes=net.num_nodes):
         return _run_cascade(
@@ -131,6 +137,7 @@ def solve_with_fallback(
             enum_limit=enum_limit, bb_limit=bb_limit,
             dp_width_limit=dp_width_limit,
             shards=shards, dist_state=dist_state, dist_workers=dist_workers,
+            dist_telemetry=dist_telemetry,
         )
 
 
@@ -146,6 +153,7 @@ def _run_cascade(
     shards: int | None = None,
     dist_state: str | None = None,
     dist_workers: int | None = None,
+    dist_telemetry: str | None = None,
 ) -> BoundCertificate:
     """The cascade body (Theorem 2.20's solvers, tiered)."""
     # Imported at call time: verify.checker re-derives the paper claims
@@ -283,6 +291,7 @@ def _run_cascade(
                         workers=int(dist_workers) if dist_workers else 2,
                         budget=budget,
                         status=dist_status,
+                        telemetry=dist_telemetry,
                     )
                 ev = dist_status.get("events", {})
                 # Shard history as certificate provenance: how the

@@ -224,6 +224,7 @@ class ShardCoordinator:
                             "attempts": 0,
                             "not_before": 0.0,
                             "payload": None,
+                            "progress": None,
                         }
                         for i, (lo, hi) in enumerate(ranges)
                     ],
@@ -245,6 +246,7 @@ class ShardCoordinator:
                 sh["attempts"] = int(sh["attempts"]) + 1
                 sh["worker"] = None
                 sh["expires"] = None
+                sh["progress"] = None
                 events["expired"] += 1
                 if sh["attempts"] > self.max_attempts:
                     sh["status"] = "quarantined"
@@ -297,8 +299,17 @@ class ShardCoordinator:
             self._write(state)
             return lease
 
-    def heartbeat(self, worker: str, shard: int) -> bool:
-        """Extend ``worker``'s lease on ``shard``; ``False`` = lease lost."""
+    def heartbeat(
+        self, worker: str, shard: int, *, progress: float | None = None
+    ) -> bool:
+        """Extend ``worker``'s lease on ``shard``; ``False`` = lease lost.
+
+        ``progress`` (fraction of the shard's range swept, 0..1) rides
+        along in the shard row so read-only observers — ``dist status
+        --watch`` — can render per-shard progress without touching the
+        lease protocol.  It is telemetry, not bookkeeping: reclaims
+        ignore it and a lost update costs nothing.
+        """
         with self._locked():
             state = self._read()
             if state is None:
@@ -311,6 +322,8 @@ class ShardCoordinator:
             ):
                 return False
             sh["expires"] = self._clock() + self.lease_seconds
+            if progress is not None:
+                sh["progress"] = min(1.0, max(0.0, float(progress)))
             state["events"]["heartbeats"] += 1
             self._write(state)
             return True
@@ -343,6 +356,7 @@ class ShardCoordinator:
             sh["status"] = "done"
             sh["worker"] = None
             sh["expires"] = None
+            sh["progress"] = 1.0
             sh["payload"] = payload
             state["events"]["completions"] += 1
             self._write(state)
@@ -363,6 +377,7 @@ class ShardCoordinator:
                 sh["status"] = "pending"
                 sh["worker"] = None
                 sh["expires"] = None
+                sh["progress"] = None
                 self._write(state)
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -44,7 +45,17 @@ from ..cuts.enumerate_exact import (
     enumeration_shards,
     shard_minima,
 )
-from ..obs import gauge, incr, trace
+from ..obs import (
+    ShardCollector,
+    TraceContext,
+    annotate,
+    gauge,
+    incr,
+    merge_shards,
+    new_run_id,
+    trace,
+    write_timeline,
+)
 from ..resilience.budget import Budget
 from ..resilience.faults import CrashSchedule
 from ..topology.base import Network
@@ -141,6 +152,7 @@ def distributed_cut_profile(
     batch_bits: int | None = None,
     meta: dict | None = None,
     status: dict | None = None,
+    telemetry: str | None = None,
 ) -> CutProfile:
     """Exact cut profile by lease-coordinated multi-process enumeration.
 
@@ -170,7 +182,16 @@ def distributed_cut_profile(
     status:
         Optional dict, filled with the final coordinator summary plus
         ``workers_spawned``, ``workers_killed`` and
-        ``parent_takeovers``.
+        ``parent_takeovers`` (and, when tracing, ``telemetry``).
+    telemetry:
+        Optional directory for fleet tracing.  The parent journals its
+        own ``parent.jsonl`` shard there (whose ``dist.run`` span is the
+        anchor every worker's spans re-parent under), each worker
+        journals ``<worker>.jsonl``, and after the sweep the shards are
+        merged into ``timeline.json`` — span tree, summed counters,
+        critical path.  The pointer block lands in ``status`` and in the
+        ambient collector's ``telemetry`` note, so a traced CLI run's
+        manifest names every artifact.
     """
     if counted is None:
         counted = np.arange(net.num_nodes, dtype=np.int64)
@@ -191,9 +212,39 @@ def distributed_cut_profile(
     killed = 0
     takeovers = 0
 
+    # The parent's own telemetry shard.  Its ``dist.run`` span is the
+    # anchor: workers inherit ``(run_id, that span's id)`` as their
+    # TraceContext, so the merger re-parents every worker's claims under
+    # one root — one fleet, one tree.
+    tele_dir: Path | None = None
+    parent_tele: ShardCollector | None = None
+    root_span = None
+    wire: dict | None = None
+    if telemetry is not None:
+        tele_dir = Path(telemetry)
+        parent_tele = ShardCollector(
+            tele_dir / "parent.jsonl",
+            context=TraceContext(new_run_id()),
+            worker="parent",
+        )
+
     with trace(
         "dist.run", network=net.name, shards=len(ranges), workers=workers
     ):
+        if parent_tele is not None:
+            root_span = parent_tele.span(
+                "dist.run",
+                {"network": net.name, "shards": len(ranges),
+                 "workers": int(workers)},
+            )
+            root_span.__enter__()
+            wire = {
+                "dir": str(tele_dir),
+                "context": TraceContext(
+                    parent_tele.context.run_id, root_span.id
+                ).to_wire(),
+            }
+            parent_tele.flush()
         if ranges and not coord.settled():
             for i in range(max(1, int(workers))):
                 p = multiprocessing.Process(
@@ -206,6 +257,7 @@ def distributed_cut_profile(
                         "lease_seconds": lease_seconds,
                         "max_attempts": max_attempts,
                         "batch_bits": batch_bits,
+                        "telemetry": wire,
                     },
                     daemon=True,
                 )
@@ -247,11 +299,26 @@ def distributed_cut_profile(
                 continue
             takeovers += 1
             incr("dist.parent_takeovers")
+            tk_span = None
+            if parent_tele is not None:
+                tk_span = parent_tele.span(
+                    "dist.claim",
+                    {"shard": lease.shard, "lo": lease.lo, "hi": lease.hi,
+                     "takeover": True},
+                )
+                tk_span.__enter__()
+                parent_tele.event("takeover", shard=lease.shard)
+                parent_tele.flush()
 
-            def _on_batch(_done_through: int) -> bool:
+            width = max(1, int(lease.hi) - int(lease.lo))
+
+            def _on_batch(done_through: int) -> bool:
                 if budget is not None and budget.expired():
                     return False
-                return coord.heartbeat("parent", lease.shard)
+                progress = (int(done_through) - int(lease.lo)) / width
+                return coord.heartbeat(
+                    "parent", lease.shard, progress=progress
+                )
 
             result = shard_minima(
                 edges, counted, lease.lo, lease.hi,
@@ -259,14 +326,49 @@ def distributed_cut_profile(
             )
             if result is None:
                 coord.abandon("parent", lease.shard)
+                if tk_span is not None:
+                    tk_span.__exit__(None, None, None)
+                    parent_tele.flush()
                 break
-            coord.complete(
+            accepted = coord.complete(
                 "parent", lease.shard, shard_payload(*result)
             )
+            if accepted and parent_tele is not None:
+                # Same accepted-completion counting rule as the workers:
+                # the merged fleet total over completed shards must
+                # equal the serial sweep's.
+                parent_tele.incr(
+                    "cuts.enumerate.cuts_evaluated",
+                    int(lease.hi) - int(lease.lo),
+                )
+            if tk_span is not None:
+                tk_span.__exit__(None, None, None)
+                parent_tele.flush()
+
+        if root_span is not None:
+            root_span.__exit__(None, None, None)
+            parent_tele.flush()
 
     payloads = coord.completed_payloads()
     prof = merge_to_profile(net, counted, payloads)
     gauge("dist.shards_done", len(payloads))
+
+    telemetry_info: dict | None = None
+    if parent_tele is not None:
+        shard_files = sorted(p for p in tele_dir.glob("*.jsonl"))
+        timeline = merge_shards(
+            shard_files, run_id=parent_tele.context.run_id
+        )
+        timeline_path = write_timeline(tele_dir / "timeline.json", timeline)
+        telemetry_info = {
+            "run_id": parent_tele.context.run_id,
+            "dir": str(tele_dir),
+            "shard_files": [str(p) for p in shard_files],
+            "timeline": str(timeline_path),
+        }
+        # Lands in the ambient collector (if any), so a traced CLI run's
+        # manifest points at the shard files and merged timeline.
+        annotate("telemetry", telemetry_info)
 
     summary = coord.summary() or {}
     if status is not None:
@@ -275,4 +377,6 @@ def distributed_cut_profile(
         status["workers_killed"] = killed
         status["parent_takeovers"] = takeovers
         status["complete"] = prof.complete
+        if telemetry_info is not None:
+            status["telemetry"] = telemetry_info
     return prof

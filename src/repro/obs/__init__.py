@@ -23,6 +23,7 @@ does exactly that and ``repro-butterfly stats PATH`` reads it back.  See
 
 from .collector import (
     Collector,
+    activate,
     annotate,
     collecting,
     current,
@@ -30,6 +31,12 @@ from .collector import (
     gauge,
     incr,
     trace,
+)
+from .export import (
+    folded_stacks,
+    openmetrics_lines,
+    write_folded,
+    write_openmetrics,
 )
 from .manifest import (
     MANIFEST_KIND,
@@ -41,9 +48,24 @@ from .manifest import (
     validate_manifest,
     write_manifest,
 )
+from .telemetry import (
+    TELEMETRY_KIND,
+    TELEMETRY_VERSION,
+    TIMELINE_KIND,
+    ShardCollector,
+    TraceContext,
+    critical_path,
+    load_timeline,
+    merge_shards,
+    new_run_id,
+    read_shard,
+    validate_timeline,
+    write_timeline,
+)
 
 __all__ = [
     "Collector",
+    "activate",
     "annotate",
     "collecting",
     "current",
@@ -59,4 +81,20 @@ __all__ = [
     "load_manifest",
     "validate_manifest",
     "write_manifest",
+    "TELEMETRY_KIND",
+    "TELEMETRY_VERSION",
+    "TIMELINE_KIND",
+    "ShardCollector",
+    "TraceContext",
+    "critical_path",
+    "load_timeline",
+    "merge_shards",
+    "new_run_id",
+    "read_shard",
+    "validate_timeline",
+    "write_timeline",
+    "folded_stacks",
+    "openmetrics_lines",
+    "write_folded",
+    "write_openmetrics",
 ]

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterator
 
 __all__ = [
     "Collector",
+    "activate",
     "collecting",
     "current",
     "enabled",
@@ -57,14 +58,22 @@ _NOOP_SPAN = _NoopSpan()
 
 
 class _Span:
-    """A live span: created open, finalized into a record on ``__exit__``."""
+    """A live span: created open, finalized into a record on ``__exit__``.
 
-    __slots__ = ("_collector", "name", "attrs", "_start")
+    On ``__enter__`` the span receives a collector-unique integer ``id``
+    and the ``id`` of the enclosing span (``parent_id``), so span trees
+    survive serialization — the telemetry merger re-parents shard-file
+    spans across processes by id, never by name.
+    """
+
+    __slots__ = ("_collector", "name", "attrs", "_start", "id", "parent_id")
 
     def __init__(self, collector: "Collector", name: str, attrs: dict) -> None:
         self._collector = collector
         self.name = name
         self.attrs = attrs
+        self.id: int | None = None
+        self.parent_id: int | None = None
 
     def __enter__(self) -> "_Span":
         self._start = self._collector._enter_span(self)
@@ -99,6 +108,11 @@ class Collector:
         self._notes: dict[str, Any] = {}
         self._spans: list[dict[str, Any]] = []
         self._local = threading.local()
+        self._next_span_id = 0
+        #: Spans currently open, by id.  The telemetry shard writer
+        #: journals these so a SIGKILL mid-span leaves a durable
+        #: open-span marker the merger can finalize as *truncated*.
+        self._open: dict[int, dict[str, Any]] = {}
 
     # -- spans ----------------------------------------------------------
 
@@ -106,29 +120,47 @@ class Collector:
         """An open span context manager nested under the current one."""
         return _Span(self, name, attrs or {})
 
-    def _stack(self) -> list[str]:
+    def _stack(self) -> list[_Span]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
     def _enter_span(self, span: _Span) -> float:
-        self._stack().append(span.name)
-        return self._clock()
+        start = self._clock()
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span.parent_id = parent.id if parent is not None else None
+        stack.append(span)
+        with self._lock:
+            self._next_span_id += 1
+            span.id = self._next_span_id
+            self._open[span.id] = {
+                "id": span.id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "start": start - self._t0,
+                "depth": len(stack) - 1,
+                "attrs": span.attrs,
+            }
+        return start
 
     def _exit_span(self, span: _Span, start: float) -> None:
         end = self._clock()
         stack = self._stack()
         stack.pop()
         record = {
+            "id": span.id,
+            "parent_id": span.parent_id,
             "name": span.name,
             "start": start - self._t0,
             "duration": end - start,
-            "parent": stack[-1] if stack else None,
+            "parent": stack[-1].name if stack else None,
             "depth": len(stack),
             "attrs": span.attrs,
         }
         with self._lock:
+            self._open.pop(span.id, None)
             self._spans.append(record)
 
     # -- counters / gauges / notes --------------------------------------
@@ -170,6 +202,12 @@ class Collector:
         """Finished span records, in completion order."""
         with self._lock:
             return [dict(s) for s in self._spans]
+
+    @property
+    def open_spans(self) -> list[dict[str, Any]]:
+        """Records of spans currently open, ascending by id."""
+        with self._lock:
+            return [dict(self._open[i]) for i in sorted(self._open)]
 
     def snapshot(self) -> dict[str, Any]:
         """Everything recorded so far, as one JSON-ready dict."""
@@ -238,6 +276,21 @@ def trace(name: str, **attrs: Any) -> Any:
     if c is None:
         return _NOOP_SPAN
     return c.span(name, attrs)
+
+
+def activate(collector: Collector | None) -> Collector | None:
+    """Install ``collector`` as the process-global sink; returns the old one.
+
+    Unlike :func:`collecting` there is no scope and no restore — this is
+    for *worker processes* (pool initializers, dist shard workers) whose
+    collector must stay active for the life of the process and whose
+    teardown is the process exiting.  In-process code should keep using
+    ``with collecting(...)``.
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = collector
+    return prev
 
 
 @contextmanager

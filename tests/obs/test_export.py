@@ -1,0 +1,92 @@
+"""Folded flame stacks and the OpenMetrics exposition."""
+
+from repro.obs import (
+    folded_stacks,
+    openmetrics_lines,
+    write_folded,
+    write_openmetrics,
+)
+
+
+def _span(sid, parent, name, duration, **extra):
+    return {"id": sid, "parent_id": parent, "name": name, "worker": "w",
+            "start": 0.0, "duration": duration, "truncated": False, **extra}
+
+
+class TestFoldedStacks:
+    def test_self_time_subtracts_direct_children(self):
+        doc = {"spans": [
+            _span("p/1", None, "dist.run", 10.0),
+            _span("w/1", "p/1", "dist.claim", 4.0),
+            _span("w/2", "p/1", "dist.claim", 3.0),
+        ]}
+        lines = folded_stacks(doc)
+        # Root self time: 10 - (4 + 3) = 3s -> 3_000_000 µs; the two
+        # claims share a frame chain and aggregate.
+        assert lines == [
+            "dist.run 3000000",
+            "dist.run;dist.claim 7000000",
+        ]
+
+    def test_negative_self_time_clamps_to_zero(self):
+        doc = {"spans": [
+            _span("p/1", None, "root", 1.0),
+            _span("w/1", "p/1", "child", 5.0),  # truncated child outlives
+        ]}
+        assert "root 0" in folded_stacks(doc)
+
+    def test_unresolvable_parent_is_a_root(self):
+        doc = {"spans": [_span("w/1", "ghost/9", "orphan", 2.0)]}
+        assert folded_stacks(doc) == ["orphan 2000000"]
+
+    def test_cycle_guard_terminates(self):
+        doc = {"spans": [
+            _span("a", "b", "a", 1.0),
+            _span("b", "a", "b", 1.0),
+        ]}
+        lines = folded_stacks(doc)
+        assert len(lines) == 2  # no hang, both spans rendered
+
+    def test_write_folded_file(self, tmp_path):
+        doc = {"spans": [_span("p/1", None, "run", 1.0)]}
+        path = write_folded(tmp_path / "flame.txt", doc)
+        assert path.read_text() == "run 1000000\n"
+
+
+class TestOpenMetrics:
+    def test_counters_gauges_and_run_info(self):
+        doc = {
+            "run_id": "run-1",
+            "counters": {"cuts.enumerate.cuts_evaluated": 2048},
+            "gauges": {"dist.shard.3.progress": 0.5},
+            "spans": [_span("p/1", None, "run", 1.0)],
+        }
+        lines = openmetrics_lines(doc)
+        assert 'repro_run_info{run_id="run-1"} 1' in lines
+        assert "# TYPE repro_cuts_enumerate_cuts_evaluated counter" in lines
+        assert "repro_cuts_enumerate_cuts_evaluated_total 2048" in lines
+        assert "repro_dist_shard_3_progress 0.5" in lines
+        assert "repro_timeline_spans 1" in lines
+        assert lines[-1] == "# EOF"
+
+    def test_name_sanitization(self):
+        lines = openmetrics_lines({"counters": {"9weird name!": 1}})
+        assert "repro__9weird_name_total 1" in lines
+
+    def test_non_numeric_values_skipped(self):
+        lines = openmetrics_lines(
+            {"counters": {"bad": "x", "flag": True}, "gauges": {"g": None}}
+        )
+        assert lines == ["# EOF"]
+
+    def test_deterministic_ordering(self):
+        doc = {"counters": {"b": 2, "a": 1}}
+        assert openmetrics_lines(doc) == openmetrics_lines(
+            {"counters": {"a": 1, "b": 2}}
+        )
+
+    def test_write_openmetrics_file(self, tmp_path):
+        path = write_openmetrics(tmp_path / "om.txt", {"counters": {"c": 3}})
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_c_total 3" in text

@@ -156,6 +156,92 @@ class TestDist:
         assert "BW(B4) = 4" in capsys.readouterr().out
 
 
+class TestTelemetryCLI:
+    def _traced_run(self, tmp_path):
+        state = str(tmp_path / "st")
+        tele = tmp_path / "tele"
+        rc = main([
+            "dist", "run", "bn", "4", "--state", state,
+            "--shards", "4", "--workers", "2", "--telemetry", str(tele),
+        ])
+        return rc, state, tele
+
+    def test_dist_run_telemetry_writes_valid_timeline(self, capsys, tmp_path):
+        from repro.obs import load_timeline, validate_timeline
+
+        rc, _state, tele = self._traced_run(tmp_path)
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+        assert "critical path:" in err and "dist.run" in err
+        timeline = load_timeline(tele / "timeline.json")
+        assert validate_timeline(timeline) == []
+        assert (tele / "parent.jsonl").exists()
+
+    def test_status_watch_once_renders_progress(self, capsys, tmp_path):
+        rc, state, _tele = self._traced_run(tmp_path)
+        assert rc == 0
+        capsys.readouterr()
+        assert main([
+            "dist", "status", "--state", state, "--watch", "--once",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "100%" in out
+        assert "done" in out
+
+    def test_stats_renders_timeline_and_exports(self, capsys, tmp_path):
+        rc, _state, tele = self._traced_run(tmp_path)
+        assert rc == 0
+        capsys.readouterr()
+        timeline = str(tele / "timeline.json")
+        assert main(["stats", timeline]) == 0
+        out = capsys.readouterr().out
+        assert "dist.run" in out and "critical path" in out
+
+        om = tmp_path / "om.txt"
+        flame = tmp_path / "flame.txt"
+        # Export flags switch stats into quiet export mode (stderr notes).
+        assert main([
+            "stats", timeline,
+            "--openmetrics", str(om), "--flame", str(flame),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "openmetrics written" in captured.err
+        om_text = om.read_text()
+        assert om_text.endswith("# EOF\n")
+        assert "repro_cuts_enumerate_cuts_evaluated_total 2048" in om_text
+        flame_text = flame.read_text()
+        assert any(ln.startswith("dist.run") for ln in flame_text.splitlines())
+
+    def test_stats_timeline_json_round_trips(self, capsys, tmp_path):
+        rc, _state, tele = self._traced_run(tmp_path)
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["stats", str(tele / "timeline.json"), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "repro-telemetry-timeline"
+
+    def test_stats_rejects_invalid_timeline(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"kind": "repro-telemetry-timeline", "version": 1}
+        ))
+        assert main(["stats", str(path)]) == 1
+        assert "invalid timeline" in capsys.readouterr().err
+
+    def test_solve_dist_telemetry_flag(self, capsys, tmp_path):
+        from repro.obs import load_timeline, validate_timeline
+
+        tele = tmp_path / "tele"
+        assert main([
+            "solve", "bn", "4", "--shards", "4",
+            "--dist-telemetry", str(tele),
+        ]) == 0
+        assert "BW(B4) = 4" in capsys.readouterr().out
+        assert validate_timeline(load_timeline(tele / "timeline.json")) == []
+
+
 class TestMainModule:
     def test_python_dash_m(self):
         import subprocess, sys
