@@ -4,15 +4,18 @@ Subcommands
 -----------
 ``info N [--wraparound]``
     Structure census of the butterfly: nodes, degrees, diameter.
-``bisection {bn,wn,ccc} N``
-    Certified bisection width with provenance.
+``bisection {bn,wn,ccc,torus,mesh,fattree,fbfly} N [--dims D]``
+    Certified bisection width with provenance.  For the product families
+    ``N`` is the side (torus/mesh), radix (fbfly) or depth (fattree) and
+    ``--dims`` the number of dimensions (default 2).
 ``expansion {bn,wn} N K [--node]``
     Certified edge (default) or node expansion at set size ``K``.
 ``folklore N``
     The Theorem 2.20 construction: plan and, when feasible, a built and
     verified balanced bisection of ``Bn`` with capacity below ``n``.
-``solve {bn,wn,ccc} N [--timeout S] [--checkpoint PATH] [--trace PATH]
-[--cache DIR | --no-cache] [--certificate PATH]``
+``solve {bn,wn,ccc,torus,mesh,fattree,fbfly} N [--dims D] [--timeout S]
+[--checkpoint PATH] [--trace PATH] [--cache DIR | --no-cache]
+[--certificate PATH]``
     Certified ``BW`` interval by the degradation cascade
     (:func:`repro.core.fallback.solve_with_fallback`): exact solvers under
     a wall-clock budget, heuristics as fallback, always a valid bound.
@@ -24,7 +27,8 @@ Subcommands
     even when the variable is set.  ``--certificate PATH`` writes the
     resulting certificate (with its network spec and witness) as JSON for
     later independent re-checking with ``verify``.
-``dist run {bn,wn,ccc,rr} N --state DIR [--shards S] [--workers W]
+``dist run {bn,wn,ccc,torus,mesh,fattree,fbfly,rr} N --state DIR
+[--dims D] [--shards S] [--workers W]
 [--timeout S] [--lease-seconds S] [--chaos-kills K --chaos-seed S]
 [--certificate PATH] [--telemetry DIR]``
     Fault-tolerant distributed sweep (:mod:`repro.dist`): lease-based
@@ -97,15 +101,57 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Families whose CLI size argument is a per-dimension parameter; they
+#: additionally honor ``--dims`` (torus/mesh side, fbfly radix).
+_DIMS_FAMILIES = ("torus", "mesh", "fbfly")
+
+
+def _family_network(family: str, n: int, dims: int = 2):
+    """Build a pristine family instance for solve/verify/dist commands.
+
+    The paper indexes butterflies by their input count ``n`` (a power of
+    two); as a convenience a non-power-of-two ``n`` is read as the
+    dimension, so ``solve bn 3`` means the 3-dimensional butterfly B8.
+    """
+    from .topology import (
+        butterfly, cube_connected_cycles, fat_tree, flattened_butterfly,
+        mesh, torus, wrapped_butterfly,
+    )
+    from .topology.labels import is_power_of_two
+
+    if family in ("bn", "wn") and not is_power_of_two(n):
+        n = 1 << n
+    if family == "torus":
+        return torus(*(n,) * dims)
+    if family == "mesh":
+        return mesh(*(n,) * dims)
+    if family == "fattree":
+        return fat_tree(n)
+    if family == "fbfly":
+        return flattened_butterfly(n, dims)
+    return {
+        "bn": butterfly,
+        "wn": wrapped_butterfly,
+        "ccc": cube_connected_cycles,
+    }[family](n)
+
+
 def _cmd_bisection(args: argparse.Namespace) -> int:
     from .core import (
         butterfly_bisection_width, wrapped_bisection_width, ccc_bisection_width,
+        torus_bisection_width, mesh_bisection_width, fat_tree_bisection_width,
+        flattened_butterfly_bisection_width,
     )
 
+    dims = getattr(args, "dims", 2)
     fn = {
         "bn": butterfly_bisection_width,
         "wn": wrapped_bisection_width,
         "ccc": ccc_bisection_width,
+        "torus": lambda n: torus_bisection_width(n, dims),
+        "mesh": lambda n: mesh_bisection_width(n, dims),
+        "fattree": fat_tree_bisection_width,
+        "fbfly": lambda n: flattened_butterfly_bisection_width(n, dims),
     }[args.family]
     print(fn(args.n))
     return 0
@@ -148,20 +194,8 @@ def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .core import solve_with_fallback
     from .resilience import Budget
-    from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
-    from .topology.labels import is_power_of_two
 
-    # The paper indexes butterflies by their input count n (a power of
-    # two); as a convenience solve also accepts the dimension, so
-    # ``solve bn 3`` means the 3-dimensional butterfly B8.
-    n = args.n
-    if args.family in ("bn", "wn") and not is_power_of_two(n):
-        n = 1 << n
-    net = {
-        "bn": butterfly,
-        "wn": wrapped_butterfly,
-        "ccc": cube_connected_cycles,
-    }[args.family](n)
+    net = _family_network(args.family, args.n, getattr(args, "dims", 2))
     budget = Budget(args.timeout) if args.timeout is not None else None
     cache_dir = _resolve_cache_dir(args)
     dist_kwargs = {
@@ -185,7 +219,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                                    cache=cache_dir, **dist_kwargs)
     manifest = obs.build_manifest(
         collector,
-        command=["solve", args.family, str(args.n)],
+        command=["solve", args.family, str(args.n)] + (
+            ["--dims", str(getattr(args, "dims", 2))]
+            if args.family in _DIMS_FAMILIES else []
+        ),
         budget={
             "seconds": args.timeout,
             "expired": budget.expired() if budget is not None else False,
@@ -265,47 +302,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _network_from_command(command) -> "object | None":
     """Rebuild the solved network from a manifest's recorded command."""
-    from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
-    from .topology.labels import is_power_of_two
-
+    families = ("bn", "wn", "ccc", "torus", "mesh", "fattree", "fbfly")
     if (
         not isinstance(command, list) or len(command) < 3
-        or command[0] != "solve" or command[1] not in ("bn", "wn", "ccc")
+        or command[0] != "solve" or command[1] not in families
     ):
         return None
     try:
         n = int(command[2])
-    except ValueError:
+        dims = (
+            int(command[command.index("--dims") + 1])
+            if "--dims" in command else 2
+        )
+    except (ValueError, IndexError):
         return None
-    if command[1] in ("bn", "wn") and not is_power_of_two(n):
-        n = 1 << n
     try:
-        return {
-            "bn": butterfly, "wn": wrapped_butterfly,
-            "ccc": cube_connected_cycles,
-        }[command[1]](n)
+        return _family_network(command[1], n, dims)
     except ValueError:
         return None
 
 
 def _dist_network(args: argparse.Namespace):
     """Build the instance for a ``dist`` subcommand (families + rr)."""
-    from .topology import butterfly, cube_connected_cycles, wrapped_butterfly
-    from .topology.labels import is_power_of_two
     from .topology.random_regular import random_regular_graph
 
     if args.family == "rr":
         return random_regular_graph(
             args.n, getattr(args, "degree", 3), seed=getattr(args, "seed", 0)
         )
-    n = args.n
-    if args.family in ("bn", "wn") and not is_power_of_two(n):
-        n = 1 << n
-    return {
-        "bn": butterfly,
-        "wn": wrapped_butterfly,
-        "ccc": cube_connected_cycles,
-    }[args.family](n)
+    return _family_network(args.family, args.n, getattr(args, "dims", 2) or 2)
 
 
 def _dist_certificate(net, prof, detail: str):
@@ -370,6 +395,7 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         schedule=schedule,
         lease_seconds=args.lease_seconds,
         meta={"family": args.family, "n": args.n,
+              "dims": getattr(args, "dims", None),
               "degree": getattr(args, "degree", None),
               "seed": getattr(args, "seed", None)},
         status=status,
@@ -494,6 +520,7 @@ def _cmd_dist_merge(args: argparse.Namespace) -> int:
     try:
         ns = argparse.Namespace(**{
             "family": meta.get("family"), "n": int(meta.get("n")),
+            "dims": meta.get("dims"),
             "degree": meta.get("degree"), "seed": meta.get("seed"),
         })
         net = _dist_network(ns)
@@ -791,7 +818,12 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_info)
 
     p = sub.add_parser("bisection", help="certified bisection width")
-    p.add_argument("family", choices=["bn", "wn", "ccc"])
+    p.add_argument("family",
+                   choices=["bn", "wn", "ccc", "torus", "mesh", "fattree",
+                            "fbfly"])
+    p.add_argument("--dims", type=int, default=2, metavar="D",
+                   help="dimensions for the torus/mesh/fbfly families "
+                        "(default 2)")
     p.add_argument("n", type=int)
     p.set_defaults(fn=_cmd_bisection)
 
@@ -810,8 +842,13 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser(
         "solve", help="certified BW by the budgeted degradation cascade"
     )
-    p.add_argument("family", choices=["bn", "wn", "ccc"])
+    p.add_argument("family",
+                   choices=["bn", "wn", "ccc", "torus", "mesh", "fattree",
+                            "fbfly"])
     p.add_argument("n", type=int)
+    p.add_argument("--dims", type=int, default=2, metavar="D",
+                   help="dimensions for the torus/mesh/fbfly families "
+                        "(default 2)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="wall-clock budget; expiry degrades, never fails")
     p.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -849,8 +886,13 @@ def main(argv: list[str] | None = None) -> int:
     d = dist_sub.add_parser(
         "run", help="run the lease-coordinated distributed sweep"
     )
-    d.add_argument("family", choices=["bn", "wn", "ccc", "rr"])
+    d.add_argument("family",
+                   choices=["bn", "wn", "ccc", "torus", "mesh", "fattree",
+                            "fbfly", "rr"])
     d.add_argument("n", type=int)
+    d.add_argument("--dims", type=int, default=2, metavar="D",
+                   help="dimensions for the torus/mesh/fbfly families "
+                        "(default 2)")
     d.add_argument("--degree", type=int, default=3,
                    help="degree for the rr (random regular) family")
     d.add_argument("--seed", type=int, default=0,

@@ -21,6 +21,10 @@ from .bisection import (
     butterfly_bisection_width,
     wrapped_bisection_width,
     ccc_bisection_width,
+    torus_bisection_width,
+    mesh_bisection_width,
+    fat_tree_bisection_width,
+    flattened_butterfly_bisection_width,
     theorem_220_interval,
 )
 from .expansion_api import edge_expansion, node_expansion
@@ -47,6 +51,10 @@ __all__ = [
     "butterfly_bisection_width",
     "wrapped_bisection_width",
     "ccc_bisection_width",
+    "torus_bisection_width",
+    "mesh_bisection_width",
+    "fat_tree_bisection_width",
+    "flattened_butterfly_bisection_width",
     "theorem_220_interval",
     "edge_expansion",
     "node_expansion",

@@ -37,6 +37,10 @@ __all__ = [
     "theorem_220_strict_floor",
     "lemma_32_width",
     "lemma_33_width",
+    "arjona_mesh_width",
+    "arjona_torus_width",
+    "fat_tree_width",
+    "flattened_butterfly_width",
 ]
 
 
@@ -217,6 +221,33 @@ CLAIM_TABLE: dict[str, ClaimRow] = _rows(
         "for all k — unlike the Wn bound, which degrades at k = Θ(n)",
     ),
     ClaimRow(
+        "product-mesh",
+        "Arjona-Aroca & Fernández Anta (PAPERS.md), square meshes",
+        "BW of the d-dimensional side-n mesh (product of paths) is n^(d-1) "
+        "for even n and (n^d - 1)/(n - 1) for odd n",
+    ),
+    ClaimRow(
+        "product-torus",
+        "Arjona-Aroca & Fernández Anta (PAPERS.md), square tori",
+        "BW of the d-dimensional side-n torus (product of cycles, n >= 3) is "
+        "twice the mesh value: 2 n^(d-1) for even n, 2(n^d - 1)/(n - 1) for "
+        "odd n",
+    ),
+    ClaimRow(
+        "dc-fattree",
+        "Arjona-Aroca & Fernández Anta (PAPERS.md), fat trees",
+        "BW of the depth-d fat tree (complete binary tree, link capacities "
+        "doubling toward the root) is 2^(d-1), achieved by detaching one "
+        "child subtree of the root",
+    ),
+    ClaimRow(
+        "dc-fbfly",
+        "Arjona-Aroca & Fernández Anta (PAPERS.md), products of complete "
+        "graphs",
+        "BW of the d-dimensional radix-a flattened butterfly (Hamming graph) "
+        "is a^(d+1)/4 for even a",
+    ),
+    ClaimRow(
         "section-1.6-hong-kung",
         "Section 1.6 ([11])",
         "Hong–Kung: any set S of k nodes of FFT_n dominated from the inputs by "
@@ -299,6 +330,67 @@ def lemma_33_width(n: int) -> int:
     if n % 2:
         raise ValueError(f"Lemma 3.3 is stated for even n, got {n}")
     return n // 2
+
+
+def arjona_mesh_width(side: int, dims: int) -> int:
+    """Exact ``BW`` of the ``dims``-dimensional side-``side`` mesh.
+
+    Arjona-Aroca & Fernández Anta (PAPERS.md): ``side^(dims-1)`` for even
+    sides, ``(side^dims - 1)/(side - 1)`` for odd — the geometric-series
+    cost of the nested prefix cut.  Spot-validated against exact
+    enumeration and branch and bound through 36 nodes (claim
+    ``product-mesh``).
+    """
+    if side < 2 or dims < 1:
+        raise ValueError(
+            f"mesh bound needs side >= 2 and dims >= 1, got {side}^{dims}"
+        )
+    if side % 2 == 0:
+        return side ** (dims - 1)
+    return (side ** dims - 1) // (side - 1)
+
+
+def arjona_torus_width(side: int, dims: int) -> int:
+    """Exact ``BW`` of the ``dims``-dimensional side-``side`` torus.
+
+    Twice the mesh value (every prefix cut crosses the wraparound edges a
+    second time); sides must be at least 3 (claim ``product-torus``).
+    """
+    if side < 3:
+        raise ValueError(f"torus bound needs side >= 3, got {side}")
+    return 2 * arjona_mesh_width(side, dims)
+
+
+def fat_tree_width(depth: int) -> int:
+    """Exact ``BW`` of the depth-``depth`` fat tree: ``2^(depth-1)``.
+
+    Detaching one child subtree of the root cuts a single capacity-
+    ``2^(depth-1)`` bundle and strands ``2^depth - 1`` of the
+    ``2^(depth+1) - 1`` nodes; every other balanced cut severs bundles
+    worth at least as much (claim ``dc-fattree``).
+    """
+    if depth < 1:
+        raise ValueError(f"fat-tree bound needs depth >= 1, got {depth}")
+    return 1 << (depth - 1)
+
+
+def flattened_butterfly_width(ary: int, dims: int) -> int:
+    """Exact ``BW`` of the ``dims``-dimensional radix-``ary`` flattened
+    butterfly (Hamming graph): ``ary^(dims+1) / 4`` for even ``ary``.
+
+    Halving one coordinate cuts ``(ary/2)^2`` complete-graph edges in
+    each of the ``ary^(dims-1)`` fibers; odd radices have no such closed
+    form here and are rejected (claim ``dc-fbfly``).
+    """
+    if ary < 2 or dims < 1:
+        raise ValueError(
+            f"flattened-butterfly bound needs ary >= 2 and dims >= 1, "
+            f"got ary={ary}, dims={dims}"
+        )
+    if ary % 2:
+        raise ValueError(f"flattened-butterfly bound is stated for even ary, "
+                         f"got {ary}")
+    return (ary ** (dims + 1)) // 4
 
 
 # --------------------------------------------------------------------- #

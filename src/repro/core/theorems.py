@@ -458,6 +458,86 @@ def _check_l33(cid: str) -> ClaimResult:
 
 
 # --------------------------------------------------------------------- #
+# Product networks and data-center fabrics (Arjona-Aroca & Fernández
+# Anta, PAPERS.md): exact widths checked against the solvers on small
+# instances and against the nested-prefix construction on larger ones.
+# --------------------------------------------------------------------- #
+@_register("product-mesh")
+def _check_product_mesh(cid: str) -> ClaimResult:
+    from ..topology import mesh
+    from ..cuts import layered_cut_profile, product_prefix_cut
+    from .claims import arjona_mesh_width
+
+    details = {}
+    ok = True
+    for side, dims in ((2, 2), (3, 2), (4, 2), (2, 3)):
+        net = mesh(*(side,) * dims)
+        bw = layered_cut_profile(net, with_witnesses=False).bisection_width()
+        details[f"BW({net.name})"] = bw
+        ok &= bw == arjona_mesh_width(side, dims)
+    for side, dims in ((6, 2), (5, 3)):
+        net = mesh(*(side,) * dims)
+        ok &= product_prefix_cut(net).capacity == arjona_mesh_width(side, dims)
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register("product-torus")
+def _check_product_torus(cid: str) -> ClaimResult:
+    from ..topology import torus
+    from ..cuts import layered_cut_profile, product_prefix_cut
+    from .claims import arjona_torus_width
+
+    details = {}
+    ok = True
+    for side, dims in ((3, 2), (4, 2)):
+        net = torus(*(side,) * dims)
+        bw = layered_cut_profile(net, with_witnesses=False).bisection_width()
+        details[f"BW({net.name})"] = bw
+        ok &= bw == arjona_torus_width(side, dims)
+    for side, dims in ((6, 2), (3, 3), (5, 3)):
+        net = torus(*(side,) * dims)
+        ok &= product_prefix_cut(net).capacity == arjona_torus_width(side, dims)
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register("dc-fattree")
+def _check_dc_fattree(cid: str) -> ClaimResult:
+    from ..topology import fat_tree
+    from ..cuts import layered_cut_profile, fat_tree_root_cut
+    from .claims import fat_tree_width
+
+    details = {}
+    ok = True
+    for depth in (1, 2, 3):
+        ft = fat_tree(depth)
+        bw = layered_cut_profile(ft, with_witnesses=False).bisection_width()
+        details[f"BW({ft.name})"] = bw
+        ok &= bw == fat_tree_width(depth)
+    for depth in (5, 8):
+        ok &= fat_tree_root_cut(fat_tree(depth)).capacity == fat_tree_width(depth)
+    return ClaimResult(cid, bool(ok), details)
+
+
+@_register("dc-fbfly")
+def _check_dc_fbfly(cid: str) -> ClaimResult:
+    from ..topology import flattened_butterfly
+    from ..cuts import cut_profile, product_prefix_cut
+    from .claims import flattened_butterfly_width
+
+    details = {}
+    ok = True
+    for ary, dims in ((2, 2), (4, 1), (2, 3), (4, 2)):
+        fb = flattened_butterfly(ary, dims)
+        bw = cut_profile(fb).bisection_width()
+        details[f"BW({fb.name})"] = bw
+        ok &= bw == flattened_butterfly_width(ary, dims)
+    for ary, dims in ((6, 2), (8, 2)):
+        fb = flattened_butterfly(ary, dims)
+        ok &= product_prefix_cut(fb).capacity == flattened_butterfly_width(ary, dims)
+    return ClaimResult(cid, bool(ok), details)
+
+
+# --------------------------------------------------------------------- #
 # Section 4: expansion
 # --------------------------------------------------------------------- #
 @_register("section-4.3-lower")

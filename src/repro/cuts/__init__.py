@@ -21,7 +21,13 @@ from .parallel import parallel_cyclic_profile
 from .kernighan_lin import kernighan_lin_bisection, kl_refine
 from .fiduccia_mattheyses import fm_refine, fm_bisection
 from .spectral import fiedler_vector, spectral_bisection
-from .constructions import column_prefix_cut, ccc_dimension_cut, level_split_cut
+from .constructions import (
+    column_prefix_cut,
+    ccc_dimension_cut,
+    level_split_cut,
+    product_prefix_cut,
+    fat_tree_root_cut,
+)
 from .mos_cuts import (
     f_xy,
     f_minimum,
@@ -72,6 +78,8 @@ __all__ = [
     "column_prefix_cut",
     "ccc_dimension_cut",
     "level_split_cut",
+    "product_prefix_cut",
+    "fat_tree_root_cut",
     "f_xy",
     "f_minimum",
     "f_min_on_grid",

@@ -17,12 +17,16 @@ import numpy as np
 
 from ..topology.butterfly import Butterfly
 from ..topology.ccc import CubeConnectedCycles
+from ..topology.fabric import FatTree
+from ..topology.product import CartesianProduct
 from .cut import Cut
 
 __all__ = [
     "column_prefix_cut",
     "ccc_dimension_cut",
     "level_split_cut",
+    "product_prefix_cut",
+    "fat_tree_root_cut",
 ]
 
 
@@ -74,4 +78,44 @@ def level_split_cut(bf: Butterfly, t: int) -> Cut:
         side[bf.level(i)] = True
     cut = Cut(bf, side)
     assert cut.capacity == 2 * bf.n
+    return cut
+
+
+def product_prefix_cut(net: CartesianProduct) -> Cut:
+    """The Arjona-Aroca nested prefix bisection of a Cartesian product.
+
+    ``S`` takes the first ``floor(n1/2)`` slices of the first dimension;
+    when ``n1`` is odd the middle slice is split by recursing into the
+    remaining dimensions.  On square meshes, tori, and even-radix
+    flattened butterflies this achieves the exact bisection width
+    (``repro.core.claims`` has the closed forms); on other products it is
+    still a valid balanced cut, just not always optimal.
+    """
+    side = np.zeros(net.num_nodes, dtype=bool)
+    sub = np.arange(net.num_nodes, dtype=np.int64).reshape(net.shape)
+    for size in net.shape:
+        half = size // 2
+        side[sub[:half].ravel()] = True
+        if size % 2 == 0:
+            break
+        sub = sub[half]
+    cut = Cut(net, side)
+    assert cut.is_bisection()
+    return cut
+
+
+def fat_tree_root_cut(ft: FatTree) -> Cut:
+    """The ``BW(FTd) <= 2^{d-1}`` witness: detach one child subtree.
+
+    ``S`` = the subtree of the root's first child (``2^d - 1`` of the
+    ``2^{d+1} - 1`` nodes, so the sides differ by one); only the single
+    capacity-``2^{d-1}`` root bundle crosses.
+    """
+    side = np.zeros(ft.num_nodes, dtype=bool)
+    side[ft.subtree(1)] = True
+    cut = Cut(ft, side)
+    assert cut.capacity == 1 << (ft.depth - 1), (
+        f"root cut of {ft.name} has capacity {cut.capacity}"
+    )
+    assert cut.is_bisection()
     return cut

@@ -86,6 +86,9 @@ DEFAULT_LAYER_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset(
         # is what RL009 forbids.
         ("repro.verify.fuzz", "repro.cuts"),
         ("repro.verify.fuzz", "repro.core.fallback"),
+        # ... and cross-checks the product/fabric closed forms against
+        # the same pure claim table the checker reads.
+        ("repro.verify.fuzz", "repro.core.claims"),
         ("repro.verify.fuzz", "repro.perf.cache"),
         ("repro.verify.fuzz", "repro.resilience.faults"),
         # The lint runner's optional --jobs mode fans the per-module rule

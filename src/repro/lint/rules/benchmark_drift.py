@@ -15,7 +15,11 @@ every lint run:
   regex parsing is involved; the text table is the fallback;
 * ``lemma32_wn.txt`` — measured ``BW(Wn)`` must equal ``n`` (Lemma 3.2);
 * ``lemma33_ccc.txt`` — measured ``BW(CCCn)`` must equal ``n/2``
-  (Lemma 3.3).
+  (Lemma 3.3);
+* ``fabric_families.json`` — every product/fabric row must match the
+  Arjona-Aroca closed form re-derived here from the row's own family
+  and parameters (claims ``product-mesh`` / ``product-torus`` /
+  ``dc-fattree`` / ``dc-fbfly``).
 
 Findings are **advisory** (``WARNING`` severity): drift means either the
 benchmark is stale or a solver changed behavior, and a human must decide
@@ -52,6 +56,52 @@ _FILE_CLAIMS = {
     "lemma32_wn.txt": "lemma-3.2",
     "lemma33_ccc.txt": "lemma-3.3",
 }
+
+
+def _fabric_want(family: str, params: list[int]) -> int | None:
+    """The Arjona-Aroca closed form, re-derived independently of the
+    benchmark (and of repro.core — this module is pure stdlib)."""
+    try:
+        if family == "mesh":
+            side, dims = params
+            return side ** (dims - 1) if side % 2 == 0 \
+                else (side ** dims - 1) // (side - 1)
+        if family == "torus":
+            side, dims = params
+            want = _fabric_want("mesh", [side, dims])
+            return None if want is None else 2 * want
+        if family == "fattree":
+            (depth,) = params
+            return 1 << (depth - 1)
+        if family == "fbfly":
+            ary, dims = params
+            return (ary ** (dims + 1)) // 4 if ary % 2 == 0 else None
+    except (TypeError, ValueError):
+        return None
+    return None
+
+
+def _json_fabric_rows(path: Path) -> list[tuple[int, str, str, list, int, int]]:
+    """``(row_number, family, claim, params, lower, upper)`` rows."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    rows = doc.get("rows") if isinstance(doc, dict) else None
+    if not isinstance(rows, list):
+        return []
+    out = []
+    for rowno, row in enumerate(rows, start=1):
+        if not isinstance(row, dict):
+            continue
+        try:
+            out.append((
+                rowno, str(row["family"]), str(row["claim"]),
+                list(row["params"]), int(row["lower"]), int(row["upper"]),
+            ))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
 
 
 def _json_quad_rows(path: Path) -> list[tuple[int, tuple[float, ...]]]:
@@ -155,6 +205,23 @@ def drift_findings(results_dir: Path, claim_ids: set[str] | None = None) -> list
                 _warn(path, lineno,
                       f"BW(CCC{n}) = {bw} committed, but Lemma 3.3 says "
                       f"BW(CCCn) = n/2 = {int(n) // 2} — benchmark drift")
+
+    # Each fabric row is gated on its *own* claim id, so dropping one
+    # claim from the table silences exactly that family's checks.
+    path = results_dir / "fabric_families.json"
+    if path.is_file():
+        for rowno, family, claim, params, lower, upper in _json_fabric_rows(path):
+            if claim_ids is not None and claim not in claim_ids:
+                continue
+            if lower > upper:
+                _warn(path, rowno,
+                      f"BW({family}{params}) interval inverted: lower {lower} "
+                      f"> upper {upper} — a solver or benchmark regression")
+            want = _fabric_want(family, params)
+            if want is not None and upper != want:
+                _warn(path, rowno,
+                      f"BW({family}{params}) = {upper} committed, but the "
+                      f"{claim} closed form says {want} — benchmark drift")
     return findings
 
 

@@ -25,7 +25,10 @@ candidate sets are therefore tiered by size — the full cascade-and-
 reversal group (order ``2 n^2``) for small ``Bn``, the column-XOR coset
 (order ``2 n``) beyond that, and the identity once even that is too
 large — keeping canonicalization cost negligible next to any solve.
-Networks without a recognized symmetry family fall back to the raw
+The product families get the same treatment from their own groups:
+coordinate translations for tori and flattened butterflies, axis
+reflections for meshes, and the subtree-swapping XOR path-word group for
+fat trees.  Networks without a recognized symmetry family fall back to the raw
 :attr:`~repro.topology.base.Network.edge_digest`, which is always sound.
 """
 
@@ -45,6 +48,8 @@ from ..topology.automorphism import (
 )
 from ..topology.base import Network
 from ..topology.butterfly import Butterfly
+from ..topology.fabric import FatTree
+from ..topology.product import CartesianProduct, FlattenedButterfly, Mesh, Torus
 
 __all__ = [
     "CanonicalForm",
@@ -75,7 +80,8 @@ class CanonicalForm:
         to node ``perm[v]`` of the canonical representative.  Apply with
         :func:`permute_mask`, invert with :func:`unpermute_mask`.
     family:
-        ``"butterfly"``, ``"wrapped"`` or ``"network"`` — which symmetry
+        ``"butterfly"``, ``"wrapped"``, ``"torus"``, ``"mesh"``,
+        ``"fbfly"``, ``"fattree"`` or ``"network"`` — which symmetry
         group produced the key.
     group_size:
         Number of candidate automorphisms examined (1 means no symmetry
@@ -174,6 +180,67 @@ def _butterfly_candidates(bf: Butterfly) -> list[np.ndarray]:
     return [np.arange(bf.num_nodes, dtype=np.int64)]
 
 
+def _translation_candidates(shape: tuple[int, ...]) -> list[np.ndarray]:
+    """The coordinate-translation group of a torus / Hamming product.
+
+    Cyclic shifts along every axis are automorphisms of products of cycles
+    (all edges are ±1 steps) *and* of products of complete graphs (any
+    relabeling of a factor is); the shifts form an abelian group of order
+    ``prod(shape)``.  Tiered to the identity beyond the candidate cap.
+    """
+    n_total = int(np.prod(shape, dtype=np.int64))
+    if n_total > _MAX_CANDIDATES:
+        return [np.arange(n_total, dtype=np.int64)]
+    grid = np.arange(n_total, dtype=np.int64).reshape(shape)
+    axes = tuple(range(len(shape)))
+    perms = []
+    for shift in product(*(range(s) for s in shape)):
+        # perm[c] = index(c + shift), i.e. grid rolled backwards.
+        perms.append(
+            np.roll(grid, tuple(-s for s in shift), axis=axes).ravel()
+        )
+    return perms
+
+
+def _reflection_candidates(shape: tuple[int, ...]) -> list[np.ndarray]:
+    """The axis-reflection group of a mesh (product of paths).
+
+    Reversing any subset of the axes is an automorphism of a product of
+    paths; the reflections form an abelian group of order ``2^d``.
+    """
+    n_total = int(np.prod(shape, dtype=np.int64))
+    if (1 << len(shape)) > _MAX_CANDIDATES:
+        return [np.arange(n_total, dtype=np.int64)]
+    grid = np.arange(n_total, dtype=np.int64).reshape(shape)
+    perms = []
+    for flips in product((False, True), repeat=len(shape)):
+        axes = tuple(k for k, f in enumerate(flips) if f)
+        perms.append((np.flip(grid, axis=axes) if axes else grid).ravel())
+    return perms
+
+
+def _fat_tree_candidates(ft: FatTree) -> list[np.ndarray]:
+    """The XOR path-word group of the fat tree.
+
+    A mask ``m`` of ``d`` bits maps the depth-``k`` node at in-level
+    position ``p`` to position ``p ^ (m >> (d - k))``: each bit of ``m``
+    swaps the two subtrees below one root-to-leaf branching level, so
+    children stay children and per-level edge multiplicities are
+    untouched.  Masks compose by XOR — an abelian group of order ``2^d``.
+    """
+    d = ft.depth
+    if (1 << d) > _MAX_CANDIDATES:
+        return [np.arange(ft.num_nodes, dtype=np.int64)]
+    perms = []
+    for m in range(1 << d):
+        perm = np.empty(ft.num_nodes, dtype=np.int64)
+        for k in range(d + 1):
+            p = np.arange(1 << k, dtype=np.int64)
+            perm[ft.level(k)] = ((1 << k) - 1) + (p ^ (m >> (d - k)))
+        perms.append(perm)
+    return perms
+
+
 def _minimize_counted(
     num_nodes: int, counted: np.ndarray, perms: list[np.ndarray]
 ) -> tuple[bytes, np.ndarray]:
@@ -214,6 +281,29 @@ def canonical_form(net: Network, counted: np.ndarray | None = None) -> Canonical
             # identity is always among the minimizers: take it for free.
             return CanonicalForm(f"{stem}:full", identity, family, 1)
         perms = _butterfly_candidates(net)
+        packed, perm = _minimize_counted(n, counted, perms)
+        digest = hashlib.sha256(packed).hexdigest()[:16]
+        return CanonicalForm(f"{stem}:c{digest}", perm, family, len(perms))
+
+    fabric: tuple[str, str, list[np.ndarray]] | None = None
+    if isinstance(net, Torus):
+        sides = "x".join(str(s) for s in net.sides)
+        fabric = ("torus", f"torus:{sides}", _translation_candidates(net.shape))
+    elif isinstance(net, Mesh):
+        sides = "x".join(str(s) for s in net.sides)
+        fabric = ("mesh", f"mesh:{sides}", _reflection_candidates(net.shape))
+    elif isinstance(net, FlattenedButterfly):
+        fabric = (
+            "fbfly",
+            f"fbfly:{net.ary}d{net.dims}",
+            _translation_candidates(net.shape),
+        )
+    elif isinstance(net, FatTree):
+        fabric = ("fattree", f"ft:{net.depth}", _fat_tree_candidates(net))
+    if fabric is not None:
+        family, stem, perms = fabric
+        if len(counted) == n:
+            return CanonicalForm(f"{stem}:full", identity, family, 1)
         packed, perm = _minimize_counted(n, counted, perms)
         digest = hashlib.sha256(packed).hexdigest()[:16]
         return CanonicalForm(f"{stem}:c{digest}", perm, family, len(perms))

@@ -22,6 +22,19 @@ from .complete import (
     complete_edge_expansion,
 )
 from .debruijn import de_bruijn, shuffle_exchange
+from .product import (
+    CartesianProduct,
+    cartesian_product,
+    path_graph,
+    cycle_graph,
+    Torus,
+    torus,
+    Mesh,
+    mesh,
+    FlattenedButterfly,
+    flattened_butterfly,
+)
+from .fabric import FatTree, fat_tree
 from .random_regular import random_regular_graph
 from .render import ascii_butterfly
 from .subbutterfly import (
@@ -72,6 +85,18 @@ __all__ = [
     "complete_edge_expansion",
     "de_bruijn",
     "shuffle_exchange",
+    "CartesianProduct",
+    "cartesian_product",
+    "path_graph",
+    "cycle_graph",
+    "Torus",
+    "torus",
+    "Mesh",
+    "mesh",
+    "FlattenedButterfly",
+    "flattened_butterfly",
+    "FatTree",
+    "fat_tree",
     "random_regular_graph",
     "ascii_butterfly",
     "SubButterflyComponent",

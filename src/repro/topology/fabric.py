@@ -1,0 +1,97 @@
+"""The fat tree: the classic data-center fabric as an explicit multigraph.
+
+A depth-``d`` fat tree is a complete binary tree whose link capacities
+double toward the root (Leiserson's universal routing network): the edge
+between a node at depth ``l - 1`` and its child at depth ``l`` has
+capacity ``2^{d-l}``, so every level carries the same aggregate bandwidth
+``2^{d-1}`` and the tree has full bisection bandwidth.  Capacities are
+realized as parallel edges — the repo-wide multigraph convention — so
+every cut solver counts them without special cases.  Arjona-Aroca &
+Fernández Anta (PAPERS.md) treat exactly this capacity profile; the
+bisection width is ``2^{d-1}``
+(:func:`repro.core.claims.fat_tree_width`), achieved by detaching one
+child subtree of the root.
+
+Nodes are indexed in level order (root 0, children of ``i`` at
+``2i + 1`` and ``2i + 2``), the array-heap convention of the gem5-style
+tree topology configs.  The tree is layered by depth — every edge joins
+consecutive depths — so the layered DP solves small instances exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Network
+
+__all__ = ["FatTree", "fat_tree"]
+
+
+class FatTree(Network):
+    """The depth-``d`` fat tree on ``2^{d+1} - 1`` nodes."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"FatTree requires depth >= 1, got {depth}")
+        self.depth = int(depth)
+        n = (1 << (depth + 1)) - 1
+        chunks: list[np.ndarray] = []
+        for level in range(1, depth + 1):
+            parents = np.arange((1 << (level - 1)) - 1, (1 << level) - 1,
+                                dtype=np.int64)
+            pairs = np.concatenate([
+                np.column_stack([parents, 2 * parents + 1]),
+                np.column_stack([parents, 2 * parents + 2]),
+            ])
+            # Capacity 2^{d-l} between depths l-1 and l, as parallel edges.
+            chunks.append(np.repeat(pairs, 1 << (depth - level), axis=0))
+        super().__init__(range(n), np.concatenate(chunks, axis=0),
+                         name=f"FT{depth}")
+
+    def level(self, l: int) -> np.ndarray:
+        """Indices of every node at depth ``l`` (0 is the root)."""
+        if not 0 <= l <= self.depth:
+            raise ValueError(f"no depth {l} in {self.name}")
+        return np.arange((1 << l) - 1, (1 << (l + 1)) - 1, dtype=np.int64)
+
+    def leaves(self) -> np.ndarray:
+        """The ``2^d`` leaf nodes (the fabric's hosts)."""
+        return self.level(self.depth)
+
+    def link_capacity(self, level: int) -> int:
+        """Parallel-edge multiplicity between depths ``level - 1`` and ``level``."""
+        if not 1 <= level <= self.depth:
+            raise ValueError(f"no link level {level} in {self.name}")
+        return 1 << (self.depth - level)
+
+    def subtree(self, root: int) -> np.ndarray:
+        """Indices of the subtree rooted at node ``root`` (level-order walk)."""
+        if not 0 <= root < self.num_nodes:
+            raise ValueError(f"no node {root} in {self.name}")
+        out = [root]
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for c in (2 * v + 1, 2 * v + 2):
+                    if c < self.num_nodes:
+                        nxt.append(c)
+            out.extend(nxt)
+            frontier = nxt
+        return np.array(sorted(out), dtype=np.int64)
+
+    # Layer protocol: depths are layers; every edge joins consecutive
+    # depths, so the layered DP applies whenever 2^d fits its width limit.
+    def layers(self) -> list[np.ndarray]:
+        """Tree depths root-down, each an index array of ``2^l`` nodes."""
+        return [self.level(l) for l in range(self.depth + 1)]
+
+    @property
+    def cyclic(self) -> bool:
+        """Tree edges never wrap."""
+        return False
+
+
+def fat_tree(depth: int) -> FatTree:
+    """Construct the depth-``depth`` fat tree."""
+    return FatTree(depth)

@@ -1,0 +1,283 @@
+"""Cartesian products of networks, and the product families built on them.
+
+The bisection machinery of the paper lives on butterflies, but the
+product operator is the bridge to the topologies data centers actually
+deploy: Arjona-Aroca & Fernández Anta ("Bisection (Band)Width of Product
+Networks with Application to Data Centers", PAPERS.md) derive exact
+bisection widths for Cartesian products of paths, cycles and complete
+graphs — meshes, tori and flattened butterflies.  This module provides:
+
+* :class:`CartesianProduct` — the first-class product operator ``G1 □ G2
+  □ ... □ Gd``: nodes are coordinate tuples, and two nodes are adjacent
+  iff they differ in exactly one coordinate by an edge of that factor
+  (parallel factor edges yield parallel product edges, preserving the
+  multigraph semantics the rest of the repo counts on);
+* :class:`Torus` — the product of cycles (the k-ary d-cube of the
+  interconnect literature);
+* :class:`Mesh` — the product of paths (the d-dimensional grid / array);
+* :class:`FlattenedButterfly` — the product of complete graphs, i.e. the
+  Hamming graph: routers form a ``d``-dimensional array with all-to-all
+  wiring inside every row, the layout of the gem5 ``FlattenedButterfly``
+  topology config (each row/column pair gets a direct link).
+
+Node indices are mixed-radix in C order (last coordinate fastest), so
+``index = sum(coord[k] * strides[k])`` with ``strides[k] =
+prod(shape[k+1:])`` — the same convention as ``numpy.ravel_multi_index``.
+
+``Torus`` and ``Mesh`` expose the ``layers()``/``cyclic`` protocol along
+their first dimension (remaining-dimension edges stay inside a layer,
+first-dimension edges connect consecutive layers), so the layered DP
+solves them whenever ``N / shape[0]`` fits its width limit.  The
+flattened butterfly has no such layering: a complete-graph factor joins
+non-adjacent layers, so it deliberately does not implement the protocol.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Sequence
+
+import numpy as np
+
+from .base import Network
+from .complete import complete_graph
+
+__all__ = [
+    "CartesianProduct",
+    "cartesian_product",
+    "path_graph",
+    "cycle_graph",
+    "Torus",
+    "torus",
+    "Mesh",
+    "mesh",
+    "FlattenedButterfly",
+    "flattened_butterfly",
+]
+
+
+def path_graph(n: int) -> Network:
+    """The path ``P_n`` on nodes ``0..n-1`` (consecutive integers adjacent)."""
+    if n < 1:
+        raise ValueError(f"P_n requires n >= 1, got {n}")
+    idx = np.arange(n - 1, dtype=np.int64)
+    return Network(range(n), np.column_stack([idx, idx + 1]), name=f"P{n}")
+
+
+def cycle_graph(n: int) -> Network:
+    """The simple cycle ``C_n`` (n >= 3; smaller rings are degenerate)."""
+    if n < 3:
+        raise ValueError(f"C_n requires n >= 3, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    return Network(range(n), np.column_stack([idx, (idx + 1) % n]), name=f"C{n}")
+
+
+class CartesianProduct(Network):
+    """The Cartesian product ``G1 □ G2 □ ... □ Gd`` of ``d`` factor networks.
+
+    Nodes are tuples ``(l1, ..., ld)`` of factor labels; ``(u, v)`` is an
+    edge for every factor edge between a pair of coordinates with all
+    other coordinates equal.  Edge multiplicities multiply through: a
+    parallel pair in a factor appears as a parallel pair in every fiber.
+    """
+
+    def __init__(self, factors: Sequence[Network], name: str | None = None) -> None:
+        factors = tuple(factors)
+        if not factors:
+            raise ValueError("Cartesian product requires at least one factor")
+        self._factors = factors
+        self.shape = tuple(f.num_nodes for f in factors)
+        n_total = int(np.prod(self.shape, dtype=np.int64))
+        # C-order strides: stride of axis k is the node count of the
+        # sub-product right of k, so itertools.product (last factor
+        # fastest) enumerates labels in index order.
+        strides = [1] * len(factors)
+        for k in range(len(factors) - 2, -1, -1):
+            strides[k] = strides[k + 1] * self.shape[k + 1]
+        self.strides = tuple(strides)
+
+        labels = list(iter_product(*(f.labels for f in factors)))
+        grid = np.arange(n_total, dtype=np.int64).reshape(self.shape)
+        chunks: list[np.ndarray] = []
+        for k, f in enumerate(factors):
+            if f.num_edges == 0:
+                continue
+            # All fibers at once: axis k to the front, one row per factor
+            # node, one column per assignment of the other coordinates.
+            fiber = np.moveaxis(grid, k, 0).reshape(f.num_nodes, -1)
+            e = f.edges
+            chunks.append(
+                np.stack([fiber[e[:, 0]], fiber[e[:, 1]]], axis=-1).reshape(-1, 2)
+            )
+        edges = (
+            np.concatenate(chunks, axis=0)
+            if chunks else np.empty((0, 2), dtype=np.int64)
+        )
+        super().__init__(
+            labels, edges,
+            name=name or "(" + " x ".join(f.name for f in factors) + ")",
+        )
+
+    @property
+    def factors(self) -> tuple[Network, ...]:
+        """The factor networks, in coordinate order."""
+        return self._factors
+
+    @property
+    def dims(self) -> int:
+        """Number of factors (product dimensions)."""
+        return len(self._factors)
+
+    def node(self, coords: Sequence[int]) -> int:
+        """Index of the node at factor-index coordinates ``coords``."""
+        coords = tuple(int(c) for c in coords)
+        if len(coords) != self.dims:
+            raise ValueError(f"{self.name}: expected {self.dims} coordinates")
+        for c, size in zip(coords, self.shape):
+            if not 0 <= c < size:
+                raise ValueError(f"{self.name}: coordinate {coords} out of range")
+        return sum(c * s for c, s in zip(coords, self.strides))
+
+    def coords_of(self, index: int) -> tuple[int, ...]:
+        """Factor-index coordinates of node ``index`` (inverse of :meth:`node`)."""
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(f"{self.name}: no node index {index}")
+        out = []
+        for s in self.strides:
+            out.append(int(index) // s)
+            index = int(index) % s
+        return tuple(out)
+
+    def slice_nodes(self, axis: int, value: int) -> np.ndarray:
+        """Indices of every node whose ``axis`` coordinate equals ``value``."""
+        if not 0 <= axis < self.dims:
+            raise ValueError(f"{self.name}: no axis {axis}")
+        if not 0 <= value < self.shape[axis]:
+            raise ValueError(f"{self.name}: axis {axis} has no slice {value}")
+        grid = np.arange(self.num_nodes, dtype=np.int64).reshape(self.shape)
+        return np.moveaxis(grid, axis, 0)[value].ravel()
+
+
+def cartesian_product(*factors: Network) -> CartesianProduct:
+    """Construct the Cartesian product of the given factor networks."""
+    return CartesianProduct(factors)
+
+
+class _SquareMixin:
+    """Shared helpers for the side-parameterized product families."""
+
+    sides: tuple[int, ...]
+
+    @property
+    def is_square(self) -> bool:
+        """Whether every dimension has the same side length."""
+        return len(set(self.sides)) == 1
+
+
+class Torus(CartesianProduct, _SquareMixin):
+    """The d-dimensional torus: the Cartesian product of cycles.
+
+    ``Torus((n1, ..., nd))`` is ``C_{n1} □ ... □ C_{nd}`` — the k-ary
+    d-cube when square.  Every side must be at least 3 (shorter rings
+    collapse into edges or parallel pairs and are not tori).  For the
+    square case, Arjona-Aroca & Fernández Anta give the exact bisection
+    width ``2 n^{d-1}`` for even ``n`` and ``2 (n^d - 1)/(n - 1)`` for
+    odd ``n`` (:func:`repro.core.claims.arjona_torus_width`).
+    """
+
+    def __init__(self, sides: Sequence[int]) -> None:
+        sides = tuple(int(s) for s in sides)
+        if not sides:
+            raise ValueError("Torus requires at least one side")
+        if any(s < 3 for s in sides):
+            raise ValueError(f"Torus sides must be >= 3, got {sides}")
+        self.sides = sides
+        super().__init__(
+            [cycle_graph(s) for s in sides],
+            name="Torus" + "x".join(str(s) for s in sides),
+        )
+
+    # Layer protocol: layers are first-coordinate slices; first-dimension
+    # cycle edges connect consecutive layers cyclically, all other
+    # dimensions stay inside a layer.
+    def layers(self) -> list[np.ndarray]:
+        """First-coordinate slices, in cyclic order."""
+        return [self.slice_nodes(0, i) for i in range(self.sides[0])]
+
+    @property
+    def cyclic(self) -> bool:
+        """First-dimension edges wrap from the last slice back to the first."""
+        return True
+
+
+def torus(*sides: int) -> Torus:
+    """Construct the torus with the given side lengths, e.g. ``torus(4, 4)``."""
+    return Torus(sides)
+
+
+class Mesh(CartesianProduct, _SquareMixin):
+    """The d-dimensional mesh (grid / array): the Cartesian product of paths.
+
+    ``Mesh((n1, ..., nd))`` is ``P_{n1} □ ... □ P_{nd}``; sides must be
+    at least 2.  For the square case, Arjona-Aroca & Fernández Anta give
+    the exact bisection width ``n^{d-1}`` for even ``n`` and
+    ``(n^d - 1)/(n - 1)`` for odd ``n``
+    (:func:`repro.core.claims.arjona_mesh_width`); ``Mesh`` with all
+    sides 2 is the hypercube.
+    """
+
+    def __init__(self, sides: Sequence[int]) -> None:
+        sides = tuple(int(s) for s in sides)
+        if not sides:
+            raise ValueError("Mesh requires at least one side")
+        if any(s < 2 for s in sides):
+            raise ValueError(f"Mesh sides must be >= 2, got {sides}")
+        self.sides = sides
+        super().__init__(
+            [path_graph(s) for s in sides],
+            name="Mesh" + "x".join(str(s) for s in sides),
+        )
+
+    def layers(self) -> list[np.ndarray]:
+        """First-coordinate slices, endpoints first and last."""
+        return [self.slice_nodes(0, i) for i in range(self.sides[0])]
+
+    @property
+    def cyclic(self) -> bool:
+        """Path edges never wrap."""
+        return False
+
+
+def mesh(*sides: int) -> Mesh:
+    """Construct the mesh (grid) with the given side lengths."""
+    return Mesh(sides)
+
+
+class FlattenedButterfly(CartesianProduct):
+    """The flattened butterfly: the Cartesian product of complete graphs.
+
+    ``FlattenedButterfly(ary, dims)`` is ``K_ary □ ... □ K_ary`` (``dims``
+    copies) — the Hamming graph, wired like the gem5
+    ``FlattenedButterfly`` topology config: routers form a ``dims``-
+    dimensional array of side ``ary`` with a direct link between every
+    pair of routers that share all but one coordinate.  ``ary = 2``
+    recovers the hypercube.  For even ``ary``, Arjona-Aroca & Fernández
+    Anta give the exact bisection width ``ary^{dims+1} / 4``
+    (:func:`repro.core.claims.flattened_butterfly_width`).
+    """
+
+    def __init__(self, ary: int, dims: int) -> None:
+        if ary < 2:
+            raise ValueError(f"FlattenedButterfly requires ary >= 2, got {ary}")
+        if dims < 1:
+            raise ValueError(f"FlattenedButterfly requires dims >= 1, got {dims}")
+        self.ary = int(ary)
+        super().__init__(
+            [complete_graph(ary) for _ in range(dims)],
+            name=f"FBfly{ary}d{dims}",
+        )
+
+
+def flattened_butterfly(ary: int, dims: int = 2) -> FlattenedButterfly:
+    """Construct the ``dims``-dimensional radix-``ary`` flattened butterfly."""
+    return FlattenedButterfly(ary, dims)

@@ -22,8 +22,11 @@ Checked, per certificate (Section 2.1 quantities):
   width — Theorem 2.20's strict ``2(sqrt 2 - 1) n`` floor (and the
   folklore ``<= n`` ceiling) on pristine ``Bn``, Lemma 3.2's ``BW(Wn) = n``,
   Lemma 3.3's ``BW(CCCn) = n/2``, Lemma 3.1's ``>= n`` floor for cuts
-  bisecting the I/O levels, and the Lemma 2.17 ``f(x, y)`` capacity
-  density for M2-bisecting cuts of square meshes of stars.
+  bisecting the I/O levels, the Lemma 2.17 ``f(x, y)`` capacity
+  density for M2-bisecting cuts of square meshes of stars, and the
+  Arjona-Aroca product-network widths (claims ``product-torus``,
+  ``product-mesh``, ``dc-fattree``, ``dc-fbfly``) on pristine square
+  tori and meshes, fat trees, and even-radix flattened butterflies.
 
 Cut profiles (:class:`repro.cuts.enumerate_exact.CutProfile`-shaped
 objects, duck-typed) are checked entry by entry: every finite value must
@@ -40,6 +43,10 @@ from typing import Any, Iterable
 import numpy as np
 
 from ..core.claims import (
+    arjona_mesh_width,
+    arjona_torus_width,
+    fat_tree_width,
+    flattened_butterfly_width,
     lemma_32_width,
     lemma_33_width,
     theorem_220_strict_floor,
@@ -48,7 +55,9 @@ from ..obs import incr
 from ..topology.base import Network
 from ..topology.butterfly import Butterfly
 from ..topology.ccc import CubeConnectedCycles
+from ..topology.fabric import FatTree
 from ..topology.mesh_of_stars import MeshOfStars
+from ..topology.product import FlattenedButterfly, Mesh, Torus
 
 __all__ = [
     "WITNESS_FREE_TOKEN",
@@ -240,6 +249,38 @@ def _claims_for_width(
             problems.append(
                 f"Lemma 3.3 violated: exact BW({net.name}) = {upper} != "
                 f"n/2 = {lemma_33_width(net.n)}"
+            )
+    elif isinstance(net, Torus) and exact and net.is_square:
+        checks.append("product-torus")
+        want = arjona_torus_width(net.sides[0], net.dims)
+        if upper != want:
+            problems.append(
+                f"product-torus claim violated: exact BW({net.name}) = "
+                f"{upper} != {want}"
+            )
+    elif isinstance(net, Mesh) and exact and net.is_square:
+        checks.append("product-mesh")
+        want = arjona_mesh_width(net.sides[0], net.dims)
+        if upper != want:
+            problems.append(
+                f"product-mesh claim violated: exact BW({net.name}) = "
+                f"{upper} != {want}"
+            )
+    elif isinstance(net, FlattenedButterfly) and exact and net.ary % 2 == 0:
+        checks.append("dc-fbfly")
+        want = flattened_butterfly_width(net.ary, net.dims)
+        if upper != want:
+            problems.append(
+                f"dc-fbfly claim violated: exact BW({net.name}) = "
+                f"{upper} != {want}"
+            )
+    elif isinstance(net, FatTree) and exact:
+        checks.append("dc-fattree")
+        want = fat_tree_width(net.depth)
+        if upper != want:
+            problems.append(
+                f"dc-fattree claim violated: exact BW({net.name}) = "
+                f"{upper} != {want}"
             )
     return problems, checks
 

@@ -1,9 +1,10 @@
 """Seeded differential fuzzing of every solver against the independent checker.
 
 The harness generates small random instances — pristine paper families
-(``Bn``/``Wn``/``CCCn``/``MOS``), seeded random-regular graphs, and
-fault-injected variants via :mod:`repro.resilience.faults` — and, on each,
-runs every applicable solver path:
+(``Bn``/``Wn``/``CCCn``/``MOS``), the product and data-center families
+(tori, meshes, fat trees, flattened butterflies), seeded random-regular
+graphs, and fault-injected variants via :mod:`repro.resilience.faults` —
+and, on each, runs every applicable solver path:
 
 * exhaustive enumeration (autotuned **and** pinned batch grid — the two
   must be bit-identical);
@@ -49,7 +50,9 @@ from ..resilience.faults import FaultInjector
 from ..topology.base import Network
 from ..topology.butterfly import Butterfly, butterfly, wrapped_butterfly
 from ..topology.ccc import cube_connected_cycles
+from ..topology.fabric import fat_tree
 from ..topology.mesh_of_stars import MeshOfStars, mesh_of_stars
+from ..topology.product import flattened_butterfly, mesh, torus
 from ..topology.random_regular import random_regular_graph
 from .checker import check_certificate, check_cut, check_profile
 from .serialize import network_from_spec, network_spec
@@ -202,7 +205,31 @@ def _dp_applies(net: Network) -> bool:
 
 def _family_claims(net: Network, width: int) -> list[str]:
     """Closed-form cross-checks for pristine family instances."""
+    from ..core.claims import (
+        arjona_mesh_width,
+        arjona_torus_width,
+        fat_tree_width,
+        flattened_butterfly_width,
+    )
+    from ..topology.fabric import FatTree
+    from ..topology.product import FlattenedButterfly, Mesh, Torus
+
     problems: list[str] = []
+    want: int | None = None
+    claim = ""
+    if isinstance(net, Torus) and net.is_square:
+        claim, want = "product-torus", arjona_torus_width(net.sides[0], net.dims)
+    elif isinstance(net, Mesh) and net.is_square:
+        claim, want = "product-mesh", arjona_mesh_width(net.sides[0], net.dims)
+    elif isinstance(net, FlattenedButterfly) and net.ary % 2 == 0:
+        claim, want = "dc-fbfly", flattened_butterfly_width(net.ary, net.dims)
+    elif isinstance(net, FatTree):
+        claim, want = "dc-fattree", fat_tree_width(net.depth)
+    if want is not None and width != want:
+        problems.append(
+            f"{claim} closed form disagrees: enumeration BW({net.name}) = "
+            f"{width} != {want}"
+        )
     if isinstance(net, MeshOfStars) and net.j == net.k:
         m2 = cut_profile(net, counted=net.m2())
         got = m2.bisection_width()
@@ -240,7 +267,7 @@ def generate_instance(
     rng: np.random.Generator,
 ) -> tuple[Network, np.ndarray | None, str]:
     """One random small instance: ``(network, counted, description)``."""
-    roll = int(rng.integers(0, 10))
+    roll = int(rng.integers(0, 14))
     counted: np.ndarray | None = None
     if roll == 0:
         net: Network = butterfly(2)
@@ -258,10 +285,26 @@ def generate_instance(
         if nn * d % 2:
             nn += 1
         net = random_regular_graph(nn, d, seed=int(rng.integers(0, 2**31)))
+    elif roll == 10:
+        sides = [(3,), (3, 3), (4, 3), (5, 3)][int(rng.integers(0, 4))]
+        net = torus(*sides)
+    elif roll == 11:
+        sides = [(2, 2), (3, 2), (2, 3), (4, 2), (2, 2, 2)][
+            int(rng.integers(0, 5))
+        ]
+        net = mesh(*sides)
+    elif roll == 12:
+        net = fat_tree(int(rng.integers(1, 4)))
+    elif roll == 13:
+        ary, dims = [(2, 2), (3, 1), (3, 2), (4, 1), (2, 3), (4, 2)][
+            int(rng.integers(0, 6))
+        ]
+        net = flattened_butterfly(ary, dims)
     else:
         # Fault-injected variant of a pristine family instance.
         base = [butterfly(4), wrapped_butterfly(4), cube_connected_cycles(4),
-                mesh_of_stars(2, 2)][int(rng.integers(0, 4))]
+                mesh_of_stars(2, 2), torus(3, 3), mesh(4, 2), fat_tree(2),
+                flattened_butterfly(3, 2)][int(rng.integers(0, 8))]
         inj = FaultInjector(seed=int(rng.integers(0, 2**31)))
         if rng.random() < 0.5:
             net = inj.drop_edges(base, count=int(rng.integers(1, 4)))

@@ -24,7 +24,9 @@ import numpy as np
 from ..topology.base import Network
 from ..topology.butterfly import Butterfly
 from ..topology.ccc import CubeConnectedCycles
+from ..topology.fabric import FatTree
 from ..topology.mesh_of_stars import MeshOfStars
+from ..topology.product import FlattenedButterfly, Mesh, Torus
 
 __all__ = [
     "CERTIFICATE_FORMAT",
@@ -53,6 +55,18 @@ def network_spec(net: Network) -> dict[str, Any]:
     elif isinstance(net, MeshOfStars):
         spec["family"] = "mos"
         spec["params"] = {"j": net.j, "k": net.k}
+    elif isinstance(net, Torus):
+        spec["family"] = "torus"
+        spec["params"] = {"sides": list(net.sides)}
+    elif isinstance(net, Mesh):
+        spec["family"] = "mesh"
+        spec["params"] = {"sides": list(net.sides)}
+    elif isinstance(net, FlattenedButterfly):
+        spec["family"] = "fbfly"
+        spec["params"] = {"ary": net.ary, "dims": net.dims}
+    elif isinstance(net, FatTree):
+        spec["family"] = "fattree"
+        spec["params"] = {"depth": net.depth}
     else:
         spec["family"] = "generic"
         spec["name"] = net.name
@@ -72,6 +86,14 @@ def network_from_spec(spec: dict[str, Any]) -> Network:
         net = CubeConnectedCycles(int(params["n"]))
     elif family == "mos":
         net = MeshOfStars(int(params["j"]), int(params["k"]))
+    elif family == "torus":
+        net = Torus([int(s) for s in params["sides"]])
+    elif family == "mesh":
+        net = Mesh([int(s) for s in params["sides"]])
+    elif family == "fbfly":
+        net = FlattenedButterfly(int(params["ary"]), int(params["dims"]))
+    elif family == "fattree":
+        net = FatTree(int(params["depth"]))
     elif family == "generic":
         net = Network(
             list(range(int(spec["num_nodes"]))), spec["edges"],

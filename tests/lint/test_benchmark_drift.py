@@ -157,6 +157,63 @@ class TestJsonResults:
         assert len(drift_findings(d, claim_ids={"theorem-2.20"})) == 1
 
 
+GOOD_FABRIC_ROWS = [
+    {"family": "torus", "claim": "product-torus", "params": [6, 2],
+     "lower": 12, "upper": 12, "want": 12, "evidence": "DP"},
+    {"family": "mesh", "claim": "product-mesh", "params": [5, 3],
+     "lower": 31, "upper": 31, "want": 31, "evidence": "prefix cut"},
+    {"family": "fattree", "claim": "dc-fattree", "params": [6],
+     "lower": 32, "upper": 32, "want": 32, "evidence": "root cut"},
+    {"family": "fbfly", "claim": "dc-fbfly", "params": [4, 2],
+     "lower": 16, "upper": 16, "want": 16, "evidence": "prefix cut"},
+]
+
+
+def _fabric_doc(rows):
+    return json.dumps({
+        "version": 1, "kind": "repro-bench-result",
+        "name": "fabric_families", "rows": rows, "meta": {},
+    })
+
+
+class TestFabricResults:
+    def test_clean_fabric_rows_pass(self, tmp_path):
+        d = _results_dir(tmp_path)
+        (d / "fabric_families.json").write_text(_fabric_doc(GOOD_FABRIC_ROWS))
+        assert drift_findings(d) == []
+
+    def test_closed_form_drift_flagged(self, tmp_path):
+        rows = [dict(GOOD_FABRIC_ROWS[0], lower=11, upper=11)]
+        d = _results_dir(tmp_path)
+        (d / "fabric_families.json").write_text(_fabric_doc(rows))
+        found = drift_findings(d)
+        assert len(found) == 1
+        assert "product-torus closed form says 12" in found[0].message
+
+    def test_inverted_fabric_interval_flagged(self, tmp_path):
+        rows = [dict(GOOD_FABRIC_ROWS[2], lower=33)]
+        d = _results_dir(tmp_path)
+        (d / "fabric_families.json").write_text(_fabric_doc(rows))
+        found = drift_findings(d)
+        assert any("inverted" in f.message for f in found)
+
+    def test_rows_gate_on_their_own_claim(self, tmp_path):
+        rows = [dict(GOOD_FABRIC_ROWS[0], upper=99, lower=99),
+                dict(GOOD_FABRIC_ROWS[3], upper=99, lower=99)]
+        d = _results_dir(tmp_path)
+        (d / "fabric_families.json").write_text(_fabric_doc(rows))
+        assert len(drift_findings(d, claim_ids={"product-torus"})) == 1
+        assert len(drift_findings(d, claim_ids={"dc-fbfly"})) == 1
+        assert drift_findings(d, claim_ids={"theorem-2.20"}) == []
+
+    def test_odd_ary_fbfly_has_no_closed_form_check(self, tmp_path):
+        rows = [{"family": "fbfly", "claim": "dc-fbfly", "params": [3, 2],
+                 "lower": 7, "upper": 7, "want": None, "evidence": "exact"}]
+        d = _results_dir(tmp_path)
+        (d / "fabric_families.json").write_text(_fabric_doc(rows))
+        assert drift_findings(d) == []
+
+
 class TestProjectIntegration:
     def test_in_memory_fixtures_never_trigger_rl006(self):
         # The lint unit-test fixtures have no on-disk paths, so the rule

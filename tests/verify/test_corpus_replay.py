@@ -23,7 +23,8 @@ def test_corpus_is_populated():
 
 def test_corpus_covers_every_family():
     families = {fuzz.load_case(p).spec["family"] for p in CASES}
-    assert {"bn", "wn", "ccc", "mos", "generic"} <= families
+    assert {"bn", "wn", "ccc", "mos", "torus", "mesh", "fattree", "fbfly",
+            "generic"} <= families
 
 
 @pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)

@@ -49,7 +49,7 @@ def test_drifted_spec_is_rejected():
 
 def test_unknown_family_is_rejected():
     with pytest.raises(ValueError, match="unknown network family"):
-        network_from_spec({"family": "torus", "num_nodes": 4})
+        network_from_spec({"family": "klein-bottle", "num_nodes": 4})
 
 
 def test_certificate_round_trip_still_verifies(tmp_path):
