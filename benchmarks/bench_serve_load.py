@@ -1,0 +1,189 @@
+"""SERVE — throughput and cache economics of the bisection API.
+
+Starts an in-process :class:`repro.serve.ServeServer` (serial drain, so
+the counters on ``/metrics`` are exact), replays a seeded zipfian mix of
+solve requests from a handful of client threads, and reports throughput,
+latency percentiles, and the tier-0 cache hit ratio — the property the
+canonical fingerprints promised: a request population concentrated on a
+few automorphism orbits pays for one solve per orbit, and everything
+else is answered from the cache with a transported, re-verified witness.
+
+The mix deliberately includes ``Torus(3,4)`` *and* ``Torus(4,3)``: the
+axis-normalized fingerprint makes the rotated twin a cache hit even
+though its certificate must (and does) name its own edge digest.  One
+served certificate is round-tripped through ``repro-butterfly verify``
+as part of the benchmark's own assertions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.cli import main as cli_main
+from repro.serve import JobQueue, ServeClient, ServeServer
+
+from _report import emit, emit_json
+
+# Small instances only: the benchmark measures serving overhead and cache
+# economics, not solver runtime.  Rank order sets zipfian popularity.
+_POPULATION = [
+    ("bn4", {"family": "bn", "params": {"n": 4}}),
+    ("torus3x4", {"family": "torus", "params": {"sides": [3, 4]}}),
+    ("wn4", {"family": "wn", "params": {"n": 4}}),
+    ("torus4x3", {"family": "torus", "params": {"sides": [4, 3]}}),
+    ("mesh2x4", {"family": "mesh", "params": {"sides": [2, 4]}}),
+    ("mesh3x3", {"family": "mesh", "params": {"sides": [3, 3]}}),
+    ("fbfly2x2", {"family": "fbfly", "params": {"ary": 2, "dims": 2}}),
+    ("fattree2", {"family": "fattree", "params": {"depth": 2}}),
+]
+_REQUESTS = 150
+_CLIENTS = 4
+_ZIPF_S = 1.1
+_SEED = 20260808
+
+
+def _zipf_mix(rng: np.random.Generator) -> list[int]:
+    ranks = np.arange(1, len(_POPULATION) + 1, dtype=float)
+    weights = ranks**-_ZIPF_S
+    weights /= weights.sum()
+    return [int(i) for i in rng.choice(len(_POPULATION), size=_REQUESTS, p=weights)]
+
+
+def _parse_metrics(text: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out
+
+
+def _drive(server: ServeServer, mix: list[int]) -> tuple[list[float], list[str]]:
+    """Replay the mix from ``_CLIENTS`` threads; per-request latencies."""
+    shards = [mix[i::_CLIENTS] for i in range(_CLIENTS)]
+    latencies: list[list[float]] = [[] for _ in range(_CLIENTS)]
+    errors: list[str] = []
+
+    def loop(i: int) -> None:
+        client = ServeClient(server.host, server.port, timeout=120)
+        for pick in shards[i]:
+            name, spec = _POPULATION[pick]
+            t0 = time.perf_counter()
+            try:
+                accepted, status = client.solve_and_wait(spec, wait=120)
+                if status["state"] != "done":
+                    errors.append(f"{name}: {status}")
+                client.result_text(accepted["job"])
+            except Exception as exc:  # noqa: BLE001 - report, don't unwind
+                errors.append(f"{name}: {exc!r}")
+            latencies[i].append(time.perf_counter() - t0)
+
+    threads = [threading.Thread(target=loop, args=(i,)) for i in range(_CLIENTS)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    return sorted(x for chunk in latencies for x in chunk), errors
+
+
+def _run_load(tmp_path) -> tuple[list[str], list[dict], dict, list[str]]:
+    rng = np.random.default_rng(_SEED)
+    mix = _zipf_mix(rng)
+    server = ServeServer(
+        JobQueue(cache_dir=str(tmp_path / "cache")), port=0
+    ).start()
+    try:
+        t0 = time.perf_counter()
+        latencies, errors = _drive(server, mix)
+        wall = time.perf_counter() - t0
+
+        probe = ServeClient(server.host, server.port, timeout=120)
+        metrics = _parse_metrics(probe.metrics())
+
+        # Round-trip one served certificate through the CLI verifier.
+        accepted, _ = probe.solve_and_wait(_POPULATION[3][1], wait=120)
+        cert_path = tmp_path / "served-cert.json"
+        cert_path.write_text(probe.result_text(accepted["job"]), encoding="utf-8")
+        verify_exit = cli_main(["verify", str(cert_path)])
+    finally:
+        server.stop()
+
+    hits = metrics.get("repro_perf_cache_hit_total", 0.0)
+    misses = metrics.get("repro_perf_cache_miss_total", 0.0)
+    hit_ratio = hits / (hits + misses) if hits + misses else 0.0
+
+    def pct(q: float) -> float:
+        return 1000.0 * float(np.quantile(np.asarray(latencies), q))
+
+    meta = {
+        "requests": _REQUESTS,
+        "clients": _CLIENTS,
+        "zipf_s": _ZIPF_S,
+        "seed": _SEED,
+        "wall_seconds": round(wall, 3),
+        "rps": round(_REQUESTS / wall, 1),
+        "p50_ms": round(pct(0.50), 2),
+        "p99_ms": round(pct(0.99), 2),
+        "cache_hit_ratio": round(hit_ratio, 4),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "solves": metrics.get("repro_serve_solves_total", 0.0),
+        "dedup_hits": metrics.get("repro_serve_dedup_hits_total", 0.0),
+        "orbit_deferrals": metrics.get("repro_serve_orbit_deferrals_total", 0.0),
+        "errors": len(errors),
+        "verify_exit": verify_exit,
+    }
+    counts = {i: mix.count(i) for i in range(len(_POPULATION))}
+    records = [
+        {"instance": name, "rank": i + 1, "requests": counts.get(i, 0)}
+        for i, (name, _) in enumerate(_POPULATION)
+    ]
+    rows = [f"{'instance':>10} {'rank':>4} {'requests':>8}"]
+    rows += [
+        f"{r['instance']:>10} {r['rank']:>4} {r['requests']:>8}" for r in records
+    ]
+    rows.append("")
+    rows.append(
+        f"{_REQUESTS} requests / {_CLIENTS} clients: {meta['rps']} rps, "
+        f"p50 {meta['p50_ms']} ms, p99 {meta['p99_ms']} ms"
+    )
+    rows.append(
+        f"cache hit ratio {meta['cache_hit_ratio']:.3f} "
+        f"({int(hits)} hits / {int(misses)} misses, "
+        f"{int(meta['solves'])} solves, {int(meta['dedup_hits'])} dedup hits); "
+        f"served certificate verify exit {verify_exit}"
+    )
+    return rows, records, meta, errors
+
+
+def test_serve_load(benchmark, tmp_path):
+    rows, records, meta, errors = _run_load(tmp_path)
+    emit("serve_load", rows)
+    emit_json("serve_load", records, meta=meta)
+    assert not errors, errors[:5]
+    # The ISSUE acceptance bar: a zipfian mix over a few orbits must be
+    # answered overwhelmingly from the tier-0 cache, and a served
+    # certificate must round-trip through the CLI verifier.
+    assert meta["cache_hit_ratio"] >= 0.8
+    assert meta["verify_exit"] == 0
+    assert meta["orbit_deferrals"] >= 0  # rotated torus twin shares a key
+
+    # Timed section: one warm-cache round trip against a live server.
+    server = ServeServer(JobQueue(cache_dir=str(tmp_path / "cache")), port=0).start()
+    try:
+        client = ServeClient(server.host, server.port, timeout=120)
+        client.solve_and_wait(_POPULATION[0][1], wait=120)  # warm
+
+        def roundtrip():
+            accepted, status = client.solve_and_wait(_POPULATION[0][1], wait=120)
+            assert status["state"] == "done"
+            return client.result_text(accepted["job"])
+
+        served = benchmark(roundtrip)
+        assert '"repro-certificate/1"' in served
+    finally:
+        server.stop()

@@ -64,6 +64,18 @@ Subcommands
     disagreement.
 ``cache {stats,clear} [--dir DIR]``
     Inspect or empty a solver cache directory.
+``serve [--host H] [--port P] [--workers W] [--timeout S]
+[--max-nodes N] [--cache DIR | --no-cache] [--telemetry DIR]
+[--port-file PATH]``
+    Serve certified solves over HTTP (:mod:`repro.serve`): ``POST
+    /v1/solve`` takes a network spec and returns a job id, ``GET
+    /v1/jobs/<id>`` polls it, ``GET /v1/results/<id>`` returns the
+    ``repro-certificate/1`` JSON (``verify`` accepts it unchanged), and
+    ``GET /metrics`` exposes live OpenMetrics.  In-flight requests
+    dedupe by canonical fingerprint; ``--cache`` shares tier-0 results
+    across requests and processes; ``--telemetry DIR`` journals the
+    fleet timeline, merged to ``DIR/timeline.json`` on shutdown
+    (SIGTERM/Ctrl-C).  See ``docs/serving.md``.
 ``stats PATH [--json] [--openmetrics PATH] [--flame PATH]``
     Validate and pretty-print (or re-emit as JSON) a run manifest written
     by ``solve --trace`` *or* a merged fleet timeline written by ``dist
@@ -776,6 +788,44 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+    from pathlib import Path
+
+    from .serve import JobQueue, ServeServer
+
+    cache = None if args.no_cache else (args.cache or os.environ.get("REPRO_CACHE_DIR"))
+    queue = JobQueue(cache_dir=cache, workers=args.workers)
+    server = ServeServer(
+        queue,
+        host=args.host,
+        port=args.port,
+        max_nodes=args.max_nodes,
+        default_timeout=args.timeout,
+        telemetry=args.telemetry,
+    )
+    server.start()
+    if args.port_file:
+        Path(args.port_file).write_text(f"{server.port}\n", encoding="utf-8")
+    print(
+        f"serving on {server.address} "
+        f"(cache: {cache or 'disabled'}, workers: {args.workers})",
+        flush=True,
+    )
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+        if args.telemetry:
+            print(f"telemetry timeline: {args.telemetry}/timeline.json")
+    return 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     from .core import REGISTRY
 
@@ -965,6 +1015,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dir", default=None, metavar="DIR",
                    help="cache directory (default: $REPRO_CACHE_DIR)")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve", help="serve certified solves over HTTP (see docs/serving.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123,
+                   help="listen port (0 picks a free one; see --port-file)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="supervised pool size (1 solves in the drain thread)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="default per-request budget in seconds "
+                        "(requests may set their own)")
+    p.add_argument("--max-nodes", type=int, default=4096,
+                   help="largest accepted instance")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="shared solver cache (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the tier-0 cache")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="journal telemetry shards; merge DIR/timeline.json "
+                        "on shutdown")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port to PATH once listening")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "stats",

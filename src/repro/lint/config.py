@@ -56,12 +56,19 @@ DEFAULT_LAYER_DAG: dict[str, frozenset[str]] = {
         }
     ),
     "io": frozenset({"topology", "cuts", "core"}),
+    # The serving layer fronts the cascade: it may see the solve entry
+    # point (core), the canonical fingerprints and cache (perf), the
+    # supervised pool and budgets (resilience), certificate round-trips
+    # (verify — serve is not a solver package, RL009 does not scope it)
+    # and obs.  It must never reach into cuts/routing directly: all
+    # solving goes through core's degradation cascade.
+    "serve": frozenset({"topology", "core", "perf", "resilience", "verify", "obs"}),
     "lint": frozenset(),  # stdlib-only by design: must not import the package
     "cli": frozenset(
         {
             "topology", "cuts", "embeddings", "expansion", "routing",
             "analysis", "core", "io", "lint", "resilience", "obs", "perf",
-            "verify", "dist",
+            "verify", "dist", "serve",
         }
     ),
     "__init__": frozenset({"topology", "core"}),
@@ -116,6 +123,7 @@ DEFAULT_CLAIM_PACKAGES: tuple[str, ...] = ("cuts", "embeddings", "expansion", "c
 DEFAULT_BUDGET_ENTRY_POINTS: tuple[str, ...] = (
     "repro.core.fallback.solve_with_fallback",
     "repro.cli._cmd_solve",
+    "repro.serve.jobs.solve_job",
 )
 
 #: Packages whose reachable loops RL010 holds to the budget contract.

@@ -30,7 +30,7 @@ __all__ = ["ObsTimingRule"]
 #: when fleet telemetry landed: coordinator/worker hot paths now have a
 #: proper span channel (the telemetry shard files), so a raw clock there
 #: is a measurement the merged timeline never sees.
-_SCOPED_PACKAGES = frozenset({"cuts", "routing", "obs", "resilience", "dist"})
+_SCOPED_PACKAGES = frozenset({"cuts", "routing", "obs", "resilience", "dist", "serve"})
 
 _CLOCK_NAMES = frozenset(
     {"monotonic", "perf_counter", "monotonic_ns", "perf_counter_ns"}

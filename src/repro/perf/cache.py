@@ -18,6 +18,10 @@ Durability rules:
 * every write lands via temp-file + ``os.replace`` (atomic on POSIX), so
   a crash mid-store can strand a temp file but never a half-written index
   or payload;
+* every index read-modify-write holds an ``flock`` on ``index.lock``
+  (the same discipline as :mod:`repro.dist`), so concurrent writers —
+  serving workers, distributed shards — serialize instead of losing each
+  other's entries; reads stay lock-free because the replace is atomic;
 * every read is **corruption-tolerant**: unparsable index → empty cache,
   unreadable payload → miss, and each loaded witness is re-verified
   against the live network (capacity and counted-count must match the
@@ -34,6 +38,7 @@ run with caching disabled).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -43,6 +48,11 @@ from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..cuts.enumerate_exact import CutProfile
 from ..obs import incr
@@ -73,10 +83,32 @@ class SolverCache:
         self.root = Path(root)
         self._payloads = self.root / "payloads"
         self._index_path = self.root / "index.json"
+        self._lock_path = self.root / "index.lock"
 
     # ------------------------------------------------------------------ #
     # Index I/O (atomic, corruption-tolerant)
     # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def _locked(self):
+        """Serialize index read-modify-writes across processes.
+
+        Readers never take the lock: ``os.replace`` makes every index
+        snapshot self-consistent, and witness re-verification catches
+        anything stale.  Writers must, or two processes interleaving
+        load → mutate → save would silently drop each other's entries.
+        Degrades to a no-op where ``fcntl`` is unavailable (the atomic
+        replace still prevents torn files, only lost updates remain).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
     def _load_index(self) -> dict[str, Any]:
         try:
             with open(self._index_path, encoding="utf-8") as fh:
@@ -147,14 +179,15 @@ class SolverCache:
             except OSError:
                 pass
             raise
-        idx = self._load_index()
-        idx["entries"][key] = {
-            "kind": "profile",
-            "file": path.name,
-            "nodes": net.num_nodes,
-            "counted": int(len(profile.counted)),
-        }
-        self._save_index(idx)
+        with self._locked():
+            idx = self._load_index()
+            idx["entries"][key] = {
+                "kind": "profile",
+                "file": path.name,
+                "nodes": net.num_nodes,
+                "counted": int(len(profile.counted)),
+            }
+            self._save_index(idx)
         incr("perf.cache.store")
         return True
 
@@ -236,9 +269,10 @@ class SolverCache:
             for v in np.flatnonzero(np.asarray(witness_side)):
                 mask |= 1 << int(v)
             data["witness_mask_hex"] = f"{permute_mask(mask, canon.perm):x}"
-        idx = self._load_index()
-        idx["entries"][key] = {"kind": "certificate", "data": data}
-        self._save_index(idx)
+        with self._locked():
+            idx = self._load_index()
+            idx["entries"][key] = {"kind": "certificate", "data": data}
+            self._save_index(idx)
         incr("perf.cache.store")
 
     def _certificate_entry(
@@ -353,12 +387,13 @@ class SolverCache:
 
     def clear(self) -> int:
         """Drop every entry and payload; returns the number of entries removed."""
-        removed = len(self._load_index()["entries"])
-        if self._payloads.is_dir():
-            for p in self._payloads.glob("*.npz"):
-                try:
-                    p.unlink()
-                except OSError:
-                    pass
-        self._save_index({"format": _INDEX_FORMAT, "entries": {}})
+        with self._locked():
+            removed = len(self._load_index()["entries"])
+            if self._payloads.is_dir():
+                for p in self._payloads.glob("*.npz"):
+                    try:
+                        p.unlink()
+                    except OSError:
+                        pass
+            self._save_index({"format": _INDEX_FORMAT, "entries": {}})
         return removed

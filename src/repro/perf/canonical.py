@@ -28,7 +28,10 @@ large — keeping canonicalization cost negligible next to any solve.
 The product families get the same treatment from their own groups:
 coordinate translations for tori and flattened butterflies, axis
 reflections for meshes, and the subtree-swapping XOR path-word group for
-fat trees.  Networks without a recognized symmetry family fall back to the raw
+fat trees — with torus and mesh keys additionally quotiented through
+axis order (``Torus(4, 3)`` and ``Torus(3, 4)`` are the same product in
+a different order and share one key, witnesses transported through the
+transpose).  Networks without a recognized symmetry family fall back to the raw
 :attr:`~repro.topology.base.Network.edge_digest`, which is always sound.
 """
 
@@ -180,6 +183,31 @@ def _butterfly_candidates(bf: Butterfly) -> list[np.ndarray]:
     return [np.arange(bf.num_nodes, dtype=np.int64)]
 
 
+def _axis_normalization(shape: tuple[int, ...]) -> tuple[tuple[int, ...], np.ndarray]:
+    """Sort the factor axes: the transpose onto the ascending-shape twin.
+
+    Cartesian products commute, so reordering the axes of a torus or mesh
+    is a genuine isomorphism onto the member of the same family with
+    sorted sides — ``Torus(4, 3)`` is a relabeled ``Torus(3, 4)``.
+    Returns the sorted shape and the transposing permutation (instance
+    node ``v`` maps to node ``perm[v]`` of the sorted-shape twin), the
+    identity when the shape is already sorted.  Composing this base perm
+    into every candidate makes axis-rotated instances collide on one key
+    with witnesses that transport correctly between them.
+    """
+    order = tuple(int(i) for i in np.argsort(np.asarray(shape), kind="stable"))
+    n_total = int(np.prod(shape, dtype=np.int64))
+    canon_shape = tuple(int(shape[i]) for i in order)
+    if order == tuple(range(len(shape))):
+        return canon_shape, np.arange(n_total, dtype=np.int64)
+    grid = np.arange(n_total, dtype=np.int64).reshape(shape)
+    # placed[canonical index] = instance node living at those coordinates.
+    placed = grid.transpose(order).ravel()
+    perm = np.empty(n_total, dtype=np.int64)
+    perm[placed] = np.arange(n_total, dtype=np.int64)
+    return canon_shape, perm
+
+
 def _translation_candidates(shape: tuple[int, ...]) -> list[np.ndarray]:
     """The coordinate-translation group of a torus / Hamming product.
 
@@ -285,25 +313,33 @@ def canonical_form(net: Network, counted: np.ndarray | None = None) -> Canonical
         digest = hashlib.sha256(packed).hexdigest()[:16]
         return CanonicalForm(f"{stem}:c{digest}", perm, family, len(perms))
 
-    fabric: tuple[str, str, list[np.ndarray]] | None = None
+    fabric: tuple[str, str, list[np.ndarray], np.ndarray] | None = None
     if isinstance(net, Torus):
-        sides = "x".join(str(s) for s in net.sides)
-        fabric = ("torus", f"torus:{sides}", _translation_candidates(net.shape))
+        canon_shape, base = _axis_normalization(net.shape)
+        sides = "x".join(str(s) for s in canon_shape)
+        cands = [t[base] for t in _translation_candidates(canon_shape)]
+        fabric = ("torus", f"torus:{sides}", cands, base)
     elif isinstance(net, Mesh):
-        sides = "x".join(str(s) for s in net.sides)
-        fabric = ("mesh", f"mesh:{sides}", _reflection_candidates(net.shape))
+        canon_shape, base = _axis_normalization(net.shape)
+        sides = "x".join(str(s) for s in canon_shape)
+        cands = [r[base] for r in _reflection_candidates(canon_shape)]
+        fabric = ("mesh", f"mesh:{sides}", cands, base)
     elif isinstance(net, FlattenedButterfly):
+        # All factors share one arity: the shape is already sorted.
         fabric = (
             "fbfly",
             f"fbfly:{net.ary}d{net.dims}",
             _translation_candidates(net.shape),
+            identity,
         )
     elif isinstance(net, FatTree):
-        fabric = ("fattree", f"ft:{net.depth}", _fat_tree_candidates(net))
+        fabric = ("fattree", f"ft:{net.depth}", _fat_tree_candidates(net), identity)
     if fabric is not None:
-        family, stem, perms = fabric
+        family, stem, perms, base = fabric
         if len(counted) == n:
-            return CanonicalForm(f"{stem}:full", identity, family, 1)
+            # Every candidate fixes the full node set, so the cheapest
+            # candidate — the bare axis normalization — minimizes for free.
+            return CanonicalForm(f"{stem}:full", base, family, 1)
         packed, perm = _minimize_counted(n, counted, perms)
         digest = hashlib.sha256(packed).hexdigest()[:16]
         return CanonicalForm(f"{stem}:c{digest}", perm, family, len(perms))

@@ -1,0 +1,120 @@
+"""A thin stdlib client for the serving API.
+
+Used by the serving tests, the load benchmark, and the CI smoke mix —
+and small enough to paste into any script that only has the standard
+library.  One connection per request (the server closes connections
+anyway), JSON in, JSON out, non-2xx surfaced as :class:`ServeError`
+with the decoded payload attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the serving API."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking client bound to one ``host:port``."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def request(
+        self, method: str, path: str, body: Any = None
+    ) -> tuple[int, bytes]:
+        """One HTTP round trip; returns ``(status, raw body)``."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def request_json(
+        self, method: str, path: str, body: Any = None
+    ) -> tuple[int, Any]:
+        status, raw = self.request(method, path, body)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            data = {"raw": raw.decode("utf-8", "replace")}
+        return status, data
+
+    # -- API verbs ------------------------------------------------------
+    def solve(self, spec: dict[str, Any], *, timeout: float | None = None) -> dict:
+        """``POST /v1/solve``; returns the acceptance body (job id etc.)."""
+        body: dict[str, Any] = {"network": spec}
+        if timeout is not None:
+            body["timeout"] = timeout
+        status, data = self.request_json("POST", "/v1/solve", body)
+        if status != 202:
+            raise ServeError(status, data)
+        return data
+
+    def job(self, job_id: str, *, wait: float | None = None) -> dict:
+        """``GET /v1/jobs/<id>``, long-polling when ``wait`` is given."""
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        status, data = self.request_json("GET", path)
+        if status != 200:
+            raise ServeError(status, data)
+        return data
+
+    def result_text(self, job_id: str) -> str:
+        """``GET /v1/results/<id>`` as raw certificate JSON text."""
+        status, raw = self.request("GET", f"/v1/results/{job_id}")
+        if status != 200:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                payload = raw[:200]
+            raise ServeError(status, payload)
+        return raw.decode("utf-8")
+
+    def result(self, job_id: str) -> dict:
+        """The finished certificate, decoded."""
+        return json.loads(self.result_text(job_id))
+
+    def solve_and_wait(
+        self,
+        spec: dict[str, Any],
+        *,
+        timeout: float | None = None,
+        wait: float = 60.0,
+    ) -> tuple[dict, dict]:
+        """Submit and block until settled: ``(acceptance, final status)``."""
+        accepted = self.solve(spec, timeout=timeout)
+        status = self.job(accepted["job"], wait=wait)
+        return accepted, status
+
+    def metrics(self) -> str:
+        """The ``GET /metrics`` OpenMetrics exposition."""
+        status, raw = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, raw[:200])
+        return raw.decode("utf-8")
+
+    def healthz(self) -> dict:
+        status, data = self.request_json("GET", "/healthz")
+        if status != 200:
+            raise ServeError(status, data)
+        return data

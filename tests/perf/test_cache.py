@@ -63,6 +63,34 @@ class TestCertificates:
         assert cache.get_certificate(w4) is None
         assert cache.get_warm_start(w4) is None
 
+    def test_axis_rotated_isomorph_hits_with_transported_witness(self, tmp_path):
+        """A certificate stored for Torus(3,4) answers Torus(4,3): same
+        canonical key, witness carried through the transpose and
+        re-verified against the rotated instance."""
+        from repro.topology import torus
+
+        cache = SolverCache(tmp_path)
+        a, b = torus(3, 4), torus(4, 3)
+        best = min_bisection(a)
+        cache.put_certificate(
+            a,
+            {
+                "quantity": f"BW({a.name})",
+                "lower": best.capacity,
+                "upper": best.capacity,
+                "lower_evidence": "tier-1 exhaustive enumeration",
+                "upper_evidence": "explicit witness cut",
+            },
+            witness_side=best.side,
+        )
+        got = cache.get_certificate(b)
+        assert got is not None
+        assert got["lower"] == got["upper"] == best.capacity
+        side = got["witness_side"]
+        assert side is not None
+        cut = Cut(b, side)
+        assert cut.is_bisection() and cut.capacity == best.capacity
+
     def test_different_instances_do_not_collide(self, w4, tmp_path):
         cache = SolverCache(tmp_path)
         cache.put_certificate(w4, _exact_fields(4))

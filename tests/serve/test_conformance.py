@@ -1,0 +1,63 @@
+"""Serving conformance: the API and the CLI are the same solver.
+
+Every corpus instance submitted through ``POST /v1/solve`` must come
+back byte-identical to what ``repro-butterfly solve --certificate``
+would have written for that instance, and ``repro-butterfly verify``
+must exit 0 on the served body.  The conformance server runs with the
+tier-0 cache *disabled*: the corpus deliberately contains isomorphic
+duplicates (three pristine ``B4`` rebuilds, fault-injected twins), and
+a shared cache would answer the later ones from the earlier ones'
+certificates — correct, verified, but carrying the first solver's
+evidence strings rather than a cold solve's.  Cached serving is covered
+by the queue and server suites; *this* suite pins the request → solve →
+serialize pipeline itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.fallback import solve_with_fallback
+from repro.serve import JobQueue, ServeClient, ServeServer
+from repro.verify.fuzz import load_case
+from repro.verify.serialize import write_certificate
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CASES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = ServeServer(JobQueue(cache_dir=None), port=0).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.host, server.port)
+
+
+@pytest.mark.parametrize("path", CASES, ids=[p.stem for p in CASES])
+def test_served_certificate_matches_cli_bytes(path, client, tmp_path):
+    case = load_case(path)
+    accepted, status = client.solve_and_wait(case.spec, wait=120)
+    assert status["state"] == "done", status
+    served = client.result_text(accepted["job"])
+
+    net = case.network()
+    cli_path = write_certificate(
+        tmp_path / "cli-cert.json", net, solve_with_fallback(net, cache=None)
+    )
+    assert served == cli_path.read_text(encoding="utf-8")
+
+    served_path = tmp_path / "served-cert.json"
+    served_path.write_text(served, encoding="utf-8")
+    assert cli_main(["verify", str(served_path)]) == 0
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 20

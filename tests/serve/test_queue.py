@@ -1,0 +1,155 @@
+"""Queue semantics under load: dedup, orbit holdback, degradation.
+
+The load-bearing claims of the serving layer, asserted at the queue
+level where they are deterministic: concurrent clients on one
+fingerprint trigger exactly one solve (counted via ``serve.*`` and
+``perf.cache.*``), isomorphic requests serialize onto the warm cache,
+and a request whose budget expires while queued still settles with a
+certified bound — never an error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import collecting
+from repro.serve.jobs import DONE, FAILED
+from repro.serve.queue import JobQueue
+from repro.topology import butterfly, torus
+from repro.verify.serialize import network_spec
+
+
+def _submit(queue, net, *, timeout=None):
+    return queue.submit(network_spec(net), net, timeout=timeout)
+
+
+class TestDedup:
+    def test_concurrent_clients_one_fingerprint_one_solve(self, tmp_path):
+        """Five clients, one instance, exactly one solver execution."""
+        net = butterfly(4)
+        queue = JobQueue(cache_dir=str(tmp_path / "cache"))
+        with collecting() as col:
+            # Pile the requests up before the drain thread exists: all
+            # five are concurrent from the queue's point of view.
+            jobs = [_submit(queue, net) for _ in range(5)]
+            first, deduped0 = jobs[0]
+            assert deduped0 is False
+            assert all(job is first for job, _ in jobs)
+            assert all(dup for _, dup in jobs[1:])
+            assert first.clients == 5
+            queue.start()
+            assert queue.wait(first.id, timeout=60).state == DONE
+            queue.stop()
+            counters = col.counters
+        assert counters["serve.requests"] == 5
+        assert counters["serve.dedup_hits"] == 4
+        assert counters["serve.solves"] == 1
+        # One cold solve: two lookups missed, profile + certificate stored.
+        assert counters["perf.cache.miss"] == 2
+        assert counters["perf.cache.store"] == 2
+        assert "perf.cache.hit" not in counters
+
+    def test_finished_job_is_not_attached_to(self, tmp_path):
+        """Dedup is in-flight only: a re-request after completion is a
+        fresh job (which the cache then answers as tier-0)."""
+        net = butterfly(4)
+        queue = JobQueue(cache_dir=str(tmp_path / "cache"))
+        with collecting() as col:
+            queue.start()
+            job1, _ = _submit(queue, net)
+            queue.wait(job1.id, timeout=60)
+            job2, deduped = _submit(queue, net)
+            assert job2.id != job1.id and deduped is False
+            queue.wait(job2.id, timeout=60)
+            queue.stop()
+            assert job2.tier == "tier-0"
+            assert col.counters["perf.cache.hit"] >= 1
+
+    def test_orbit_holdback_serializes_isomorphs(self, tmp_path):
+        """Torus(3,4) and Torus(4,3) share a fingerprint but need their
+        own certificates: two jobs, the second held back onto the warm
+        cache — one real solve, one tier-0 hit."""
+        a, b = torus(3, 4), torus(4, 3)
+        queue = JobQueue(cache_dir=str(tmp_path / "cache"))
+        with collecting() as col:
+            ja, da = _submit(queue, a)
+            jb, db = _submit(queue, b)
+            assert da is db is False and ja.id != jb.id
+            assert ja.key == jb.key
+            queue.start()
+            assert queue.wait(ja.id, timeout=60).state == DONE
+            assert queue.wait(jb.id, timeout=60).state == DONE
+            queue.stop()
+            counters = col.counters
+        assert counters["serve.orbit_deferrals"] >= 1
+        assert counters["perf.cache.hit"] >= 1
+        assert ja.tier == "tier-1" and jb.tier == "tier-0"
+        # Each certificate embeds its *own* instance's spec.
+        assert ja.certificate["network"]["edge_digest"] == a.edge_digest
+        assert jb.certificate["network"]["edge_digest"] == b.edge_digest
+
+
+class TestDegradation:
+    def test_budget_expired_mid_queue_still_certifies(self, tmp_path):
+        """A request that waits out its whole budget in the queue gets
+        the certified trivial interval, not a failure."""
+        t = [0.0]
+        queue = JobQueue(cache_dir=str(tmp_path / "cache"), clock=lambda: t[0])
+        net = butterfly(4)
+        job, _ = _submit(queue, net, timeout=5.0)
+        assert math.isclose(job.deadline, 5.0, rel_tol=0.0, abs_tol=0.0)
+        t[0] = 60.0  # the queue sat on it long past the deadline
+        queue.start()
+        settled = queue.wait(job.id, timeout=120)
+        queue.stop()
+        assert settled.state == DONE
+        data = settled.certificate
+        assert data["lower"] == 0 and data["upper"] == net.num_edges
+        assert "tier-5" in data["upper_evidence"]
+        assert settled.exact is False
+
+    def test_live_budget_passes_remaining_time(self, tmp_path):
+        t = [100.0]
+        queue = JobQueue(cache_dir=None, clock=lambda: t[0])
+        job, _ = _submit(queue, butterfly(4), timeout=30.0)
+        t[0] = 110.0  # 20 s of budget left at execution
+        queue.start()
+        settled = queue.wait(job.id, timeout=120)
+        queue.stop()
+        assert settled.state == DONE and settled.exact is True
+
+    def test_solver_error_fails_job_not_drain_thread(self, tmp_path):
+        """A poisoned task settles as FAILED; the queue keeps serving."""
+        queue = JobQueue(cache_dir=None)
+        net = butterfly(4)
+        bad, _ = queue.submit({"family": "nope"}, net)
+        queue.start()
+        assert queue.wait(bad.id, timeout=60).state == FAILED
+        assert "ValueError" in bad.error
+        # The drain thread survived: later work still completes.
+        ok, _ = _submit(queue, torus(3, 3))
+        assert queue.wait(ok.id, timeout=60).state == DONE
+        queue.stop()
+
+
+class TestLifecycle:
+    def test_stop_drains_backlog(self):
+        queue = JobQueue(cache_dir=None)
+        jobs = [_submit(queue, butterfly(4))[0], _submit(queue, torus(3, 3))[0]]
+        queue.start()
+        queue.stop()
+        assert all(j.state == DONE for j in jobs)
+
+    def test_closed_queue_refuses_submission(self):
+        queue = JobQueue(cache_dir=None)
+        queue.start()
+        queue.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            _submit(queue, butterfly(4))
+
+    def test_unknown_job_lookups(self):
+        queue = JobQueue(cache_dir=None)
+        assert queue.get("job-nope") is None
+        assert queue.wait("job-nope", timeout=0.1) is None

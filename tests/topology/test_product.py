@@ -215,7 +215,51 @@ class TestCanonicalKeys:
         form = canonical_form(net)
         assert form.key.endswith(":full")
         assert form.group_size == 1
-        np.testing.assert_array_equal(form.perm, np.arange(net.num_nodes))
+        # The perm is the axis normalization: a bijection, and the
+        # identity whenever the sides are already in sorted order.
+        np.testing.assert_array_equal(np.sort(form.perm), np.arange(net.num_nodes))
+
+    @pytest.mark.parametrize(
+        "build", [pytest.param(lambda: torus(3, 3), id="torus3x3"),
+                  pytest.param(lambda: mesh(2, 3), id="mesh2x3"),
+                  pytest.param(lambda: flattened_butterfly(3, 2), id="fbfly3d2"),
+                  pytest.param(lambda: fat_tree(3), id="ft3")],
+    )
+    def test_sorted_shapes_keep_identity_perm(self, build):
+        net = build()
+        np.testing.assert_array_equal(
+            canonical_form(net).perm, np.arange(net.num_nodes)
+        )
+
+    def test_axis_order_shares_one_key(self):
+        """Torus(4,3) is Torus(3,4) relabeled; the keys must collide."""
+        assert canonical_form(torus(4, 3)).key == canonical_form(torus(3, 4)).key
+        assert canonical_form(mesh(3, 2)).key == canonical_form(mesh(2, 3)).key
+        assert canonical_form(torus(3, 4)).key == "torus:3x4:full"
+        # Different multisets of sides must still separate.
+        assert canonical_form(torus(3, 4)).key != canonical_form(torus(3, 3)).key
+
+    def test_axis_normalization_transports_cuts(self, rng):
+        """A cut carried a→canonical→b keeps its capacity across the orbit."""
+        from repro.perf.canonical import (
+            mask_to_side, permute_mask, side_to_mask, unpermute_mask,
+        )
+
+        for a, b in [(torus(3, 4), torus(4, 3)), (mesh(2, 3), mesh(3, 2))]:
+            pa, pb = canonical_form(a).perm, canonical_form(b).perm
+            side = rng.random(a.num_nodes) < 0.5
+            canon_mask = permute_mask(side_to_mask(side), pa)
+            side_b = mask_to_side(unpermute_mask(canon_mask, pb), b.num_nodes)
+            assert b.cut_capacity(side_b) == a.cut_capacity(side)
+
+    def test_axis_rotated_counted_sets_still_separate_orbits(self, rng):
+        """Counted-set keys on a rotated instance match its twin's orbits."""
+        a, b = torus(3, 4), torus(4, 3)
+        pa, pb = canonical_form(a).perm, canonical_form(b).perm
+        counted = np.sort(rng.choice(a.num_nodes, size=3, replace=False))
+        # The isomorphic image of ``counted`` in b's coordinates.
+        image = np.sort(np.argsort(pb)[pa[counted]])
+        assert canonical_form(a, counted).key == canonical_form(b, image).key
 
     def test_separation_across_sizes_and_families(self):
         keys = {
